@@ -1,0 +1,67 @@
+"""EXP-A4 — §7 design-space exploration: bus latency and width.
+
+The first instance uses 128-bit (16 B) read and write buses (§6); this
+bench decodes the same stream over swept widths and transaction
+latencies, reporting execution time and bus utilization — the trade-off
+data the instance architect needs.
+"""
+
+from conftest import run_once
+
+from repro import DECODE_MAPPING, SystemParams, build_mpeg_instance, decode_graph
+
+
+def run(bitstream, **params):
+    params.setdefault("dram_latency", 60)
+    system = build_mpeg_instance(params=SystemParams(**params))
+    system.configure(decode_graph(bitstream, mapping=DECODE_MAPPING))
+    return system.run()
+
+
+def test_bus_width_sweep(benchmark, small_content):
+    _params, _frames, bitstream, _recon, _stats = small_content
+    base = run_once(benchmark, lambda: run(bitstream))
+    print("\nEXP-A4 bus width (paper instance: 16 B = 128 bits):")
+    print(f"{'width B':>8} {'cycles':>9} {'vs 16B':>8} {'read util':>10} {'write util':>11}")
+    rows = []
+    for width in (4, 8, 16, 32):
+        r = run(bitstream, bus_width=width)
+        rows.append((width, r.cycles))
+        print(
+            f"{width:>8} {r.cycles:>9} {r.cycles / base.cycles:>8.3f} "
+            f"{100 * r.read_bus_utilization:>9.1f}% {100 * r.write_bus_utilization:>10.1f}%"
+        )
+    assert rows[0][1] > rows[2][1]  # 4 B starves the shells
+    assert rows[3][1] <= rows[2][1]  # 32 B helps at most marginally
+    benchmark.extra_info["narrow_bus_slowdown"] = round(rows[0][1] / rows[2][1], 2)
+
+
+def test_bus_latency_sweep(benchmark, small_content):
+    _params, _frames, bitstream, _recon, _stats = small_content
+    benchmark.pedantic(lambda: run(bitstream, bus_setup_latency=8), rounds=1, iterations=1)
+    print("\nEXP-A4 bus transaction setup latency:")
+    print(f"{'latency':>8} {'cycles':>9}")
+    prev = None
+    for lat in (0, 2, 8, 16):
+        r = run(bitstream, bus_setup_latency=lat)
+        print(f"{lat:>8} {r.cycles:>9}")
+        if prev is not None:
+            assert r.cycles >= prev  # latency only ever hurts
+        prev = r.cycles
+
+
+def test_offchip_latency_sweep(benchmark, small_content):
+    """The MC/VLD off-chip port latency — the §7 'next step' was hiding
+    exactly this latency with an MC cache."""
+    _params, _frames, bitstream, _recon, _stats = small_content
+    benchmark.pedantic(lambda: run(bitstream, dram_latency=40), rounds=1, iterations=1)
+    print("\nEXP-A4 off-chip access latency (MC reference fetches):")
+    print(f"{'latency':>8} {'cycles':>9} {'mc stall+busy':>14}")
+    prev = None
+    for lat in (10, 40, 60, 120):
+        r = run(bitstream, dram_latency=lat)
+        mc = r.tasks["mc"].busy_cycles
+        print(f"{lat:>8} {r.cycles:>9} {mc:>14}")
+        if prev is not None:
+            assert mc >= prev  # MC absorbs the latency growth
+        prev = mc

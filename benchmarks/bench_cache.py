@@ -1,0 +1,63 @@
+"""EXP-A3 — §7 design-space exploration: shell caching strategies.
+
+"Experiments include caching strategies in the shell (e.g. varying
+cache size, cache prefetching or not)."  Decode the same stream while
+sweeping prefetch depth, cache line size and coherency scheme; report
+execution time, stall cycles and hit rate.
+"""
+
+from conftest import run_once
+
+from repro import DECODE_MAPPING, ShellParams, SystemParams, build_mpeg_instance, decode_graph
+
+
+def run(bitstream, shell=None, sys_params=None):
+    system = build_mpeg_instance(params=sys_params, shell=shell)
+    system.configure(decode_graph(bitstream, mapping=DECODE_MAPPING))
+    return system.run()
+
+
+def test_prefetch_sweep(benchmark, small_content):
+    _params, _frames, bitstream, _recon, _stats = small_content
+    base = run_once(benchmark, lambda: run(bitstream))
+    print("\nEXP-A3 prefetch depth (lines fetched ahead on GetSpace/Read):")
+    print(f"{'ahead':>6} {'cycles':>9} {'vs 2':>7} {'stall cycles':>13}")
+    rows = []
+    for pf in (0, 1, 2, 4, 8):
+        r = run(bitstream, shell=ShellParams(prefetch_lines=pf))
+        stalls = sum(t.stall_cycles for t in r.tasks.values())
+        rows.append((pf, r.cycles, stalls))
+        print(f"{pf:>6} {r.cycles:>9} {r.cycles / base.cycles:>7.3f} {stalls:>13}")
+    # prefetching reduces stall time (the paper's §5.2 purpose)
+    assert rows[-1][2] < rows[0][2]
+    benchmark.extra_info["stall_reduction"] = round(rows[0][2] / max(1, rows[-1][2]), 2)
+
+
+def test_cache_line_size_sweep(benchmark, small_content):
+    _params, _frames, bitstream, _recon, _stats = small_content
+    benchmark.pedantic(lambda: run(bitstream, shell=ShellParams(cache_line=64)), rounds=1, iterations=1)
+    print("\nEXP-A3 cache line size:")
+    print(f"{'line B':>7} {'cycles':>9} {'rlsq hit rate':>14}")
+    for line in (16, 32, 64, 128):
+        r = run(bitstream, shell=ShellParams(cache_line=line))
+        print(f"{line:>7} {r.cycles:>9} {100 * r.cache_hit_rate['rlsq']:>13.1f}%")
+
+
+def test_explicit_vs_snooping_coherency(benchmark, small_content):
+    """§5.2: explicit GetSpace/PutSpace coherency vs a snooping cost
+    model whose broadcast overhead scales with the shell count."""
+    _params, _frames, bitstream, _recon, _stats = small_content
+    explicit = run_once(benchmark, lambda: run(bitstream))
+    print("\nEXP-A3 coherency scheme (5-shell instance):")
+    print(f"{'scheme':>22} {'cycles':>9} {'vs explicit':>12}")
+    print(f"{'explicit (Eclipse)':>22} {explicit.cycles:>9} {1.0:>12.3f}")
+    for snoop in (1, 2, 4):
+        r = run(
+            bitstream,
+            sys_params=SystemParams(
+                dram_latency=60, coherency="snooping", snoop_cycles_per_shell=snoop
+            ),
+        )
+        label = f"snooping ({snoop} cyc/shell)"
+        print(f"{label:>22} {r.cycles:>9} {r.cycles / explicit.cycles:>12.3f}")
+        assert r.cycles > explicit.cycles

@@ -1,0 +1,55 @@
+"""EXP-F2 — Figure 2: the MPEG-2 decoder process network.
+
+Regenerates the decoder graph structure (tasks, streams, the VLD->MC
+side edge) and benchmarks graph construction + validation, the
+operation the CPU performs when configuring an application at run time.
+"""
+
+from conftest import run_once
+
+from repro import decode_graph
+from repro.media.pipelines import encode_graph
+
+
+def test_decoder_network_structure(benchmark, small_content):
+    params, frames, bitstream, _recon, _stats = small_content
+
+    def build():
+        g = decode_graph(bitstream)
+        g.validate()
+        return g
+
+    g = benchmark(build)
+    edges = {
+        (e.producer.task, c.task) for e in g.streams.values() for c in e.consumers
+    }
+    # Figure 2's chain plus the motion-vector side stream
+    expected = {
+        ("vld", "rlsq"),
+        ("vld", "mc"),
+        ("rlsq", "idct"),
+        ("idct", "mc"),
+        ("mc", "disp"),
+    }
+    assert edges == expected
+    assert g.is_acyclic()
+    print("\nEXP-F2 decoder process network (Figure 2):")
+    for e in sorted(g.streams.values(), key=lambda e: e.name):
+        consumers = ", ".join(str(c) for c in e.consumers)
+        print(f"  {e.name:>8}: {e.producer} -> {consumers}  ({e.buffer_size} B buffer)")
+    benchmark.extra_info["tasks"] = len(g.tasks)
+    benchmark.extra_info["streams"] = len(g.streams)
+
+
+def test_encoder_network_structure(benchmark, small_content):
+    params, frames, _bits, _recon, _stats = small_content
+
+    def build():
+        g = encode_graph(frames, params)
+        g.validate()
+        return g
+
+    g = benchmark(build)
+    assert not g.is_acyclic()  # the reconstruction feedback loop
+    print(f"\nEXP-F2 encoder network: {len(g.tasks)} tasks, "
+          f"{len(g.streams)} streams, cyclic (reconstruction loop)")

@@ -1,0 +1,103 @@
+"""EXP-T6 — the Section 6 instance estimates.
+
+The paper's quantitative claims for the first Eclipse instantiation:
+~36 Gops/s for dual-HD MPEG-2 decode (16-bit ops), <7 mm² total in
+0.18 µm (1.7 mm² for the 32 kB SRAM, 2.0 mm² for the VLD), <240 mW.
+The analytic model regenerates each number and this bench prints the
+paper-vs-model table; it also scales the template (SRAM size, stream
+count) to show the instance arithmetic is parametric, as a template
+should be.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro import AreaPowerModel
+
+
+def test_section6_estimates(benchmark):
+    model = AreaPowerModel()
+    est = benchmark(model.estimate)
+    print("\nEXP-T6 (Section 6 instance estimates):")
+    print(f"{'quantity':>28} {'paper':>12} {'model':>12}")
+    print(f"{'dual-HD decode Gops/s':>28} {'~36':>12} {est.gops:>12.1f}")
+    print(f"{'total area (mm^2)':>28} {'< 7':>12} {est.area_mm2:>12.2f}")
+    print(f"{'32 kB SRAM area (mm^2)':>28} {'1.7':>12} {est.area_breakdown['sram']:>12.2f}")
+    print(f"{'VLD area (mm^2)':>28} {'2.0':>12} {est.area_breakdown['vld']:>12.2f}")
+    print(f"{'power (mW)':>28} {'< 240':>12} {est.power_mw:>12.1f}")
+    checks = model.paper_claims_hold()
+    for claim, ok in checks.items():
+        print(f"  claim {claim}: {'OK' if ok else 'FAILED'}")
+    assert all(checks.values()), checks
+    benchmark.extra_info["gops"] = round(est.gops, 2)
+    benchmark.extra_info["area_mm2"] = round(est.area_mm2, 3)
+    benchmark.extra_info["power_mw"] = round(est.power_mw, 1)
+
+
+def test_throughput_projection_and_dct_pipelining(benchmark, small_content):
+    """EXP-T6b: project simulated decode throughput to the 150 MHz
+    instance, and reproduce the paper's §7 design action — "we decided
+    to increase performance by pipelining the DCT coprocessor" — as a
+    cost-model ablation (a pipelined DCT sustains ~1 block-slice per
+    cycle, cutting per-block cycles ~3x)."""
+    from repro import CostModel, DECODE_MAPPING, build_mpeg_instance, decode_graph
+
+    _params, _frames, bitstream, _recon, _stats = small_content
+    n_mbs = _params.mbs_per_frame * 6
+
+    def run(cost=None):
+        system = build_mpeg_instance()
+        system.configure(decode_graph(bitstream, mapping=DECODE_MAPPING, cost=cost))
+        return system.run()
+
+    from repro import ShellParams, build_mpeg_instance as build
+
+    def run_tuned(cost, shell=None):
+        system = build(shell=shell)
+        system.configure(decode_graph(bitstream, mapping=DECODE_MAPPING, cost=cost))
+        return system.run()
+
+    base = run_once(benchmark, run)
+    piped = run_tuned(CostModel(dct_per_block=24))
+    # all three §7 actions: pipelined DCT, better shell prefetching,
+    # and an MC cache hiding part of the prediction-fetch latency
+    tuned = run_tuned(
+        CostModel(dct_per_block=24, mc_fetch_bytes=256),
+        shell=ShellParams(prefetch_lines=8, read_cache_lines=32),
+    )
+    cycles_per_mb = base.cycles / n_mbs
+    mb_per_s = 150e6 / cycles_per_mb
+    hd_need = (1920 // 16) * (1088 // 16) * 30  # one HD stream
+    print("\nEXP-T6b throughput projection (150 MHz coprocessors):")
+    print(f"  baseline: {cycles_per_mb:7.0f} cycles/MB -> {mb_per_s / 1e3:6.0f} kMB/s "
+          f"({mb_per_s / hd_need:.2f}x one HD stream)")
+    print(f"  + pipelined DCT:            speedup {base.cycles / piped.cycles:5.2f}x "
+          "(bottleneck shifts to RLSQ — Amdahl)")
+    print(f"  + prefetch + MC cache (§7): speedup {base.cycles / tuned.cycles:5.2f}x")
+    # the single action helps a little; the paper's full action list
+    # helps substantially
+    assert piped.cycles < base.cycles
+    assert tuned.cycles < base.cycles / 1.10
+    benchmark.extra_info["cycles_per_mb"] = round(cycles_per_mb, 1)
+    benchmark.extra_info["section7_actions_speedup"] = round(base.cycles / tuned.cycles, 3)
+
+
+def test_template_scaling(benchmark):
+    """Template parameters scale the estimates coherently."""
+    model = AreaPowerModel()
+    base = model.estimate()
+    benchmark(lambda: model.estimate(sram_kb=64, n_streams=4))
+    print("\nEXP-T6 template scaling:")
+    print(f"{'config':>26} {'Gops':>8} {'area mm^2':>10} {'power mW':>9}")
+    for sram, streams, label in (
+        (32, 2, "paper (2x HD decode)"),
+        (32, 1, "1x HD decode"),
+        (64, 4, "4x HD, 64 kB SRAM"),
+    ):
+        e = model.estimate(sram_kb=sram, n_streams=streams)
+        print(f"{label:>26} {e.gops:>8.1f} {e.area_mm2:>10.2f} {e.power_mw:>9.1f}")
+    one = model.estimate(n_streams=1)
+    assert one.gops == pytest.approx(base.gops / 2)
+    assert one.area_mm2 == base.area_mm2  # area is workload-independent
+    bigger_sram = model.estimate(sram_kb=64)
+    assert bigger_sram.area_mm2 > base.area_mm2

@@ -1,0 +1,63 @@
+"""EXP-A6 — §2.2: worst-case vs average load of data-dependent tasks.
+
+"Eclipse targets the application domain of video encoding and
+decoding, which exhibits a large amount of data-dependency ... In
+practice, the ratio of worst-case versus average load can be as high
+as a factor of 10."
+
+Computed from the per-macroblock workload statistics of an encoded
+GOP, through the task cost models: the cycles each task would spend on
+each macroblock.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro import CostModel, encode_sequence
+from repro.media.gop import FrameType
+
+
+def per_mb_costs(stats, cost: CostModel):
+    """Model cycles per macroblock for the RLSQ/DCT/VLD tasks."""
+    pairs = np.array(stats.mb_pairs)
+    blocks = np.array(stats.mb_coded_blocks)
+    rlsq = cost.rlsq_per_mb + cost.rlsq_per_block * blocks + cost.rlsq_per_pair * pairs
+    dct = cost.dct_per_mb + cost.dct_per_block * blocks
+    vld = cost.vld_per_mb + cost.vld_per_pair * pairs
+    return {"vld": vld, "rlsq": rlsq, "dct": dct}
+
+
+def test_worst_vs_average_load(benchmark, fig10_content):
+    params, frames, _bits, _recon, stats = fig10_content
+    cost = CostModel()
+    costs = run_once(benchmark, lambda: per_mb_costs(stats, cost))
+    print("\nEXP-A6 worst-case vs average per-MB load (paper: up to ~10x):")
+    print(f"{'task':>6} {'avg':>8} {'p99':>8} {'worst':>8} {'worst/avg':>10}")
+    ratios = {}
+    for task, c in costs.items():
+        ratio = c.max() / c.mean()
+        ratios[task] = ratio
+        print(
+            f"{task:>6} {c.mean():>8.0f} {np.percentile(c, 99):>8.0f} "
+            f"{c.max():>8.0f} {ratio:>10.1f}"
+        )
+    # strongly irregular: the RLSQ (pair-bound) ratio approaches the
+    # paper's factor-of-10 regime
+    assert ratios["rlsq"] > 3.0
+    assert max(ratios.values()) > 3.0
+    benchmark.extra_info["worst_over_avg"] = {k: round(v, 2) for k, v in ratios.items()}
+
+
+def test_bits_per_frame_irregularity(benchmark, fig10_content):
+    """The same irregularity at frame granularity: I frames cost far
+    more bits than B frames (drives the VLD/VLE load swings)."""
+    params, frames, _bits, _recon, stats = fig10_content
+    benchmark(lambda: np.array(stats.frame_bits).mean())
+    by_type = {t: [] for t in "IPB"}
+    for t, b in zip(stats.frame_types, stats.frame_bits):
+        by_type[t.value].append(b)
+    print("\nEXP-A6 bits per frame by type:")
+    for t in "IPB":
+        vals = by_type[t]
+        print(f"  {t}: mean {np.mean(vals):8.0f} bits over {len(vals)} frames")
+    assert np.mean(by_type["I"]) > 2.5 * np.mean(by_type["B"])

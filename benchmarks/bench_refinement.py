@@ -1,0 +1,66 @@
+"""EXP-A8 — §7: the gradual-refinement methodology, quantified.
+
+"The simulation environment supports a design trajectory with gradual
+refinement of Kahn application models into cycle-accurate Eclipse
+coprocessor models."  Both abstraction levels of the video decoder are
+run on the instance: the coarse model (VLD → one fused RLSQ+IDCT+MC
+task → DISP) and the refined model (Figure 2's five tasks).  Outputs
+are bit-identical — only the performance estimate changes: refinement
+exposes the task-level parallelism the fused model serializes, and the
+synchronization/communication costs the fused model hides.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro import DECODE_MAPPING, build_mpeg_instance, decode_graph
+from repro.media.refinement import decode_graph_coarse
+
+COARSE_MAPPING = {"vld": "vld", "backend": "mcme", "disp": "dsp"}
+
+
+def _disp_frames(system):
+    disp = next(
+        row.kernel
+        for shell in system.shells.values()
+        for row in shell.task_table
+        if row.name == "disp"
+    )
+    return disp.display_frames()
+
+
+def test_refinement_study(benchmark, small_content):
+    _params, _frames, bitstream, recon, _stats = small_content
+
+    def run_refined():
+        system = build_mpeg_instance()
+        system.configure(decode_graph(bitstream, mapping=DECODE_MAPPING))
+        return system, system.run()
+
+    def run_coarse():
+        system = build_mpeg_instance()
+        system.configure(decode_graph_coarse(bitstream, mapping=COARSE_MAPPING))
+        return system, system.run()
+
+    sys_r, refined = run_once(benchmark, run_refined)
+    sys_c, coarse = run_coarse()
+    assert refined.completed and coarse.completed
+
+    # functional equality across abstraction levels (Kahn determinism)
+    for a, b in zip(_disp_frames(sys_r), _disp_frames(sys_c)):
+        assert np.array_equal(a.y, b.y)
+
+    speedup = coarse.cycles / refined.cycles
+    msgs_r = refined.messages_sent
+    msgs_c = coarse.messages_sent
+    print("\nEXP-A8 refinement study (coarse fused backend vs Figure 2 tasks):")
+    print(f"{'model':>10} {'tasks':>6} {'cycles':>9} {'sync msgs':>10}")
+    print(f"{'coarse':>10} {3:>6} {coarse.cycles:>9} {msgs_c:>10}")
+    print(f"{'refined':>10} {5:>6} {refined.cycles:>9} {msgs_r:>10}")
+    print(f"  refinement speedup: {speedup:.2f}x "
+          "(task parallelism the fused model serializes)")
+    # refinement pays: the pipeline overlaps RLSQ/IDCT/MC
+    assert speedup > 1.3
+    # and costs: more synchronization traffic
+    assert msgs_r > msgs_c
+    benchmark.extra_info["refinement_speedup"] = round(speedup, 3)

@@ -1,0 +1,52 @@
+"""EXP-A2 — §2.3/§5.3: distributed shells vs centralized CPU sync.
+
+"A coprocessor architecture where a single CPU synchronizes all
+coprocessors is not scalable as the interrupt rate will overload the
+CPU with an increasing number of coprocessors."
+
+Measured: the same per-pair workload run with Eclipse's distributed
+shell synchronization and with every GetSpace/PutSpace serialized
+through one CPU.  Distributed completion time stays flat as pairs are
+added; centralized time grows and the CPU utilization approaches 1.
+The analytic interrupt-load model prints alongside.
+"""
+
+from conftest import run_once
+
+from repro.instance.baselines import centralized_cpu_load, sync_scalability_experiment
+
+
+def test_sync_scalability(benchmark):
+    points = run_once(benchmark, lambda: sync_scalability_experiment([1, 2, 4, 8]))
+    print("\nEXP-A2 distributed vs centralized synchronization:")
+    print(f"{'coprocs':>8} {'distributed':>12} {'centralized':>12} {'slowdown':>9} {'CPU util':>9}")
+    for p in points:
+        print(
+            f"{p.n_coprocessors:>8} {p.cycles_distributed:>12} "
+            f"{p.cycles_centralized:>12} {p.slowdown:>9.2f} "
+            f"{100 * p.cpu_utilization:>8.1f}%"
+        )
+    # distributed: near-flat completion time (slight growth = shared
+    # bus contention) while total work grows 8x
+    assert points[-1].cycles_distributed < 2.0 * points[0].cycles_distributed
+    # centralized: grows linearly with coprocessor count (the CPU
+    # serializes every sync op) and saturates the CPU
+    assert points[-1].cycles_centralized > 6.0 * points[0].cycles_centralized
+    assert points[-1].slowdown > 4.0
+    assert points[-1].cpu_utilization > 0.9
+    benchmark.extra_info["slowdown_at_16"] = round(points[-1].slowdown, 2)
+    benchmark.extra_info["cpu_util_at_16"] = round(points[-1].cpu_utilization, 3)
+
+
+def test_analytic_interrupt_load(benchmark):
+    """Paper §5.3: sync rates of 10-100 kHz per coprocessor."""
+    benchmark(lambda: centralized_cpu_load(8, 100e3))
+    print("\nEXP-A2 analytic CPU load (40-cycle handler, 150 MHz CPU):")
+    print(f"{'coprocs':>8} {'10 kHz sync':>12} {'100 kHz sync':>13}")
+    for n in (1, 2, 4, 8, 16, 32):
+        lo = centralized_cpu_load(n, 10e3)
+        hi = centralized_cpu_load(n, 100e3)
+        print(f"{n:>8} {100 * lo:>11.1f}% {100 * hi:>12.1f}%")
+    # at the paper's upper sync rate, a handful of coprocessors
+    # saturates the CPU
+    assert centralized_cpu_load(32, 100e3) > 0.85

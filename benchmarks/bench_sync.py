@@ -1,0 +1,72 @@
+"""EXP-F6/F7 — Figures 6-7: cyclic FIFO buffers and distributed
+putspace synchronization.
+
+Microbenchmark of the core mechanism: a producer/consumer pair over a
+small cyclic buffer, measuring synchronization message counts, denied
+GetSpace (backpressure), and sustained throughput.
+"""
+
+from conftest import run_once
+
+from repro import ApplicationGraph, CoprocessorSpec, EclipseSystem, SystemParams, TaskNode
+from repro.kahn.library import ConsumerKernel, ProducerKernel
+
+PAYLOAD = bytes(i % 256 for i in range(64 * 1024))
+CHUNK = 64
+
+
+def pipe(buffer_size):
+    g = ApplicationGraph("sync")
+    g.add_task(TaskNode("src", lambda: ProducerKernel(PAYLOAD, chunk=CHUNK, compute_cycles=5), ProducerKernel.PORTS))
+    g.add_task(TaskNode("dst", lambda: ConsumerKernel(chunk=CHUNK, compute_cycles=5), ConsumerKernel.PORTS))
+    g.connect("src.out", "dst.in", buffer_size=buffer_size)
+    return g
+
+
+def run(buffer_size, msg_latency=4):
+    system = EclipseSystem(
+        [CoprocessorSpec("p"), CoprocessorSpec("c")],
+        SystemParams(sram_size=128 * 1024, msg_latency=msg_latency),
+    )
+    system.configure(pipe(buffer_size))
+    return system.run()
+
+
+def test_sync_throughput_vs_buffer_size(benchmark, small_content):
+    result = run_once(benchmark, lambda: run(buffer_size=512))
+    assert result.completed
+    assert result.histories["s_src_out"] == PAYLOAD
+    print("\nEXP-F6/F7 cyclic-buffer synchronization (64 KiB payload, 64 B packets):")
+    print(f"{'buffer':>8} {'cycles':>9} {'B/cycle':>8} {'denied':>7} {'messages':>9}")
+    for size in (64, 128, 256, 512, 2048):
+        r = run(size)
+        s = r.streams["s_src_out"]
+        print(
+            f"{size:>8} {r.cycles:>9} {len(PAYLOAD) / r.cycles:>8.2f} "
+            f"{s.denied_getspace:>7} {s.putspace_messages:>9}"
+        )
+    benchmark.extra_info["bytes_per_cycle_512B"] = len(PAYLOAD) / result.cycles
+
+
+def test_sync_message_count_matches_commits(benchmark):
+    """Every PutSpace sends exactly one message per remote access point
+    (Figure 7's protocol)."""
+    result = run_once(benchmark, lambda: run(buffer_size=1024))
+    s = result.streams["s_src_out"]
+    n_commits = len(PAYLOAD) // CHUNK  # producer commits + consumer commits
+    assert s.putspace_messages == 2 * n_commits
+    print(f"\nEXP-F7: {s.putspace_messages} putspace messages for "
+          f"{2 * n_commits} commits — 1:1 as in Figure 7")
+
+
+def test_message_latency_sensitivity(benchmark):
+    """Tight coupling (tiny buffer) makes throughput latency-bound."""
+    print("\nEXP-F7 message-latency sensitivity (128 B buffer):")
+    print(f"{'latency':>8} {'cycles':>9}")
+    rows = []
+    for lat in (0, 4, 16, 64):
+        r = run(128, msg_latency=lat)
+        rows.append((lat, r.cycles))
+        print(f"{lat:>8} {r.cycles:>9}")
+    benchmark.pedantic(lambda: run(128, msg_latency=4), rounds=1, iterations=1)
+    assert rows[-1][1] > rows[0][1]  # higher latency costs cycles

@@ -1,0 +1,92 @@
+"""EXP-A9 — §2.3: scalability of the architecture template.
+
+"Architecture templates are essential in supporting scalability by
+providing a set of parameterized rules for the composition of a
+(sub)system.  Examples of template parameters are memory size, bus
+width, number and type of (co)processors."
+
+Measured: dual-stream decode on (a) the stock 5-unit Figure 8 instance
+(each coprocessor time-shares both streams' tasks) and (b) a scaled
+instance with duplicated RLSQ/DCT/MC units (one set per stream).  The
+template composes the bigger instance from the same shells and
+coprocessors with zero new code — and buys back most of the
+multi-tasking slowdown.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro import CoprocessorSpec, EclipseSystem, ShellParams, SystemParams, decode_graph
+from repro.instance import DECODE_MAPPING, build_mpeg_instance
+
+
+def dual_graph(bits_a, bits_b, mapping_a, mapping_b):
+    g = decode_graph(bits_a, mapping=mapping_a, name="a")
+    g2 = decode_graph(bits_b, mapping=mapping_b, name="b")
+    return g.merge(g2, prefix="s2_")
+
+
+def run_stock(bits_a, bits_b):
+    system = build_mpeg_instance(SystemParams(sram_size=64 * 1024, dram_latency=60))
+    mapping_b = DECODE_MAPPING  # same units: time-shared
+    system.configure(dual_graph(bits_a, bits_b, DECODE_MAPPING, mapping_b))
+    return system.run()
+
+
+def run_scaled(bits_a, bits_b):
+    """Duplicate the stream-private units; share VLD/DSP."""
+    shell = ShellParams()
+    specs = [
+        CoprocessorSpec("vld", shell=shell),
+        CoprocessorSpec("rlsq", shell=shell),
+        CoprocessorSpec("dct", shell=shell),
+        CoprocessorSpec("mcme", shell=shell),
+        CoprocessorSpec("rlsq2", shell=shell),
+        CoprocessorSpec("dct2", shell=shell),
+        CoprocessorSpec("mcme2", shell=shell),
+        CoprocessorSpec("dsp", is_software=True, compute_factor=4.0, shell=shell),
+    ]
+    system = EclipseSystem(specs, SystemParams(sram_size=64 * 1024, dram_latency=60))
+    mapping_b = {
+        "vld": "vld",
+        "rlsq": "rlsq2",
+        "idct": "dct2",
+        "mc": "mcme2",
+        "disp": "dsp",
+    }
+    system.configure(dual_graph(bits_a, bits_b, DECODE_MAPPING, mapping_b))
+    return system.run()
+
+
+def test_template_scaling_dual_decode(benchmark, small_content):
+    _params, _frames, bits_a, _recon, _stats = small_content
+    # a second, different stream
+    from repro.media import CodecParams, encode_sequence, synthetic_sequence
+
+    params_b = CodecParams(width=48, height=32, gop_n=6, gop_m=3)
+    frames_b = synthetic_sequence(params_b.width, params_b.height, 6, seed=42)
+    bits_b, _, _ = encode_sequence(frames_b, params_b)
+
+    stock = run_once(benchmark, lambda: run_stock(bits_a, bits_b))
+    scaled = run_scaled(bits_a, bits_b)
+    assert stock.completed and scaled.completed
+
+    from repro.instance import decode_on_instance
+
+    _s, single = decode_on_instance(bits_a)
+    print("\nEXP-A9 template scaling (dual-stream decode):")
+    print(f"{'configuration':>34} {'units':>6} {'cycles':>9} {'vs single':>10}")
+    print(f"{'single stream, stock instance':>34} {5:>6} {single.cycles:>9} {1.0:>10.2f}")
+    print(
+        f"{'dual stream, stock (time-shared)':>34} {5:>6} {stock.cycles:>9} "
+        f"{stock.cycles / single.cycles:>10.2f}"
+    )
+    print(
+        f"{'dual stream, scaled instance':>34} {8:>6} {scaled.cycles:>9} "
+        f"{scaled.cycles / single.cycles:>10.2f}"
+    )
+    # time-sharing costs; duplicated units buy most of it back
+    assert stock.cycles > 1.3 * single.cycles
+    assert scaled.cycles < 0.9 * stock.cycles
+    benchmark.extra_info["stock_vs_single"] = round(stock.cycles / single.cycles, 3)
+    benchmark.extra_info["scaled_vs_single"] = round(scaled.cycles / single.cycles, 3)

@@ -1,0 +1,67 @@
+"""EXP-F9 — Figure 9: the performance visualization views.
+
+Runs an SD-style decode with the §5.4 sampling process attached and
+renders both of the paper's views: the architecture view (coprocessor
+and bus utilization) and the application view (per-task progress/stall
+and per-stream buffer statistics).
+"""
+
+from conftest import run_once
+
+from repro import DECODE_MAPPING, Sampler, build_mpeg_instance, decode_graph
+from repro.trace import (
+    render_application_view,
+    render_architecture_view,
+    render_fill_traces,
+    series_to_csv,
+)
+
+
+def test_figure9_views(benchmark, small_content):
+    _params, _frames, bitstream, _recon, _stats = small_content
+
+    def run():
+        system = build_mpeg_instance()
+        system.configure(decode_graph(bitstream, mapping=DECODE_MAPPING))
+        sampler = Sampler(system, interval=200)
+        result = system.run()
+        return system, sampler, result
+
+    _system, sampler, result = run_once(benchmark, run)
+    assert result.completed
+    arch = render_architecture_view(result)
+    app = render_application_view(result)
+    fills = render_fill_traces(
+        sampler.stream_fill,
+        buffer_sizes={n: s.buffer_size for n, s in result.streams.items()},
+        width=80,
+    )
+    print("\nEXP-F9 (Figure 9 views):")
+    print(arch)
+    print()
+    print(app)
+    print()
+    print(fills)
+    # the views carry the paper's content
+    for needle in ("mcme", "read bus", "hit rate"):
+        assert needle in arch
+    for needle in ("rlsq", "stall", "denied"):
+        assert needle in app
+    assert "coef->rlsq" in fills
+    benchmark.extra_info["utilization"] = {
+        k: round(v, 3) for k, v in result.utilization.items()
+    }
+
+
+def test_viewer_csv_export(benchmark, small_content):
+    """The viewer is separate from the simulator (paper §7) — its CSV
+    export feeds any external plotting tool."""
+    _params, _frames, bitstream, _recon, _stats = small_content
+    system = build_mpeg_instance()
+    system.configure(decode_graph(bitstream, mapping=DECODE_MAPPING))
+    sampler = Sampler(system, interval=200)
+    system.run()
+    csv = benchmark(lambda: series_to_csv(sampler.stream_fill))
+    lines = csv.splitlines()
+    assert lines[0] == "name,time,value"
+    assert len(lines) > 50

@@ -1,0 +1,35 @@
+"""Shared workloads for the benchmark/experiment suite.
+
+Each bench regenerates one of the paper's figures/tables (see
+DESIGN.md's experiment index).  Workloads are built once per session;
+benches print their paper-comparable tables (run with ``-s`` to see
+them) and stash the key numbers in ``benchmark.extra_info`` so they
+land in pytest-benchmark's JSON output.
+"""
+
+import pytest
+
+from repro import CodecParams, encode_sequence, synthetic_sequence
+
+
+@pytest.fixture(scope="session")
+def small_content():
+    """48x32, 6 frames — fast enough for sweeps."""
+    params = CodecParams(width=48, height=32, gop_n=6, gop_m=3)
+    frames = synthetic_sequence(params.width, params.height, num_frames=6)
+    bitstream, recon, stats = encode_sequence(frames, params)
+    return params, frames, bitstream, recon, stats
+
+
+@pytest.fixture(scope="session")
+def fig10_content():
+    """96x64, 12 frames (a full IPBBPBB... GOP) — the Figure 10 run."""
+    params = CodecParams(width=96, height=64, gop_n=12, gop_m=3)
+    frames = synthetic_sequence(params.width, params.height, num_frames=12, noise=1.0)
+    bitstream, recon, stats = encode_sequence(frames, params)
+    return params, frames, bitstream, recon, stats
+
+
+def run_once(benchmark, fn):
+    """Benchmark a long-running experiment exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

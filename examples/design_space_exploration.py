@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the Eclipse simulator (paper §7).
+
+"Experiments include caching strategies in the shell (e.g. varying
+cache size, cache prefetching or not), bus latency and width, etc.
+Thereto, the simulator parses a setup file that contains these
+architectural parameters."  This script is that loop: it decodes the
+same stream under swept template parameters and prints the resulting
+execution time and stall behaviour — the quantitative feedback the
+Eclipse designers used before "diving into gate-level design".
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import (
+    CodecParams,
+    DECODE_MAPPING,
+    ShellParams,
+    SystemParams,
+    build_mpeg_instance,
+    decode_graph,
+    encode_sequence,
+    synthetic_sequence,
+)
+
+
+def run_decode(bitstream, shell=None, sys_params=None, buffer_packets=3):
+    system = build_mpeg_instance(params=sys_params, shell=shell)
+    system.configure(decode_graph(bitstream, mapping=DECODE_MAPPING, buffer_packets=buffer_packets))
+    result = system.run()
+    stalls = sum(t.stall_cycles for t in result.tasks.values())
+    return result.cycles, stalls, result
+
+
+def main() -> None:
+    params = CodecParams(width=48, height=32, gop_n=6, gop_m=3)
+    frames = synthetic_sequence(params.width, params.height, num_frames=6)
+    bitstream, _, _ = encode_sequence(frames, params)
+    base_cycles, _, _ = run_decode(bitstream)
+    print(f"workload: decode {len(frames)} frames "
+          f"({params.width}x{params.height}); baseline {base_cycles} cycles\n")
+
+    print("=== cache size sweep (read-cache lines per shell) ===")
+    print(f"{'lines':>6} {'cycles':>9} {'vs base':>8} {'stalls':>9}")
+    for lines in (2, 4, 8, 16, 32, 64):
+        cycles, stalls, _ = run_decode(bitstream, shell=ShellParams(read_cache_lines=lines))
+        print(f"{lines:>6} {cycles:>9} {cycles / base_cycles:>8.3f} {stalls:>9}")
+
+    print("\n=== prefetching on/off (lines fetched ahead) ===")
+    print(f"{'ahead':>6} {'cycles':>9} {'vs base':>8} {'stalls':>9}")
+    for pf in (0, 1, 2, 4, 8):
+        cycles, stalls, _ = run_decode(bitstream, shell=ShellParams(prefetch_lines=pf))
+        print(f"{pf:>6} {cycles:>9} {cycles / base_cycles:>8.3f} {stalls:>9}")
+
+    print("\n=== bus width sweep (bytes; paper uses 16 = 128 bits) ===")
+    print(f"{'width':>6} {'cycles':>9} {'vs base':>8} {'read-bus util':>14}")
+    for width in (4, 8, 16, 32):
+        cycles, _, res = run_decode(
+            bitstream, sys_params=SystemParams(bus_width=width, dram_latency=60)
+        )
+        print(f"{width:>6} {cycles:>9} {cycles / base_cycles:>8.3f} "
+              f"{100 * res.read_bus_utilization:>13.1f}%")
+
+    print("\n=== bus setup latency sweep (cycles per transaction) ===")
+    print(f"{'lat':>6} {'cycles':>9} {'vs base':>8}")
+    for lat in (0, 2, 8, 16):
+        cycles, _, _ = run_decode(
+            bitstream, sys_params=SystemParams(bus_setup_latency=lat, dram_latency=60)
+        )
+        print(f"{lat:>6} {cycles:>9} {cycles / base_cycles:>8.3f}")
+
+    print("\n=== stream buffer sizing (packets per buffer) ===")
+    print(f"{'pkts':>6} {'cycles':>9} {'vs base':>8} {'denied GetSpace':>16}")
+    for pkts in (1, 2, 3, 5, 8):
+        cycles, _, res = run_decode(bitstream, buffer_packets=pkts)
+        denied = sum(s.denied_getspace for s in res.streams.values())
+        print(f"{pkts:>6} {cycles:>9} {cycles / base_cycles:>8.3f} {denied:>16}")
+
+    print("\ndone — larger caches/prefetch cut stalls with diminishing "
+          "returns; narrow buses and tiny buffers cost throughput.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    package/version/instance summary.
+``quickstart``
+    the Kahn-equivalence demo on a 2-coprocessor instance.
+``decode``
+    encode a synthetic sequence, decode it on the Figure 8 instance,
+    print the Figure 9 views, the Figure 10 traces and the bottleneck
+    attribution.
+``estimate``
+    the Section 6 area/power/Gops table.
+``explore``
+    the §7 design-space sweeps (cache, prefetch, bus, buffers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Eclipse heterogeneous multiprocessor architecture — "
+        "IPPS 2002 reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and instance summary")
+    sub.add_parser("quickstart", help="Kahn-equivalence demo")
+    sub.add_parser("estimate", help="Section 6 area/power/Gops estimates")
+
+    dec = sub.add_parser("decode", help="decode on the Figure 8 instance")
+    dec.add_argument("--width", type=int, default=96)
+    dec.add_argument("--height", type=int, default=64)
+    dec.add_argument("--frames", type=int, default=12)
+    dec.add_argument("--gop-n", type=int, default=12)
+    dec.add_argument("--gop-m", type=int, default=3)
+    dec.add_argument("--interval", type=int, default=250, help="sampling interval (cycles)")
+    dec.add_argument("--half-pel", action="store_true")
+    dec.add_argument("--json", metavar="PATH", help="write the machine-readable result to PATH")
+
+    exp = sub.add_parser("explore", help="design-space sweeps (paper §7)")
+    exp.add_argument("--frames", type=int, default=6)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {
+        "info": _cmd_info,
+        "quickstart": _cmd_quickstart,
+        "decode": _cmd_decode,
+        "estimate": _cmd_estimate,
+        "explore": _cmd_explore,
+    }[args.command](args)
+
+
+# ---------------------------------------------------------------------------
+def _cmd_info(args) -> int:
+    import repro
+    from repro.instance.eclipse_mpeg import COPROCESSORS, DECODE_MAPPING, ENCODE_MAPPING
+
+    print(f"repro {repro.__version__} — Eclipse (Rutten et al., IPPS 2002)")
+    print(f"instance units: {', '.join(COPROCESSORS)}")
+    print(f"decode mapping: {DECODE_MAPPING}")
+    print(f"encode mapping: {ENCODE_MAPPING}")
+    print("see README.md / DESIGN.md / EXPERIMENTS.md for the full story")
+    return 0
+
+
+def _cmd_quickstart(args) -> int:
+    from repro import ApplicationGraph, CoprocessorSpec, EclipseSystem, FunctionalExecutor, TaskNode
+    from repro.kahn.library import ConsumerKernel, ProducerKernel
+
+    payload = bytes((11 * i) % 256 for i in range(4096))
+
+    def graph():
+        g = ApplicationGraph("cli-demo")
+        g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=32), ProducerKernel.PORTS))
+        g.add_task(TaskNode("dst", lambda: ConsumerKernel(chunk=32), ConsumerKernel.PORTS))
+        g.connect("src.out", "dst.in", buffer_size=128)
+        return g
+
+    golden = FunctionalExecutor(graph()).run()
+    system = EclipseSystem([CoprocessorSpec("cp0"), CoprocessorSpec("cp1")])
+    system.configure(graph())
+    result = system.run()
+    ok = result.histories["s_src_out"] == golden.histories["s_src_out"]
+    print(f"cycle-level run: {result.cycles} cycles; history matches reference: {ok}")
+    return 0 if ok else 1
+
+
+def _cmd_decode(args) -> int:
+    from repro import (
+        CodecParams,
+        DECODE_MAPPING,
+        Sampler,
+        build_mpeg_instance,
+        decode_graph,
+        encode_sequence,
+        synthetic_sequence,
+    )
+    from repro.trace.analysis import bottleneck_by_frame_type, per_frame_type_service
+    from repro.trace.viewer import render_application_view, render_architecture_view, render_fill_traces
+
+    params = CodecParams(
+        width=args.width,
+        height=args.height,
+        gop_n=args.gop_n,
+        gop_m=args.gop_m,
+        half_pel=args.half_pel,
+    )
+    frames = synthetic_sequence(params.width, params.height, args.frames, noise=1.0)
+    bitstream, _golden, _stats = encode_sequence(frames, params)
+    print(f"encoded {args.frames} frames -> {len(bitstream)} bytes")
+    system = build_mpeg_instance()
+    system.configure(decode_graph(bitstream, mapping=DECODE_MAPPING))
+    sampler = Sampler(system, interval=args.interval)
+    result = system.run()
+    print(f"decoded in {result.cycles} cycles\n")
+    print(render_architecture_view(result))
+    print()
+    print(render_application_view(result))
+    plans = params.gop().coded_order(args.frames)
+    marks = sampler.frame_boundaries("vld", params.mbs_per_frame)
+    print("\nFigure 10 traces:")
+    print(
+        render_fill_traces(
+            {k: sampler.stream_fill[k] for k in (("coef", "rlsq"), ("dequant", "idct"), ("resid", "mc"))},
+            buffer_sizes={n: s.buffer_size for n, s in result.streams.items()},
+            frame_marks=marks,
+            frame_types=[p.frame_type.value for p in plans],
+        )
+    )
+    service = per_frame_type_service(
+        sampler, plans, params.mbs_per_frame, {"rlsq": "rlsq", "idct": "dct", "mc": "mcme"}
+    )
+    print(f"\nbottleneck per frame type: {bottleneck_by_frame_type(service)}")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    from repro import AreaPowerModel
+
+    model = AreaPowerModel()
+    est = model.estimate()
+    print("Section 6 instance estimates (paper -> model):")
+    print(f"  Gops/s (2x HD decode): ~36 -> {est.gops:.1f}")
+    print(f"  area: <7 mm^2 -> {est.area_mm2:.2f} mm^2")
+    for block, mm2 in sorted(est.area_breakdown.items()):
+        print(f"    {block:>8}: {mm2:5.2f} mm^2")
+    print(f"  power: <240 mW -> {est.power_mw:.1f} mW")
+    checks = model.paper_claims_hold()
+    print(f"  all paper bounds hold: {all(checks.values())}")
+    return 0 if all(checks.values()) else 1
+
+
+def _cmd_explore(args) -> int:
+    from repro import (
+        CodecParams,
+        DECODE_MAPPING,
+        ShellParams,
+        build_mpeg_instance,
+        decode_graph,
+        encode_sequence,
+        synthetic_sequence,
+    )
+
+    params = CodecParams(width=48, height=32, gop_n=6, gop_m=3)
+    frames = synthetic_sequence(params.width, params.height, args.frames)
+    bitstream, _, _ = encode_sequence(frames, params)
+
+    def run(shell=None, buffer_packets=3):
+        system = build_mpeg_instance(shell=shell)
+        system.configure(
+            decode_graph(bitstream, mapping=DECODE_MAPPING, buffer_packets=buffer_packets)
+        )
+        return system.run().cycles
+
+    base = run()
+    print(f"baseline decode: {base} cycles")
+    print("prefetch sweep:")
+    for pf in (0, 2, 8):
+        print(f"  {pf} lines ahead: {run(shell=ShellParams(prefetch_lines=pf))} cycles")
+    print("buffer sweep:")
+    for pkts in (1, 3, 8):
+        print(f"  {pkts} packets/buffer: {run(buffer_packets=pkts)} cycles")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Eclipse generic infrastructure (the paper's primary contribution).
+
+This package implements the cycle-level Eclipse architecture template
+(paper Sections 3-5): the coprocessor shell with its stream and task
+tables, distributed putspace synchronization, read/write caches with
+explicit GetSpace/PutSpace-driven coherency, weighted round-robin
+"best-guess" task scheduling, and the system assembly that maps a Kahn
+application graph onto a heterogeneous set of multi-tasking
+coprocessors.
+
+Entry point: :class:`~repro.core.system.EclipseSystem`.
+"""
+
+from repro.core.buffer import CyclicBuffer
+from repro.core.cache import CacheStats, ReadCache, WriteCache
+from repro.core.config import CoprocessorSpec, ShellParams, SystemParams
+from repro.core.control import ControlInterface, QosController
+from repro.core.coprocessor import Coprocessor
+from repro.core.messages import EosMsg, MessageFabric, PutSpaceMsg
+from repro.core.scheduler import WeightedRoundRobinScheduler
+from repro.core.shell import Shell
+from repro.core.stream_table import StreamRow, StreamTable
+from repro.core.system import EclipseSystem, StalledError, SystemResult
+from repro.core.task_table import TaskRow, TaskTable
+
+__all__ = [
+    "CacheStats",
+    "ControlInterface",
+    "Coprocessor",
+    "CoprocessorSpec",
+    "QosController",
+    "CyclicBuffer",
+    "EclipseSystem",
+    "EosMsg",
+    "MessageFabric",
+    "PutSpaceMsg",
+    "ReadCache",
+    "Shell",
+    "ShellParams",
+    "StalledError",
+    "StreamRow",
+    "StreamTable",
+    "SystemParams",
+    "SystemResult",
+    "TaskRow",
+    "TaskTable",
+    "WeightedRoundRobinScheduler",
+    "WriteCache",
+]

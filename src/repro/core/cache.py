@@ -1,0 +1,179 @@
+"""Shell data caches with explicit, synchronization-driven coherency.
+
+Paper §5.2: "the shell incorporates separate read and write caches ...
+The GetSpace/PutSpace synchronization mechanism explicitly controls
+cache coherency, fully transparent to the coprocessor", replacing
+generic mechanisms like bus snooping with three rules:
+
+1. the granted window is private → plain hits are safe;
+2. a GetSpace that *extends* the window invalidates read-cache lines in
+   the extension (fresh data will be refetched);
+3. a PutSpace that *reduces* the window flushes dirty write-cache bytes
+   in the reduction before the putspace message is sent.
+
+These classes are pure bookkeeping (deterministic LRU state + byte
+masks); the shell charges the bus/memory time around them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+__all__ = ["ReadCache", "WriteCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/traffic counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+    prefetch_fills: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ReadCache:
+    """LRU cache of clean lines fetched from the stream memory."""
+
+    def __init__(self, capacity_lines: int, line_size: int):
+        if capacity_lines < 1:
+            raise ValueError("capacity_lines must be >= 1")
+        self.capacity = capacity_lines
+        self.line_size = line_size
+        self._lines: "OrderedDict[int, bytes]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def lookup(self, line_addr: int) -> Optional[bytes]:
+        """Line content on hit (promotes to MRU), None on miss.
+
+        Does *not* bump hit/miss counters — the shell counts per
+        coprocessor access, not per probe (a probe may be repeated
+        while waiting on an in-flight fill).
+        """
+        data = self._lines.get(line_addr)
+        if data is not None:
+            self._lines.move_to_end(line_addr)
+        return data
+
+    def fill(self, line_addr: int, data: bytes, prefetch: bool = False) -> None:
+        if len(data) != self.line_size:
+            raise ValueError(f"fill of {len(data)} B into {self.line_size} B line")
+        if line_addr in self._lines:
+            self._lines.move_to_end(line_addr)
+        self._lines[line_addr] = data
+        if prefetch:
+            self.stats.prefetch_fills += 1
+        while len(self._lines) > self.capacity:
+            self._lines.popitem(last=False)
+            self.stats.evictions += 1
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._lines
+
+    def invalidate(self, line_addrs: Iterable[int]) -> int:
+        """Drop the given lines (coherency rule 2); returns count dropped."""
+        dropped = 0
+        for addr in line_addrs:
+            if self._lines.pop(addr, None) is not None:
+                dropped += 1
+        self.stats.invalidations += dropped
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+
+class WriteCache:
+    """Write-allocate, no-fetch cache of dirty byte-masked lines.
+
+    Lines never hold clean data: a flush writes the dirty bytes to
+    memory (byte enables) and drops them.  The byte mask is what makes
+    a producer flushing a partially-written line safe when the same
+    SRAM line also holds a neighbour's committed bytes.
+    """
+
+    def __init__(self, capacity_lines: int, line_size: int):
+        if capacity_lines < 1:
+            raise ValueError("capacity_lines must be >= 1")
+        self.capacity = capacity_lines
+        self.line_size = line_size
+        #: line_addr -> (data bytearray, dirty-mask bytearray)
+        self._lines: "OrderedDict[int, Tuple[bytearray, bytearray]]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def write(self, addr: int, data: bytes) -> List[Tuple[int, bytes, bytes]]:
+        """Stage ``data`` at SRAM address ``addr`` (may span lines).
+
+        Returns LRU lines evicted to stay within capacity as
+        ``(line_addr, data, mask)`` tuples — the shell must flush them.
+        """
+        pos = 0
+        while pos < len(data):
+            line_addr = (addr + pos) - (addr + pos) % self.line_size
+            off = (addr + pos) - line_addr
+            take = min(len(data) - pos, self.line_size - off)
+            entry = self._lines.get(line_addr)
+            if entry is None:
+                entry = (bytearray(self.line_size), bytearray(self.line_size))
+                self._lines[line_addr] = entry
+                self.stats.misses += 1
+            else:
+                self._lines.move_to_end(line_addr)
+                self.stats.hits += 1
+            buf, mask = entry
+            buf[off : off + take] = data[pos : pos + take]
+            for i in range(off, off + take):
+                mask[i] = 1
+            pos += take
+        evicted = []
+        while len(self._lines) > self.capacity:
+            line_addr, (buf, mask) = self._lines.popitem(last=False)
+            evicted.append((line_addr, bytes(buf), bytes(mask)))
+            self.stats.evictions += 1
+        return evicted
+
+    def flush_range(self, addr: int, n_bytes: int) -> List[Tuple[int, bytes, bytes]]:
+        """Take dirty bytes intersecting ``[addr, addr+n_bytes)`` for
+        flushing (coherency rule 3).
+
+        Dirty bytes *outside* the range stay cached (they belong to the
+        still-private part of the window).  Returns ``(line_addr, data,
+        mask)`` tuples restricted to the intersection.
+        """
+        if n_bytes <= 0:
+            return []
+        out = []
+        end = addr + n_bytes
+        first_line = addr - addr % self.line_size
+        for line_addr in range(first_line, end, self.line_size):
+            entry = self._lines.get(line_addr)
+            if entry is None:
+                continue
+            buf, mask = entry
+            lo = max(addr, line_addr) - line_addr
+            hi = min(end, line_addr + self.line_size) - line_addr
+            take_mask = bytearray(self.line_size)
+            any_dirty = False
+            for i in range(lo, hi):
+                if mask[i]:
+                    take_mask[i] = 1
+                    mask[i] = 0
+                    any_dirty = True
+            if any_dirty:
+                out.append((line_addr, bytes(buf), bytes(take_mask)))
+            if not any(mask):
+                del self._lines[line_addr]
+        return out
+
+    def dirty_lines(self) -> int:
+        return len(self._lines)
+
+    def __len__(self) -> int:
+        return len(self._lines)

@@ -1,0 +1,139 @@
+"""Architecture template parameters.
+
+The Eclipse template is parameterized (paper §2.3: "memory size, bus
+width, number and type of (co)processors"); §7 explores cache size,
+prefetching, bus latency and width through a simulator setup file.
+These dataclasses are that setup file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Literal
+
+__all__ = ["ShellParams", "CoprocessorSpec", "SystemParams"]
+
+
+@dataclass
+class ShellParams:
+    """Per-shell template parameters (paper §3.1: "shell instances with
+    coprocessor-specific parameter settings are derived from this
+    generic template")."""
+
+    #: cache line size in bytes (read and write caches)
+    cache_line: int = 32
+    #: read cache capacity in lines
+    read_cache_lines: int = 16
+    #: write cache capacity in lines
+    write_cache_lines: int = 8
+    #: lines fetched ahead on GetSpace/Read (0 disables; paper §5.2:
+    #: "the shell also initiates stream prefetches upon local GetSpace
+    #: and Read requests")
+    prefetch_lines: int = 2
+    #: shell response latency for GetSpace
+    getspace_cycles: int = 1
+    #: shell response latency for PutSpace (excl. flush/message time)
+    putspace_cycles: int = 1
+    #: shell response latency for GetTask (the HW scheduler's decision)
+    gettask_cycles: int = 2
+    #: coprocessor-shell datapath width in bytes (paper §3.1 names the
+    #: read/write interface width as a per-coprocessor parameter)
+    port_width: int = 16
+    #: the §5.3 'best guess': skip tasks with an outstanding denied
+    #: GetSpace.  False gives the naive round-robin baseline that
+    #: busy-polls blocked tasks (EXP-A5 ablation).
+    best_guess_scheduling: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cache_line < 1 or (self.cache_line & (self.cache_line - 1)) != 0:
+            raise ValueError(f"cache_line must be a power of two, got {self.cache_line}")
+        for name in ("read_cache_lines", "write_cache_lines", "port_width"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        for name in ("prefetch_lines", "getspace_cycles", "putspace_cycles", "gettask_cycles"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def with_(self, **kw) -> "ShellParams":
+        """Copy with overrides (sweep helper)."""
+        return replace(self, **kw)
+
+
+@dataclass
+class CoprocessorSpec:
+    """One computation unit: a hardwired coprocessor or the DSP-CPU.
+
+    ``compute_factor`` scales every kernel ComputeOp — software tasks on
+    the media processor run the same kernels slower (paper §3: functions
+    "specific for one application only ... executed in software").
+    """
+
+    name: str
+    is_software: bool = False
+    compute_factor: float = 1.0
+    shell: ShellParams = field(default_factory=ShellParams)
+
+    def __post_init__(self) -> None:
+        if self.compute_factor <= 0:
+            raise ValueError("compute_factor must be > 0")
+
+
+@dataclass
+class SystemParams:
+    """Instance-wide parameters (the §7 simulator setup file)."""
+
+    #: on-chip SRAM size in bytes (first instance: 32 kB, §6)
+    sram_size: int = 32 * 1024
+    #: data bus width in bytes (first instance: 128 bits = 16 B, §6)
+    bus_width: int = 16
+    #: fixed cycles per bus transaction (arbitration + address phase)
+    bus_setup_latency: int = 2
+    #: putspace/eos message latency between shells (paper Figure 7)
+    msg_latency: int = 4
+    #: extra random per-message delay in [0, msg_jitter] cycles —
+    #: failure injection; 0 models the real FIFO fabric
+    msg_jitter: int = 0
+    #: seed for the jitter randomness (runs stay reproducible)
+    msg_seed: int = 0
+    #: off-chip port width in bytes
+    dram_width: int = 8
+    #: off-chip access latency in cycles
+    dram_latency: int = 20
+    #: synchronization implementation: Eclipse's distributed shells, or
+    #: the centralized CPU-interrupt baseline the paper argues against
+    #: (§2.3: "a coprocessor architecture where a single CPU
+    #: synchronizes all coprocessors is not scalable")
+    sync_mode: Literal["distributed", "centralized"] = "distributed"
+    #: CPU cycles consumed per sync operation in centralized mode
+    #: (interrupt entry + handler + table update)
+    central_sync_cycles: int = 40
+    #: cache coherency: Eclipse's explicit GetSpace/PutSpace-driven
+    #: mechanism, or a bus-snooping cost model baseline (§5.2)
+    coherency: Literal["explicit", "snooping"] = "explicit"
+    #: per-shell snoop-port occupancy added to every memory transaction
+    #: in snooping mode
+    snoop_cycles_per_shell: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sram_size < 1:
+            raise ValueError("sram_size must be >= 1")
+        if self.bus_width < 1:
+            raise ValueError("bus_width must be >= 1")
+        for name in (
+            "bus_setup_latency",
+            "msg_latency",
+            "msg_jitter",
+            "dram_latency",
+            "central_sync_cycles",
+            "snoop_cycles_per_shell",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.sync_mode not in ("distributed", "centralized"):
+            raise ValueError(f"unknown sync_mode {self.sync_mode!r}")
+        if self.coherency not in ("explicit", "snooping"):
+            raise ValueError(f"unknown coherency {self.coherency!r}")
+
+    def with_(self, **kw) -> "SystemParams":
+        """Copy with overrides (sweep helper)."""
+        return replace(self, **kw)

@@ -1,0 +1,90 @@
+"""Inter-shell synchronization messages (paper Figure 7).
+
+"When the shell of coprocessor A receives a PutSpace request, it
+locally decrements its space field ... and sends a 'putspace' message
+to the shell of coprocessor B.  This remote shell ... increments its
+space field upon reception."
+
+The fabric delivers messages after a fixed latency.  Delivery order
+between a fixed (source, destination) pair is FIFO — constant latency
+plus the kernel's deterministic tie-breaking guarantee it — which is
+what makes flush-before-putspace ordering (coherency rule 3) and
+eos-after-final-putspace sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.shell import Shell
+
+__all__ = ["PutSpaceMsg", "EosMsg", "MessageFabric"]
+
+
+@dataclass(frozen=True)
+class PutSpaceMsg:
+    """Space increment for the remote access point.
+
+    ``row_id``/``arm`` address the destination shell's stream-table row
+    (and, for producer rows, which consumer arm's room to credit).
+    """
+
+    row_id: int
+    arm: int
+    n_bytes: int
+
+
+@dataclass(frozen=True)
+class EosMsg:
+    """The producing task finished; no more data will ever arrive.
+
+    ``final_position`` is the producer's total committed byte count.
+    Carrying it makes end-of-stream robust against message reordering:
+    the consumer only treats the stream as exhausted once its local
+    accounting (`position + space`) has caught up with the final
+    position, so an EOS that overtakes in-flight putspace messages can
+    never cause data loss.
+    """
+
+    row_id: int
+    arm: int = 0
+    final_position: int = 0
+
+
+class MessageFabric:
+    """Message delivery between shells: fixed latency, plus optional
+    seeded jitter for failure-injection testing.
+
+    With ``jitter=0`` (the hardware model) delivery order between a
+    fixed (source, destination) pair is FIFO.  With jitter, putspace
+    messages may overtake each other — which is safe, because space
+    increments commute and EOS finality is position-based (see
+    :class:`EosMsg`)."""
+
+    def __init__(self, sim: Simulator, latency: int = 4, jitter: int = 0, seed: int = 0):
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.sim = sim
+        self.latency = latency
+        self.jitter = jitter
+        self._rng = __import__("random").Random(seed)
+        self.messages_sent = 0
+        self.bytes_signalled = 0
+
+    def send(self, dest: "Shell", msg) -> None:
+        """Schedule delivery of ``msg`` to ``dest``."""
+        self.messages_sent += 1
+        if isinstance(msg, PutSpaceMsg):
+            self.bytes_signalled += msg.n_bytes
+        delay = self.latency
+        if self.jitter:
+            delay += self._rng.randrange(self.jitter + 1)
+        ev = self.sim.event()
+        ev.add_callback(lambda _ev: dest.deliver(msg))
+        ev.succeed(None, delay=delay)

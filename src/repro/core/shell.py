@@ -1,0 +1,353 @@
+"""The coprocessor shell (paper Sections 3.1, 5).
+
+The shell is the per-coprocessor hardware block that "absorbs many
+system-level issues, such as multi-tasking, stream synchronization, and
+data transport", presenting the five-primitive task-level interface to
+its coprocessor and a uniform interface to the communication hardware.
+
+One :class:`Shell` instance owns:
+
+* a stream table (:mod:`repro.core.stream_table`) — one row per access
+  point, with the local *space* field answered by GetSpace and updated
+  by putspace messages (Figure 7);
+* a task table and weighted round-robin scheduler (§5.3);
+* a read cache and a write cache with explicit coherency driven by
+  GetSpace (invalidate the window extension) and PutSpace (flush the
+  committed range, then send the message) — §5.2's three rules;
+* prefetching on GetSpace/Read;
+* measurement counters (§5.4).
+
+All primitive implementations are generator methods ``yield from``-ed
+inside the coprocessor's process, which serializes them — the paper
+makes the coprocessor "responsible for serializing simultaneous
+requests from different task ports".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.cache import ReadCache, WriteCache
+from repro.core.config import ShellParams
+from repro.core.messages import EosMsg, PutSpaceMsg
+from repro.core.scheduler import ScheduleVerdict, WeightedRoundRobinScheduler
+from repro.core.stream_table import StreamRow, StreamTable
+from repro.core.task_table import TaskRow, TaskTable
+from repro.kahn.kernel import Space
+from repro.sim import Event, Simulator, TimeWeightedStat
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import EclipseSystem
+
+__all__ = ["Shell", "ShellProtocolError"]
+
+
+class ShellProtocolError(RuntimeError):
+    """A kernel violated the task-level-interface contract (e.g. read
+    outside its granted window) — always a bug in the kernel."""
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class Shell:
+    """Generic infrastructure instance serving one coprocessor."""
+
+    def __init__(self, sim: Simulator, name: str, params: ShellParams, system: "EclipseSystem"):
+        self.sim = sim
+        self.name = name
+        self.params = params
+        self.system = system
+        self.stream_table = StreamTable()
+        self.task_table = TaskTable()
+        self.scheduler = WeightedRoundRobinScheduler(
+            self.task_table, best_guess=params.best_guess_scheduling
+        )
+        self.read_cache = ReadCache(params.read_cache_lines, params.cache_line)
+        self.write_cache = WriteCache(params.write_cache_lines, params.cache_line)
+        #: line_addr -> fill-completion event, for fetch deduplication
+        self._inflight: Dict[int, Event] = {}
+        self._wake = Event(sim)
+        # ----- shell-level counters -----
+        self.getspace_ops = 0
+        self.putspace_ops = 0
+        self.gettask_ops = 0
+        self.read_hits = 0
+        self.read_misses = 0
+        self.idle_wait_cycles = 0
+
+    # ------------------------------------------------------------------
+    # configuration (the CPU programming the tables over the PI-bus)
+    # ------------------------------------------------------------------
+    def add_task(self, row: TaskRow) -> int:
+        return self.task_table.add(row)
+
+    def add_stream_row(self, row: StreamRow) -> int:
+        if not row.is_producer:
+            row.fill_stat = TimeWeightedStat(self.sim, initial=0.0)
+        return self.stream_table.add(row)
+
+    # ------------------------------------------------------------------
+    # wake broadcast
+    # ------------------------------------------------------------------
+    def _notify(self) -> None:
+        ev, self._wake = self._wake, Event(self.sim)
+        if not ev.triggered:
+            ev.succeed()
+
+    # ------------------------------------------------------------------
+    # primitive: GetTask
+    # ------------------------------------------------------------------
+    def get_task(self, elapsed: int) -> Generator:
+        """Answer a GetTask inquiry; returns a TaskRow or None (done).
+
+        Blocks (simulated) while no task is runnable — the coprocessor
+        idles until a putspace/eos message makes one runnable again.
+        """
+        self.gettask_ops += 1
+        yield self.sim.timeout(self.params.gettask_cycles)
+        while True:
+            verdict, row = self.scheduler.select(elapsed)
+            elapsed = 0  # charged exactly once
+            if verdict is ScheduleVerdict.DONE:
+                return None
+            if verdict is ScheduleVerdict.RUN:
+                return row
+            t0 = self.sim.now
+            yield self._wake
+            self.idle_wait_cycles += self.sim.now - t0
+
+    # ------------------------------------------------------------------
+    # primitive: GetSpace
+    # ------------------------------------------------------------------
+    def get_space(self, task: TaskRow, port: str, n_bytes: int) -> Generator:
+        self.getspace_ops += 1
+        yield self.sim.timeout(self.params.getspace_cycles)
+        yield from self.system.central_sync_cost()
+        row_id = task.port_rows[port]
+        row = self.stream_table[row_id]
+        if n_bytes > row.buffer.size:
+            # can never be granted: a configuration error, not a wait
+            raise ShellProtocolError(
+                f"{self.name}/{task.name}: GetSpace({port!r}, {n_bytes}) exceeds "
+                f"buffer size {row.buffer.size} of stream {row.stream!r}"
+            )
+        avail = row.available()
+        if n_bytes <= avail:
+            row.granted_getspace += 1
+            if n_bytes > row.granted:
+                if not row.is_producer:
+                    # coherency rule 2: invalidate the window extension
+                    ext = row.buffer.lines(
+                        row.position + row.granted,
+                        n_bytes - row.granted,
+                        self.params.cache_line,
+                    )
+                    self.read_cache.invalidate(ext)
+                row.granted = n_bytes
+            if not row.is_producer and self.params.prefetch_lines:
+                self._spawn_prefetch(row, row.position, row.granted)
+            return Space(granted=True, available=avail)
+        row.denied_getspace += 1
+        if not row.is_producer and row.at_eos():
+            return Space(granted=False, eos=True, available=avail)
+        task.blocked_on.add(row_id)
+        return Space(granted=False, available=avail)
+
+    # ------------------------------------------------------------------
+    # primitive: Read
+    # ------------------------------------------------------------------
+    def read(self, task: TaskRow, port: str, offset: int, n_bytes: int) -> Generator:
+        row = self.stream_table[task.port_rows[port]]
+        if row.is_producer:
+            raise ShellProtocolError(f"{self.name}/{task.name}: Read on output port {port!r}")
+        if offset + n_bytes > row.granted:
+            raise ShellProtocolError(
+                f"{self.name}/{task.name}: Read [{offset}:{offset + n_bytes}) outside "
+                f"granted window of {row.granted} B on {port!r}"
+            )
+        if n_bytes == 0:
+            return b""
+        # datapath transfer time coprocessor<->shell
+        yield self.sim.timeout(_ceil_div(n_bytes, self.params.port_width))
+        t0 = self.sim.now
+        out = bytearray(n_bytes)
+        line_size = self.params.cache_line
+        res_off = 0
+        for seg_addr, seg_len in row.buffer.segments(row.position + offset, n_bytes):
+            pos = 0
+            while pos < seg_len:
+                addr = seg_addr + pos
+                line_addr = addr - addr % line_size
+                data = yield from self._ensure_line(line_addr)
+                lo = addr - line_addr
+                take = min(seg_len - pos, line_size - lo)
+                out[res_off + pos : res_off + pos + take] = data[lo : lo + take]
+                pos += take
+            res_off += seg_len
+        task.stall_cycles += self.sim.now - t0
+        if self.params.prefetch_lines:
+            end = offset + n_bytes
+            ahead = min(row.granted - end, self.params.prefetch_lines * line_size)
+            if ahead > 0:
+                self._spawn_prefetch(row, row.position + end, ahead)
+        return bytes(out)
+
+    def _ensure_line(self, line_addr: int) -> Generator:
+        """Yield until ``line_addr`` is in the read cache; returns data."""
+        first_probe = True
+        while True:
+            data = self.read_cache.lookup(line_addr)
+            if data is not None:
+                if first_probe:
+                    self.read_hits += 1
+                    self.read_cache.stats.hits += 1
+                return data
+            if first_probe:
+                self.read_misses += 1
+                self.read_cache.stats.misses += 1
+                first_probe = False
+            pending = self._inflight.get(line_addr)
+            if pending is not None:
+                yield pending  # share the in-flight fill
+                continue
+            yield from self._fetch_line(line_addr, prefetch=False)
+
+    def _fetch_line(self, line_addr: int, prefetch: bool) -> Generator:
+        ev = Event(self.sim)
+        self._inflight[line_addr] = ev
+        try:
+            yield from self.system.read_bus.transfer(
+                self.params.cache_line,
+                master=self.name,
+                priority=1 if prefetch else 0,
+            )
+            data = self.system.sram.read(line_addr, self.params.cache_line)
+            self.read_cache.fill(line_addr, data, prefetch=prefetch)
+        finally:
+            del self._inflight[line_addr]
+            ev.succeed()
+
+    def _spawn_prefetch(self, row: StreamRow, position: int, span: int) -> None:
+        """Background-fetch up to ``prefetch_lines`` lines of
+        [position, position+span) that are neither cached nor in
+        flight.  Lower bus priority than demand fetches."""
+        line_size = self.params.cache_line
+        span = min(span, self.params.prefetch_lines * line_size)
+        if span <= 0:
+            return
+        todo = [
+            line
+            for line in row.buffer.lines(position, span, line_size)
+            if not self.read_cache.contains(line) and line not in self._inflight
+        ][: self.params.prefetch_lines]
+        if not todo:
+            return
+
+        def run(shell: "Shell", lines: List[int]):
+            for line in lines:
+                if shell.read_cache.contains(line) or line in shell._inflight:
+                    continue
+                yield from shell._fetch_line(line, prefetch=True)
+
+        self.sim.process(run(self, todo))
+
+    # ------------------------------------------------------------------
+    # primitive: Write
+    # ------------------------------------------------------------------
+    def write(self, task: TaskRow, port: str, offset: int, data: bytes) -> Generator:
+        row = self.stream_table[task.port_rows[port]]
+        if not row.is_producer:
+            raise ShellProtocolError(f"{self.name}/{task.name}: Write on input port {port!r}")
+        if offset + len(data) > row.granted:
+            raise ShellProtocolError(
+                f"{self.name}/{task.name}: Write [{offset}:{offset + len(data)}) outside "
+                f"granted window of {row.granted} B on {port!r}"
+            )
+        if not data:
+            return
+        yield self.sim.timeout(_ceil_div(len(data), self.params.port_width))
+        pos = 0
+        for seg_addr, seg_len in row.buffer.segments(row.position + offset, len(data)):
+            evicted = self.write_cache.write(seg_addr, data[pos : pos + seg_len])
+            pos += seg_len
+            for line_addr, line_data, mask in evicted:
+                yield from self._flush_line(line_addr, line_data, mask)
+
+    def _flush_line(self, line_addr: int, data: bytes, mask: bytes) -> Generator:
+        yield from self.system.write_bus.transfer(self.params.cache_line, master=self.name)
+        self.system.sram.write_masked(line_addr, data, mask)
+
+    # ------------------------------------------------------------------
+    # primitive: PutSpace
+    # ------------------------------------------------------------------
+    def put_space(self, task: TaskRow, port: str, n_bytes: int) -> Generator:
+        self.putspace_ops += 1
+        yield self.sim.timeout(self.params.putspace_cycles)
+        yield from self.system.central_sync_cost()
+        row = self.stream_table[task.port_rows[port]]
+        if n_bytes > row.granted:
+            raise ShellProtocolError(
+                f"{self.name}/{task.name}: PutSpace({port!r}, {n_bytes}) exceeds "
+                f"granted window of {row.granted} B"
+            )
+        if n_bytes == 0:
+            return
+        if row.is_producer:
+            # coherency rule 3: flush the committed range, then message
+            for seg_addr, seg_len in row.buffer.segments(row.position, n_bytes):
+                for line_addr, line_data, mask in self.write_cache.flush_range(seg_addr, seg_len):
+                    yield from self._flush_line(line_addr, line_data, mask)
+            self.system.record_committed(row, n_bytes)
+            for i in range(len(row.arm_space)):
+                row.arm_space[i] -= n_bytes
+        else:
+            row.space -= n_bytes
+            if row.fill_stat is not None:
+                row.fill_stat.add(-n_bytes)
+        row.position += n_bytes
+        row.granted -= n_bytes
+        row.committed_bytes += n_bytes
+        for remote in row.remotes:
+            row.putspace_messages_sent += 1
+            self.system.fabric.send(remote.shell, PutSpaceMsg(remote.row_id, remote.arm, n_bytes))
+
+    # ------------------------------------------------------------------
+    # task completion
+    # ------------------------------------------------------------------
+    def finish_task(self, task: TaskRow) -> None:
+        """Mark the task finished and propagate end-of-stream to the
+        consumers of its output streams."""
+        task.finished = True
+        for port, row_id in task.port_rows.items():
+            row = self.stream_table[row_id]
+            if row.is_producer:
+                for remote in row.remotes:
+                    self.system.fabric.send(
+                        remote.shell,
+                        EosMsg(remote.row_id, remote.arm, final_position=row.position),
+                    )
+        self._notify()
+
+    # ------------------------------------------------------------------
+    # message delivery (called by the fabric at arrival time)
+    # ------------------------------------------------------------------
+    def deliver(self, msg) -> None:
+        row = self.stream_table[msg.row_id]
+        if isinstance(msg, PutSpaceMsg):
+            if row.is_producer:
+                row.arm_space[msg.arm] += msg.n_bytes
+            else:
+                row.space += msg.n_bytes
+                if row.fill_stat is not None:
+                    row.fill_stat.add(msg.n_bytes)
+        elif isinstance(msg, EosMsg):
+            row.eos_position = msg.final_position
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown message {msg!r}")
+        self.task_table.unblock(msg.row_id)
+        self._notify()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Shell {self.name!r}: {len(self.task_table)} tasks, {len(self.stream_table)} rows>"

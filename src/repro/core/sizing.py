@@ -1,0 +1,105 @@
+"""Stream-buffer sizing: the instance architect's allocation tool.
+
+Paper §6: "the architect must balance the flexibility of allocating
+buffers with configurable sizes in a centralized memory versus ..." —
+and §2.2 sets the rule: a buffer must at least hold the largest
+GetSpace request its producer or consumer will ever make (otherwise the
+request can *never* be granted), while extra capacity beyond a few
+units only buys elasticity.
+
+:func:`plan_buffers` turns per-stream worst-case request sizes into an
+allocation plan against a target SRAM, and :func:`apply_plan` stamps
+the sizes onto an application graph before ``configure``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.kahn.graph import ApplicationGraph
+
+__all__ = ["BufferPlan", "plan_buffers", "apply_plan"]
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return -(-value // multiple) * multiple
+
+
+@dataclass
+class BufferPlan:
+    """One sizing decision per stream, plus the SRAM fit verdict."""
+
+    #: stream -> allocated bytes (elasticity x worst request, padded)
+    sizes: Dict[str, int] = field(default_factory=dict)
+    #: stream -> the worst-case request the size is derived from
+    worst_requests: Dict[str, int] = field(default_factory=dict)
+    total_bytes: int = 0
+    sram_size: int = 0
+    elasticity: int = 0
+
+    @property
+    def fits(self) -> bool:
+        return self.total_bytes <= self.sram_size
+
+    def headroom(self) -> int:
+        """Free SRAM bytes after the plan (negative if over)."""
+        return self.sram_size - self.total_bytes
+
+    def summary(self) -> str:
+        lines = [
+            f"{'stream':>16} {'worst req':>10} {'allocated':>10}",
+        ]
+        for name in sorted(self.sizes):
+            lines.append(
+                f"{name:>16} {self.worst_requests[name]:>10} {self.sizes[name]:>10}"
+            )
+        verdict = "fits" if self.fits else "DOES NOT FIT"
+        lines.append(
+            f"total {self.total_bytes} B of {self.sram_size} B SRAM "
+            f"({verdict}, headroom {self.headroom()} B)"
+        )
+        return "\n".join(lines)
+
+
+def plan_buffers(
+    graph: ApplicationGraph,
+    worst_requests: Mapping[str, int],
+    elasticity: int = 3,
+    line_pad: int = 32,
+    sram_size: int = 32 * 1024,
+) -> BufferPlan:
+    """Size every stream of ``graph``.
+
+    ``worst_requests`` maps stream name -> the largest GetSpace either
+    endpoint will issue (e.g. the worst packet size).  Streams not
+    listed keep their current ``buffer_size`` as the worst request.
+    ``elasticity`` multiplies the worst request (≥1; §2.2: a couple of
+    units reach asymptotic pipelining); allocations are padded to the
+    cache-line size as ``EclipseSystem.configure`` does.
+    """
+    if elasticity < 1:
+        raise ValueError(f"elasticity must be >= 1, got {elasticity}")
+    if line_pad < 1:
+        raise ValueError(f"line_pad must be >= 1, got {line_pad}")
+    graph.validate()
+    plan = BufferPlan(sram_size=sram_size, elasticity=elasticity)
+    for name, edge in graph.streams.items():
+        worst = int(worst_requests.get(name, edge.buffer_size))
+        if worst < 1:
+            raise ValueError(f"stream {name!r}: worst request must be >= 1")
+        size = _round_up(elasticity * worst, line_pad)
+        plan.worst_requests[name] = worst
+        plan.sizes[name] = size
+        plan.total_bytes += size
+    return plan
+
+
+def apply_plan(plan: BufferPlan, graph: ApplicationGraph) -> ApplicationGraph:
+    """Stamp the planned sizes onto the graph's streams (in place)."""
+    for name, size in plan.sizes.items():
+        edge = graph.streams.get(name)
+        if edge is None:
+            raise KeyError(f"graph has no stream {name!r}")
+        edge.buffer_size = size
+    return graph

@@ -1,0 +1,110 @@
+"""Shell stream tables (paper §5.1).
+
+Each shell locally stores one row per *access point* of a stream
+incident to its coprocessor's tasks: a producer row for an output port,
+a consumer row for an input port.  A row holds the paper's fields —
+the ``space`` value ("a maybe pessimistic distance from its own point
+of access towards the other point of access"), the stream id of the
+remote access point — plus buffer geometry, the granted window, and
+measurement fields (§5.4).
+
+Multicast ("one or more consumers", §3) is handled on the producer
+side by one space counter per consumer arm; the grantable room is the
+minimum over arms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.buffer import CyclicBuffer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.shell import Shell
+    from repro.sim import Series, TimeWeightedStat
+
+__all__ = ["StreamRow", "StreamTable", "RemoteRef"]
+
+
+@dataclass(frozen=True)
+class RemoteRef:
+    """Address of the remote access point: (shell, row index, arm).
+
+    ``arm`` is which arm counter of a producer row a consumer's
+    putspace message increments (0 for 1:1 streams).
+    """
+
+    shell: "Shell"
+    row_id: int
+    arm: int = 0
+
+
+@dataclass
+class StreamRow:
+    """One access point's state in a shell's stream table."""
+
+    stream: str
+    task: str
+    port: str
+    is_producer: bool
+    buffer: CyclicBuffer
+    #: absolute stream position of the access point (bytes committed)
+    position: int = 0
+    #: size of the currently granted window beyond ``position``
+    granted: int = 0
+    #: consumer rows: valid data ahead of the access point
+    space: int = 0
+    #: producer rows: available room per consumer arm
+    arm_space: List[int] = field(default_factory=list)
+    #: where this row's putspace/eos messages go
+    remotes: Tuple[RemoteRef, ...] = ()
+    #: consumer rows: producer's final committed position, once its EOS
+    #: message arrived (None while the producer is live)
+    eos_position: Optional[int] = None
+    # ----- measurement fields (paper §5.4) -----
+    denied_getspace: int = 0
+    granted_getspace: int = 0
+    putspace_messages_sent: int = 0
+    committed_bytes: int = 0
+    #: consumer rows: time-weighted buffer filling (Figure 10's signal)
+    fill_stat: Optional[Any] = None
+
+    def available(self) -> int:
+        """Grantable space: data (consumer) or min room over arms
+        (producer)."""
+        if self.is_producer:
+            return min(self.arm_space) if self.arm_space else 0
+        return self.space
+
+    def at_eos(self) -> bool:
+        """True once the producer finished AND every committed byte has
+        been accounted locally — robust to putspace/eos reordering."""
+        return (
+            self.eos_position is not None
+            and self.position + self.space >= self.eos_position
+        )
+
+    def __str__(self) -> str:
+        kind = "prod" if self.is_producer else "cons"
+        return f"{self.stream}:{self.task}.{self.port}({kind})"
+
+
+class StreamTable:
+    """The per-shell table of access-point rows."""
+
+    def __init__(self) -> None:
+        self.rows: List[StreamRow] = []
+
+    def add(self, row: StreamRow) -> int:
+        self.rows.append(row)
+        return len(self.rows) - 1
+
+    def __getitem__(self, row_id: int) -> StreamRow:
+        return self.rows[row_id]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)

@@ -1,0 +1,396 @@
+"""Eclipse system assembly: mapping an application onto an instance.
+
+An :class:`EclipseSystem` is one instantiation of the architecture
+template: a set of coprocessors with their shells, the shared SRAM,
+read/write buses, off-chip port and message fabric.  ``configure``
+plays the role of the CPU programming the stream and task tables over
+the PI-bus (paper §5.4/§6): it allocates the stream buffers, populates
+the tables and instantiates the kernels.  ``run`` executes until the
+application completes (all tasks finished) and returns a
+:class:`SystemResult` with full measurement data — including the
+per-stream byte histories used to check the run against the functional
+reference executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.core.buffer import CyclicBuffer
+from repro.core.config import CoprocessorSpec, SystemParams
+from repro.core.coprocessor import Coprocessor
+from repro.core.messages import MessageFabric
+from repro.core.shell import Shell
+from repro.core.stream_table import RemoteRef, StreamRow
+from repro.core.task_table import TaskRow
+from repro.hw.bus import Bus
+from repro.hw.dram import OffChipMemory
+from repro.hw.memory import OnChipMemory
+from repro.kahn.graph import ApplicationGraph, GraphError
+from repro.kahn.kernel import Kernel, KernelContext
+from repro.sim import Resource, Simulator
+
+__all__ = ["EclipseSystem", "SystemResult", "StalledError"]
+
+
+class StalledError(RuntimeError):
+    """The simulation drained with unfinished tasks — a real deadlock
+    (e.g. a buffer smaller than a packet, paper §2.2's coupling
+    trade-off gone wrong)."""
+
+
+@dataclass
+class StreamReport:
+    """Per-stream measurements for the result."""
+
+    name: str
+    buffer_size: int
+    bytes_transferred: int = 0
+    fill_mean: float = 0.0
+    fill_max: float = 0.0
+    denied_getspace: int = 0
+    granted_getspace: int = 0
+    putspace_messages: int = 0
+
+
+@dataclass
+class TaskReport:
+    """Per-task measurements for the result."""
+
+    name: str
+    coprocessor: str
+    steps_completed: int = 0
+    steps_aborted: int = 0
+    busy_cycles: int = 0
+    compute_cycles: int = 0
+    stall_cycles: int = 0
+
+
+@dataclass
+class SystemResult:
+    """Everything one simulation run measured."""
+
+    cycles: int
+    completed: bool
+    stalled_tasks: List[str]
+    histories: Dict[str, bytes]
+    tasks: Dict[str, TaskReport]
+    streams: Dict[str, StreamReport]
+    utilization: Dict[str, float]
+    read_bus_utilization: float
+    write_bus_utilization: float
+    cache_hit_rate: Dict[str, float]
+    messages_sent: int
+    cpu_sync_ops: int
+    cpu_busy_cycles: int
+
+    def history(self, stream: str) -> bytes:
+        return self.histories[stream]
+
+    def to_dict(self, include_histories: bool = False) -> dict:
+        """JSON-ready summary (histories hex-encoded when requested) —
+        the machine-readable counterpart of the Figure 9 views."""
+        out = {
+            "cycles": self.cycles,
+            "completed": self.completed,
+            "stalled_tasks": list(self.stalled_tasks),
+            "tasks": {
+                name: {
+                    "coprocessor": t.coprocessor,
+                    "steps_completed": t.steps_completed,
+                    "steps_aborted": t.steps_aborted,
+                    "busy_cycles": t.busy_cycles,
+                    "compute_cycles": t.compute_cycles,
+                    "stall_cycles": t.stall_cycles,
+                }
+                for name, t in self.tasks.items()
+            },
+            "streams": {
+                name: {
+                    "buffer_size": s.buffer_size,
+                    "bytes_transferred": s.bytes_transferred,
+                    "fill_mean": s.fill_mean,
+                    "fill_max": s.fill_max,
+                    "denied_getspace": s.denied_getspace,
+                    "granted_getspace": s.granted_getspace,
+                    "putspace_messages": s.putspace_messages,
+                }
+                for name, s in self.streams.items()
+            },
+            "utilization": dict(self.utilization),
+            "read_bus_utilization": self.read_bus_utilization,
+            "write_bus_utilization": self.write_bus_utilization,
+            "cache_hit_rate": dict(self.cache_hit_rate),
+            "messages_sent": self.messages_sent,
+            "cpu_sync_ops": self.cpu_sync_ops,
+            "cpu_busy_cycles": self.cpu_busy_cycles,
+        }
+        if include_histories:
+            out["histories"] = {k: v.hex() for k, v in self.histories.items()}
+        return out
+
+
+class EclipseSystem:
+    """One Eclipse instance, ready to be configured and run."""
+
+    def __init__(
+        self,
+        coprocessors: Sequence[CoprocessorSpec],
+        params: Optional[SystemParams] = None,
+    ):
+        if not coprocessors:
+            raise ValueError("an Eclipse instance needs at least one coprocessor")
+        names = [c.name for c in coprocessors]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate coprocessor names in {names}")
+        self.params = params or SystemParams()
+        self.specs: Dict[str, CoprocessorSpec] = {c.name: c for c in coprocessors}
+        self.sim = Simulator()
+        self.sram = OnChipMemory(self.params.sram_size)
+        snoop_extra = (
+            self.params.snoop_cycles_per_shell * len(coprocessors)
+            if self.params.coherency == "snooping"
+            else 0
+        )
+        self.read_bus = Bus(
+            self.sim,
+            "read_bus",
+            width_bytes=self.params.bus_width,
+            setup_latency=self.params.bus_setup_latency + snoop_extra,
+        )
+        self.write_bus = Bus(
+            self.sim,
+            "write_bus",
+            width_bytes=self.params.bus_width,
+            setup_latency=self.params.bus_setup_latency + snoop_extra,
+        )
+        self.dram = OffChipMemory(
+            self.sim,
+            width_bytes=self.params.dram_width,
+            access_latency=self.params.dram_latency,
+        )
+        self.fabric = MessageFabric(
+            self.sim,
+            latency=self.params.msg_latency,
+            jitter=self.params.msg_jitter,
+            seed=self.params.msg_seed,
+        )
+        self._central_cpu: Optional[Resource] = (
+            Resource(self.sim, capacity=1) if self.params.sync_mode == "centralized" else None
+        )
+        self.cpu_sync_ops = 0
+        self.cpu_busy_cycles = 0
+        self.shells: Dict[str, Shell] = {
+            c.name: Shell(self.sim, c.name, c.shell, self) for c in coprocessors
+        }
+        self.coprocessors: Dict[str, Coprocessor] = {}
+        self.graph: Optional[ApplicationGraph] = None
+        self._histories: Dict[str, bytearray] = {}
+        self._row_stream: Dict[int, str] = {}
+        self._configured = False
+
+    # ------------------------------------------------------------------
+    # centralized-sync baseline hook (no-op in distributed mode)
+    # ------------------------------------------------------------------
+    def central_sync_cost(self) -> Generator:
+        """Occupy the central CPU for one sync operation (baseline
+        mode); generator — ``yield from`` inside shell primitives."""
+        if self._central_cpu is None:
+            return
+        grant = self._central_cpu.request()
+        yield grant
+        yield self.sim.timeout(self.params.central_sync_cycles)
+        self._central_cpu.release(grant)
+        self.cpu_sync_ops += 1
+        self.cpu_busy_cycles += self.params.central_sync_cycles
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def configure(self, graph: ApplicationGraph, auto_map: bool = True) -> None:
+        """Program the shells for ``graph`` (allocate buffers, fill
+        stream/task tables, instantiate kernels, start coprocessors).
+
+        Tasks with ``mapping=None`` are assigned round-robin over the
+        coprocessors when ``auto_map`` — convenient for tests; real
+        instances name the coprocessor per task (Figure 3).
+        """
+        if self._configured:
+            raise RuntimeError("system already configured")
+        graph.validate()
+        self.graph = graph
+        line_pad = max(spec.shell.cache_line for spec in self.specs.values())
+
+        # ---- mapping ----
+        mapping: Dict[str, str] = {}
+        coproc_names = list(self.specs)
+        rr = 0
+        for tname, node in graph.tasks.items():
+            if node.mapping is not None:
+                if node.mapping not in self.specs:
+                    raise GraphError(
+                        f"task {tname!r} mapped to unknown coprocessor {node.mapping!r}; "
+                        f"instance has {coproc_names}"
+                    )
+                mapping[tname] = node.mapping
+            elif auto_map:
+                mapping[tname] = coproc_names[rr % len(coproc_names)]
+                rr += 1
+            else:
+                raise GraphError(f"task {tname!r} has no coprocessor mapping")
+        self.mapping = mapping
+
+        # ---- task tables ----
+        task_rows: Dict[str, TaskRow] = {}
+        for tname, node in graph.tasks.items():
+            shell = self.shells[mapping[tname]]
+            kernel = node.kernel_factory()
+            if not isinstance(kernel, Kernel):
+                raise GraphError(f"task {tname!r}: factory returned {type(kernel).__name__}")
+            ctx = KernelContext(kernel.ports(), task_info=node.task_info)
+            row = TaskRow(
+                task_id=len(shell.task_table),
+                name=tname,
+                kernel=kernel,
+                ctx=ctx,
+                budget=node.budget,
+            )
+            shell.add_task(row)
+            task_rows[tname] = row
+
+        # ---- stream buffers and tables ----
+        for sname, edge in graph.streams.items():
+            padded = -(-edge.buffer_size // line_pad) * line_pad
+            base = self.sram.alloc(padded, name=sname, align=line_pad)
+            buffer = CyclicBuffer(base, edge.buffer_size)
+            self._histories[sname] = bytearray()
+
+            prod_shell = self.shells[mapping[edge.producer.task]]
+            prod_row = StreamRow(
+                stream=sname,
+                task=edge.producer.task,
+                port=edge.producer.port,
+                is_producer=True,
+                buffer=buffer,
+                arm_space=[edge.buffer_size] * len(edge.consumers),
+            )
+            prod_id = prod_shell.add_stream_row(prod_row)
+            task_rows[edge.producer.task].port_rows[edge.producer.port] = prod_id
+            self._row_stream[id(prod_row)] = sname
+
+            remotes_for_producer = []
+            for arm, cons in enumerate(edge.consumers):
+                cons_shell = self.shells[mapping[cons.task]]
+                cons_row = StreamRow(
+                    stream=sname,
+                    task=cons.task,
+                    port=cons.port,
+                    is_producer=False,
+                    buffer=buffer,
+                    space=0,
+                    remotes=(RemoteRef(prod_shell, prod_id, arm),),
+                )
+                cons_id = cons_shell.add_stream_row(cons_row)
+                task_rows[cons.task].port_rows[cons.port] = cons_id
+                remotes_for_producer.append(RemoteRef(cons_shell, cons_id, 0))
+            prod_row.remotes = tuple(remotes_for_producer)
+
+        # ---- start the machines ----
+        for cname, spec in self.specs.items():
+            self.coprocessors[cname] = Coprocessor(self.sim, spec, self.shells[cname], self)
+        self._configured = True
+
+    # ------------------------------------------------------------------
+    # history recording (monitoring hook used by Shell.put_space)
+    # ------------------------------------------------------------------
+    def record_committed(self, row: StreamRow, n_bytes: int) -> None:
+        """Append the just-committed (and flushed) bytes of a producer
+        row to the stream's history — zero simulated cost, pure
+        observation used for golden-equivalence checks."""
+        rec = self._histories.get(row.stream)
+        if rec is None:  # pragma: no cover - defensive
+            return
+        for addr, length in row.buffer.segments(row.position, n_bytes):
+            rec.extend(self.sram.read(addr, length))
+        # undo the observation's effect on SRAM counters
+        self.sram.total_reads -= len(row.buffer.segments(row.position, n_bytes))
+        self.sram.bytes_read -= n_bytes
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None, strict: bool = True) -> SystemResult:
+        """Simulate until the application completes (or ``until``).
+
+        ``strict`` raises :class:`StalledError` if the event queue
+        drains with unfinished tasks (a genuine deadlock); pass False to
+        get the partial result for inspection instead.
+        """
+        if not self._configured:
+            raise RuntimeError("configure() must be called before run()")
+        self.sim.run(until=until)
+        stalled = [
+            t.name
+            for shell in self.shells.values()
+            for t in shell.task_table
+            if not t.finished
+        ]
+        completed = not stalled
+        if not completed and until is None and strict:
+            raise StalledError(
+                f"application stalled after {self.sim.now} cycles; "
+                f"unfinished tasks: {stalled}"
+            )
+        return self._result(completed, stalled)
+
+    def _result(self, completed: bool, stalled: List[str]) -> SystemResult:
+        tasks: Dict[str, TaskReport] = {}
+        streams: Dict[str, StreamReport] = {}
+        hit_rate: Dict[str, float] = {}
+        for cname, shell in self.shells.items():
+            hit_rate[cname] = shell.read_cache.stats.hit_rate()
+            for t in shell.task_table:
+                tasks[t.name] = TaskReport(
+                    name=t.name,
+                    coprocessor=cname,
+                    steps_completed=t.steps_completed,
+                    steps_aborted=t.steps_aborted,
+                    busy_cycles=t.busy_cycles,
+                    compute_cycles=t.compute_cycles,
+                    stall_cycles=t.stall_cycles,
+                )
+            for row in shell.stream_table:
+                rep = streams.setdefault(
+                    row.stream,
+                    StreamReport(name=row.stream, buffer_size=row.buffer.size),
+                )
+                rep.denied_getspace += row.denied_getspace
+                rep.granted_getspace += row.granted_getspace
+                rep.putspace_messages += row.putspace_messages_sent
+                if row.is_producer:
+                    rep.bytes_transferred = row.committed_bytes
+                elif row.fill_stat is not None:
+                    rep.fill_mean = max(rep.fill_mean, row.fill_stat.mean())
+                    rep.fill_max = max(rep.fill_max, row.fill_stat.maximum)
+        elapsed = self.sim.now
+        return SystemResult(
+            cycles=elapsed,
+            completed=completed,
+            stalled_tasks=stalled,
+            histories={k: bytes(v) for k, v in self._histories.items()},
+            tasks=tasks,
+            streams=streams,
+            utilization={
+                c.name: c.utilization.utilization() for c in self.coprocessors.values()
+            },
+            read_bus_utilization=self.read_bus.stats.utilization(elapsed),
+            write_bus_utilization=self.write_bus.stats.utilization(elapsed),
+            cache_hit_rate=hit_rate,
+            messages_sent=self.fabric.messages_sent,
+            cpu_sync_ops=self.cpu_sync_ops,
+            cpu_busy_cycles=self.cpu_busy_cycles,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EclipseSystem {list(self.specs)} @ t={self.sim.now}>"

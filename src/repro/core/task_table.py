@@ -1,0 +1,88 @@
+"""Shell task tables (paper §5.3).
+
+"The tasks that are mapped onto the coprocessor are configured in the
+task table in the shell, which contains among others the resource
+budget per task."  A row also carries the blocked-on-space state the
+best-guess scheduler uses, and the per-task measurement fields of §5.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, TYPE_CHECKING
+
+from repro.kahn.kernel import Kernel, KernelContext
+
+__all__ = ["TaskRow", "TaskTable"]
+
+
+@dataclass
+class TaskRow:
+    """One task's configuration and runtime state in a shell."""
+
+    task_id: int
+    name: str
+    kernel: Kernel
+    ctx: KernelContext
+    #: guaranteed minimum contiguous execution in cycles (paper §5.3:
+    #: "budgets typically range from 1000 up to 10,000 clock cycles")
+    budget: int
+    #: budget remaining in the current scheduling round
+    remaining: int = 0
+    enabled: bool = True
+    finished: bool = False
+    #: stream-table row ids whose denied GetSpace blocks this task;
+    #: cleared when a message for that stream arrives (best guess input)
+    blocked_on: Set[int] = field(default_factory=set)
+    #: port name -> stream-table row id, for primitive routing
+    port_rows: Dict[str, int] = field(default_factory=dict)
+    # ----- measurement fields (paper §5.4) -----
+    steps_completed: int = 0
+    steps_aborted: int = 0
+    busy_cycles: int = 0
+    compute_cycles: int = 0
+    stall_cycles: int = 0
+
+    @property
+    def runnable(self) -> bool:
+        """Best-guess runnability: enabled, unfinished, and no
+        outstanding space denial (paper §5.3: the scheduler considers
+        "previously denied data access")."""
+        return self.enabled and not self.finished and not self.blocked_on
+
+
+class TaskTable:
+    """The per-shell table of task rows."""
+
+    def __init__(self) -> None:
+        self.rows: List[TaskRow] = []
+
+    def add(self, row: TaskRow) -> int:
+        assert row.task_id == len(self.rows), "task_id must equal row index"
+        self.rows.append(row)
+        return row.task_id
+
+    def __getitem__(self, task_id: int) -> TaskRow:
+        return self.rows[task_id]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def all_finished(self) -> bool:
+        """True only when every task truly finished.  Disabled tasks do
+        NOT count as finished — a pause (run-time control, §5.4) must
+        not power the coprocessor down permanently."""
+        return all(r.finished for r in self.rows)
+
+    def unblock(self, row_id: int) -> bool:
+        """Clear blocked-on marks for stream row ``row_id``; True if any
+        task became runnable (the shell then wakes its GetTask wait)."""
+        woke = False
+        for task in self.rows:
+            if row_id in task.blocked_on:
+                task.blocked_on.discard(row_id)
+                woke = woke or task.runnable
+        return woke

@@ -1,0 +1,135 @@
+"""Design-space exploration runner (paper §7, as a library).
+
+"The simulator parses a setup file that contains these architectural
+parameters and collects measurement data" — this module is that loop
+as an API: declare a workload factory and a set of parameter axes, and
+:func:`sweep` runs every point (full factorial or one-at-a-time),
+collecting the metrics the §7 experiments report.
+
+Example
+-------
+>>> from repro.explore import Axis, sweep           # doctest: +SKIP
+>>> points = sweep(
+...     workload,                                    # () -> (system, graph)
+...     axes=[Axis("prefetch", [0, 2, 8],
+...                lambda cfg, v: cfg.shell.update(prefetch_lines=v))],
+... )
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.config import CoprocessorSpec, ShellParams, SystemParams
+from repro.core.system import EclipseSystem, SystemResult
+from repro.kahn.graph import ApplicationGraph
+
+__all__ = ["Axis", "SweepPoint", "sweep", "render_sweep"]
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One swept template parameter.
+
+    ``name`` labels the column; ``values`` are the levels; ``apply``
+    maps (base_shell, base_system, value) -> (shell, system) parameter
+    sets.  The apply function must be pure (it receives copies).
+    """
+
+    name: str
+    values: Sequence[Any]
+    apply: Callable[[ShellParams, SystemParams, Any], tuple]
+
+
+def shell_axis(name: str, values: Sequence[Any], **_ignored) -> Axis:
+    """Axis over one ShellParams field of the same name."""
+    return Axis(name, values, lambda sh, sy, v: (sh.with_(**{name: v}), sy))
+
+
+def system_axis(name: str, values: Sequence[Any]) -> Axis:
+    """Axis over one SystemParams field of the same name."""
+    return Axis(name, values, lambda sh, sy, v: (sh, sy.with_(**{name: v})))
+
+
+@dataclass
+class SweepPoint:
+    """One executed configuration and its headline metrics."""
+
+    settings: Dict[str, Any]
+    cycles: int
+    stall_cycles: int
+    denied_getspace: int
+    messages: int
+    utilization: Dict[str, float]
+    result: SystemResult = field(repr=False, default=None)
+
+
+def sweep(
+    build: Callable[[ShellParams, SystemParams], "tuple[EclipseSystem, ApplicationGraph]"],
+    axes: Sequence[Axis],
+    base_shell: Optional[ShellParams] = None,
+    base_system: Optional[SystemParams] = None,
+    mode: str = "factorial",
+    keep_results: bool = False,
+) -> List[SweepPoint]:
+    """Run the exploration.
+
+    ``build(shell, system_params)`` must return a fresh configured-able
+    (system, graph) pair for the given parameters.  ``mode`` is
+    ``"factorial"`` (cross product of all axes) or ``"oat"``
+    (one-at-a-time around the base point).
+    """
+    base_shell = base_shell or ShellParams()
+    base_system = base_system or SystemParams()
+    if mode == "factorial":
+        combos = [
+            dict(zip([a.name for a in axes], values))
+            for values in itertools.product(*[a.values for a in axes])
+        ]
+    elif mode == "oat":
+        combos = [{}]
+        for axis in axes:
+            combos.extend({axis.name: v} for v in axis.values)
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+
+    out: List[SweepPoint] = []
+    for combo in combos:
+        shell, sys_params = base_shell, base_system
+        for axis in axes:
+            if axis.name in combo:
+                shell, sys_params = axis.apply(shell, sys_params, combo[axis.name])
+        system, graph = build(shell, sys_params)
+        system.configure(graph)
+        result = system.run()
+        out.append(
+            SweepPoint(
+                settings=dict(combo),
+                cycles=result.cycles,
+                stall_cycles=sum(t.stall_cycles for t in result.tasks.values()),
+                denied_getspace=sum(s.denied_getspace for s in result.streams.values()),
+                messages=result.messages_sent,
+                utilization=dict(result.utilization),
+                result=result if keep_results else None,
+            )
+        )
+    return out
+
+
+def render_sweep(points: Sequence[SweepPoint], baseline: Optional[SweepPoint] = None) -> str:
+    """Comparison table over the executed points."""
+    if not points:
+        return "(no points)"
+    base = baseline or points[0]
+    names = sorted({k for p in points for k in p.settings})
+    header = " ".join(f"{n:>12}" for n in names) + f" {'cycles':>9} {'vs base':>8} {'stalls':>8} {'denied':>7}"
+    lines = [header]
+    for p in points:
+        cols = " ".join(f"{str(p.settings.get(n, '-')):>12}" for n in names)
+        lines.append(
+            f"{cols} {p.cycles:>9} {p.cycles / base.cycles:>8.3f} "
+            f"{p.stall_cycles:>8} {p.denied_getspace:>7}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Hardware substrate (substrate S3): memory and interconnect models.
+
+Models the communication hardware of an Eclipse instance (paper §3,
+§6): a wide shared on-chip SRAM holding the stream buffers, separate
+arbitrated read and write buses, and an off-chip (DRAM) memory used by
+the MC/ME and VLD coprocessors through a dedicated system-bus port.
+
+All models carry *real data* — stream buffers hold actual bytes — so a
+timing-model bug that corrupts ordering shows up as a functional
+mismatch against the reference executor, not just a wrong number.
+"""
+
+from repro.hw.bus import Bus, BusStats
+from repro.hw.memory import AllocationError, OnChipMemory
+from repro.hw.dram import OffChipMemory
+
+__all__ = [
+    "AllocationError",
+    "Bus",
+    "BusStats",
+    "OffChipMemory",
+    "OnChipMemory",
+]

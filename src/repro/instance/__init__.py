@@ -1,0 +1,39 @@
+"""Eclipse instance definitions (paper Section 6).
+
+* :mod:`eclipse_mpeg` — the first Eclipse instantiation (Figure 8):
+  VLD, RLSQ, DCT and MC/ME coprocessors plus the DSP-CPU, a 32 kB
+  on-chip SRAM with 128-bit read/write buses, and the standard task
+  mappings for the decode/encode/time-shift applications.
+* :mod:`area_power` — the analytic silicon model reproducing the
+  paper's §6 estimates (36 Gops/s, <7 mm² in 0.18 µm, <240 mW).
+* :mod:`baselines` — the architectures the paper argues against
+  (CPU-centralized synchronization; snooping coherency), for the
+  scalability ablations.
+"""
+
+from repro.instance.area_power import AreaPowerModel, InstanceEstimate
+from repro.instance.eclipse_mpeg import (
+    DECODE_MAPPING,
+    ENCODE_MAPPING,
+    av_decode_on_instance,
+    build_mpeg_instance,
+    decode_on_instance,
+    dual_decode_on_instance,
+    encode_on_instance,
+    mixed_decode_on_instance,
+    timeshift_on_instance,
+)
+
+__all__ = [
+    "AreaPowerModel",
+    "DECODE_MAPPING",
+    "ENCODE_MAPPING",
+    "InstanceEstimate",
+    "av_decode_on_instance",
+    "build_mpeg_instance",
+    "decode_on_instance",
+    "dual_decode_on_instance",
+    "encode_on_instance",
+    "mixed_decode_on_instance",
+    "timeshift_on_instance",
+]

@@ -1,0 +1,132 @@
+"""Baseline architectures the paper argues against (§2.3, §5.2, §5.3).
+
+1. **Centralized CPU synchronization** — "a coprocessor architecture
+   where a single CPU synchronizes all coprocessors is not scalable as
+   the interrupt rate will overload the CPU with an increasing number
+   of coprocessors."  ``centralized_cpu_load`` gives the analytic
+   utilization; ``sync_scalability_experiment`` measures it in
+   simulation by running the same producer/consumer workload per added
+   coprocessor pair under both sync modes.
+
+2. **Snooping coherency** — every memory transaction pays a broadcast
+   cost that grows with the number of shells, versus Eclipse's explicit
+   GetSpace/PutSpace coherency whose cost rides on synchronization
+   operations that happen anyway.  Enabled with
+   ``SystemParams(coherency="snooping")`` in :mod:`repro.core.config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.config import CoprocessorSpec, SystemParams
+from repro.core.system import EclipseSystem
+from repro.kahn.graph import ApplicationGraph, TaskNode
+from repro.kahn.library import ConsumerKernel, ProducerKernel
+
+__all__ = [
+    "centralized_cpu_load",
+    "ScalabilityPoint",
+    "sync_scalability_experiment",
+]
+
+
+def centralized_cpu_load(
+    n_coprocessors: int,
+    sync_ops_per_second: float,
+    cycles_per_sync: int = 40,
+    cpu_hz: float = 150e6,
+) -> float:
+    """Analytic CPU utilization when one CPU services all sync traffic.
+
+    Paper §5.3 puts task-switch/sync rates at 10-100 kHz per
+    coprocessor; with interrupt entry + handler this saturates a CPU
+    after a handful of coprocessors — the scalability argument for
+    distributed shells.
+    """
+    if n_coprocessors < 0:
+        raise ValueError("n_coprocessors must be >= 0")
+    return n_coprocessors * sync_ops_per_second * cycles_per_sync / cpu_hz
+
+
+@dataclass
+class ScalabilityPoint:
+    """One sweep point of the simulated sync-scalability experiment."""
+
+    n_coprocessors: int
+    cycles_distributed: int
+    cycles_centralized: int
+    cpu_utilization: float  # centralized mode's CPU busy fraction
+
+    @property
+    def slowdown(self) -> float:
+        return self.cycles_centralized / self.cycles_distributed
+
+
+def _pair_workload(n_pairs: int, payload: bytes, chunk: int) -> ApplicationGraph:
+    """n independent producer->consumer pairs, one pair per coprocessor
+    pair — total sync traffic grows linearly with n."""
+    g = ApplicationGraph(f"pairs{n_pairs}")
+    for i in range(n_pairs):
+        g.add_task(
+            TaskNode(
+                f"src{i}",
+                lambda: ProducerKernel(payload, chunk=chunk),
+                ProducerKernel.PORTS,
+                mapping=f"p{i}",
+            )
+        )
+        g.add_task(
+            TaskNode(
+                f"dst{i}",
+                lambda: ConsumerKernel(chunk=chunk),
+                ConsumerKernel.PORTS,
+                mapping=f"c{i}",
+            )
+        )
+        g.connect(f"src{i}.out", f"dst{i}.in", buffer_size=4 * chunk)
+    return g
+
+
+def _run(n_pairs: int, payload: bytes, chunk: int, params: SystemParams):
+    specs = [CoprocessorSpec(f"p{i}") for i in range(n_pairs)] + [
+        CoprocessorSpec(f"c{i}") for i in range(n_pairs)
+    ]
+    system = EclipseSystem(specs, params)
+    system.configure(_pair_workload(n_pairs, payload, chunk))
+    return system.run()
+
+
+def sync_scalability_experiment(
+    pair_counts: List[int],
+    payload_bytes: int = 2048,
+    chunk: int = 32,
+    central_sync_cycles: int = 40,
+    sram_size: int = 128 * 1024,
+) -> List[ScalabilityPoint]:
+    """Measure distributed vs centralized sync as coprocessors scale.
+
+    Each pair moves the same payload, so ideal (distributed) completion
+    time is flat in n; the centralized CPU serializes every sync op, so
+    its completion time grows with n and its utilization approaches 1.
+    """
+    payload = bytes(i % 256 for i in range(payload_bytes))
+    out: List[ScalabilityPoint] = []
+    for n in pair_counts:
+        dist = _run(n, payload, chunk, SystemParams(sram_size=sram_size))
+        cent_params = SystemParams(
+            sram_size=sram_size,
+            sync_mode="centralized",
+            central_sync_cycles=central_sync_cycles,
+        )
+        cent = _run(n, payload, chunk, cent_params)
+        out.append(
+            ScalabilityPoint(
+                n_coprocessors=2 * n,
+                cycles_distributed=dist.cycles,
+                cycles_centralized=cent.cycles,
+                cpu_utilization=cent.cpu_busy_cycles / cent.cycles if cent.cycles else 0.0,
+            )
+        )
+    return out

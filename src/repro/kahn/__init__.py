@@ -1,0 +1,68 @@
+"""Kahn Process Network substrate (substrate S2).
+
+The Eclipse model of computation (paper Section 2.1): applications are
+sets of concurrent tasks exchanging data solely through unidirectional
+FIFO streams.  Kahn (1974) proved the observable stream history of such
+a network is independent of execution order — this package provides
+
+* the application-graph model (:mod:`repro.kahn.graph`),
+* the task-kernel protocol (:mod:`repro.kahn.kernel`) — Eclipse's
+  task-level interface (GetSpace/Read/Write/PutSpace, paper Section 3.2)
+  expressed as generator ops so the *same kernel code* runs on both the
+  reference executor and the cycle-level Eclipse system,
+* unbounded FIFO channels (:mod:`repro.kahn.fifo`),
+* a reference functional executor (:mod:`repro.kahn.executor`) — the
+  obviously-correct golden implementation every cycle-level run is
+  checked against byte-for-byte,
+* determinism-checking utilities (:mod:`repro.kahn.determinism`).
+"""
+
+from repro.kahn.fifo import EndOfStream, FifoChannel
+from repro.kahn.graph import (
+    ApplicationGraph,
+    Direction,
+    GraphError,
+    PortRef,
+    PortSpec,
+    StreamEdge,
+    TaskNode,
+)
+from repro.kahn.kernel import (
+    ComputeOp,
+    GetSpaceOp,
+    Kernel,
+    KernelContext,
+    PutSpaceOp,
+    ReadOp,
+    SpaceDenied,
+    StepOutcome,
+    WriteOp,
+)
+from repro.kahn.executor import DeadlockError, ExecutionResult, FunctionalExecutor
+from repro.kahn.determinism import check_determinism, stream_histories
+
+__all__ = [
+    "ApplicationGraph",
+    "ComputeOp",
+    "DeadlockError",
+    "Direction",
+    "EndOfStream",
+    "ExecutionResult",
+    "FifoChannel",
+    "FunctionalExecutor",
+    "GetSpaceOp",
+    "GraphError",
+    "Kernel",
+    "KernelContext",
+    "PortRef",
+    "PortSpec",
+    "PutSpaceOp",
+    "ReadOp",
+    "SpaceDenied",
+    "StepOutcome",
+    "StreamEdge",
+    "TaskNode",
+    "WriteOp",
+    "check_determinism",
+    "stream_histories",
+]

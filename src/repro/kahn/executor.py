@@ -1,0 +1,389 @@
+"""Reference functional executor for Kahn application graphs.
+
+This is the *obviously correct* implementation of the model of
+computation: unbounded FIFO channels, zero-time ops, blocking reads.
+Kahn's theorem says the stream histories it produces are THE histories
+— any correct mapped execution (in particular the cycle-level Eclipse
+system of :mod:`repro.core`) must reproduce them byte-for-byte.  The
+integration suite uses exactly that comparison.
+
+Design notes
+------------
+* GetSpace on an output port is always granted (unbounded buffer).
+* GetSpace on an input port *blocks* the task until enough data exists;
+  it returns ungranted only at end-of-stream.  Blocking here instead of
+  returning False is Kahn-equivalent to Eclipse's deny-and-redo: the
+  kernel re-reads the same uncommitted data either way.
+* Writes are staged in a per-port window and appended to the channel
+  when PutSpace commits — exactly the visibility rule of the hardware
+  (the granted window is private until committed, paper §5.2).
+* The ready queue is FIFO by default; a seed makes it random — running
+  the same graph under many seeds and comparing histories is the
+  determinism check of :mod:`repro.kahn.determinism`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.kahn.fifo import FifoChannel
+from repro.kahn.graph import ApplicationGraph, Direction, GraphError, PortRef
+from repro.kahn.kernel import (
+    ComputeOp,
+    ExternalAccessOp,
+    GetSpaceOp,
+    Kernel,
+    KernelContext,
+    PutSpaceOp,
+    ReadOp,
+    Space,
+    StepOutcome,
+    WriteOp,
+)
+
+__all__ = ["FunctionalExecutor", "ExecutionResult", "DeadlockError"]
+
+
+class DeadlockError(RuntimeError):
+    """All live tasks are blocked on input — the graph deadlocked."""
+
+
+@dataclass
+class TaskStats:
+    """Per-task execution statistics."""
+
+    steps_completed: int = 0
+    steps_aborted: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    compute_cycles: int = 0
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a functional run.
+
+    ``histories`` maps stream name → the complete byte history that
+    traversed the stream (Kahn's observable behaviour).
+    """
+
+    histories: Dict[str, bytes]
+    task_stats: Dict[str, TaskStats]
+    total_steps: int
+
+    def history(self, stream: str) -> bytes:
+        return self.histories[stream]
+
+
+class _OutPort:
+    """Producer-side endpoint: staged window + the channel."""
+
+    def __init__(self, channel: FifoChannel, record: Optional[bytearray]):
+        self.channel = channel
+        self.pending = bytearray()
+        self.record = record
+
+    def write(self, offset: int, data: bytes) -> None:
+        end = offset + len(data)
+        if end > len(self.pending):
+            self.pending.extend(b"\x00" * (end - len(self.pending)))
+        self.pending[offset:end] = data
+
+    def commit(self, n_bytes: int) -> None:
+        if n_bytes > len(self.pending):
+            # committing bytes never written: hardware would expose
+            # garbage; we expose deterministic zeros.
+            self.pending.extend(b"\x00" * (n_bytes - len(self.pending)))
+        chunk = bytes(self.pending[:n_bytes])
+        del self.pending[:n_bytes]
+        self.channel.append(chunk)
+        if self.record is not None:
+            self.record.extend(chunk)
+
+
+class _InPort:
+    """Consumer-side endpoint: channel + this consumer's reader index."""
+
+    def __init__(self, channel: FifoChannel, reader: int):
+        self.channel = channel
+        self.reader = reader
+
+    def available(self) -> int:
+        return self.channel.available(self.reader)
+
+
+class _Task:
+    """Runtime state of one task."""
+
+    def __init__(self, name: str, kernel: Kernel, ctx: KernelContext):
+        self.name = name
+        self.kernel = kernel
+        self.ctx = ctx
+        self.inputs: Dict[str, _InPort] = {}
+        self.outputs: Dict[str, _OutPort] = {}
+        self.alive = True
+        self.step_gen: Optional[Generator] = None
+        #: set while blocked: (port_name, n_bytes) of the pending GetSpace
+        self.blocked_on: Optional[Tuple[str, int]] = None
+        self.stats = TaskStats()
+
+
+class FunctionalExecutor:
+    """Run an :class:`ApplicationGraph` to completion, functionally.
+
+    Parameters
+    ----------
+    graph:
+        validated application graph (``validate()`` is called here).
+    max_steps:
+        safety bound on total processing steps (default 10 million).
+    seed:
+        if given, ready-task selection is randomized with this seed —
+        used by the determinism checker.
+    record_streams:
+        keep full per-stream byte histories in the result (default on).
+    """
+
+    def __init__(
+        self,
+        graph: ApplicationGraph,
+        max_steps: int = 10_000_000,
+        seed: Optional[int] = None,
+        record_streams: bool = True,
+    ):
+        graph.validate()
+        self.graph = graph
+        self.max_steps = max_steps
+        self._rng = random.Random(seed) if seed is not None else None
+        self._record = record_streams
+
+        self._tasks: Dict[str, _Task] = {}
+        self._channels: Dict[str, FifoChannel] = {}
+        self._records: Dict[str, bytearray] = {}
+        #: channel name -> set of task names blocked waiting for its data
+        self._waiters: Dict[str, Set[str]] = {}
+        #: task -> channel feeding each input port (for waking)
+        self._in_channel_of: Dict[Tuple[str, str], str] = {}
+        self._ready: deque = deque()
+        self._in_ready: Set[str] = set()
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        for name, edge in self.graph.streams.items():
+            ch = FifoChannel(name, n_readers=len(edge.consumers))
+            self._channels[name] = ch
+            self._waiters[name] = set()
+            if self._record:
+                self._records[name] = bytearray()
+
+        for tname, node in self.graph.tasks.items():
+            kernel = node.kernel_factory()
+            if not isinstance(kernel, Kernel):
+                raise GraphError(f"task {tname!r}: factory returned {type(kernel).__name__}")
+            ctx = KernelContext(kernel.ports(), task_info=node.task_info)
+            task = _Task(tname, kernel, ctx)
+            self._tasks[tname] = task
+
+        for name, edge in self.graph.streams.items():
+            ch = self._channels[name]
+            prod = self._tasks[edge.producer.task]
+            rec = self._records.get(name)
+            prod.outputs[edge.producer.port] = _OutPort(ch, rec)
+            for idx, cons in enumerate(edge.consumers):
+                t = self._tasks[cons.task]
+                t.inputs[cons.port] = _InPort(ch, idx)
+                self._in_channel_of[(cons.task, cons.port)] = name
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def run(self) -> ExecutionResult:
+        ready = self._ready = deque(self._tasks)  # every task: first chance
+        self._in_ready = set(self._tasks)
+        total_steps = 0
+        while True:
+            if not ready:
+                live = [t for t in self._tasks.values() if t.alive]
+                if not live:
+                    break
+                blocked = {
+                    t.name: t.blocked_on for t in live if t.blocked_on is not None
+                }
+                if len(blocked) == len(live):
+                    raise DeadlockError(
+                        f"deadlock: all live tasks blocked on input: {blocked}"
+                    )
+                # Live, unblocked, but not ready: cannot happen — every
+                # unblocked live task is queued.  Guard anyway.
+                raise DeadlockError(f"scheduler stuck; live={[t.name for t in live]}")
+
+            name = self._pick(ready)
+            self._in_ready.discard(name)
+            task = self._tasks[name]
+            if not task.alive:
+                continue
+            total_steps += 1
+            if total_steps > self.max_steps:
+                raise RuntimeError(f"exceeded max_steps={self.max_steps}; livelock?")
+            progressed = self._run_one_step(task)
+            if task.alive and progressed:
+                self._enqueue(name)
+            # blocked tasks are re-queued by _wake when data arrives
+
+        return ExecutionResult(
+            histories={k: bytes(v) for k, v in self._records.items()},
+            task_stats={k: t.stats for k, t in self._tasks.items()},
+            total_steps=total_steps,
+        )
+
+    def _pick(self, ready: deque) -> str:
+        if self._rng is None:
+            return ready.popleft()
+        idx = self._rng.randrange(len(ready))
+        ready.rotate(-idx)
+        name = ready.popleft()
+        ready.rotate(idx)
+        return name
+
+    # ------------------------------------------------------------------
+    # step execution
+    # ------------------------------------------------------------------
+    def _run_one_step(self, task: _Task) -> bool:
+        """Drive one processing step (or resume a blocked one).
+
+        Returns True if the task should be re-queued immediately.
+        """
+        gen = task.step_gen
+        if gen is None:
+            gen = task.kernel.step(task.ctx)
+            task.step_gen = gen
+            to_send: Any = None
+        else:
+            # resuming after block: re-answer the pending GetSpace
+            port, n = task.blocked_on  # type: ignore[misc]
+            task.blocked_on = None
+            space = self._answer_get_space(task, port, n)
+            if space is None:  # still not enough; re-block
+                self._block(task, port, n)
+                return False
+            to_send = space
+
+        while True:
+            try:
+                op = gen.send(to_send)
+            except StopIteration as stop:
+                outcome = stop.value
+                task.step_gen = None
+                return self._finish_step(task, outcome)
+
+            if isinstance(op, GetSpaceOp):
+                result = self._handle_get_space(task, op)
+                if result is None:
+                    return False  # blocked; generator kept in step_gen
+                to_send = result
+            elif isinstance(op, ReadOp):
+                to_send = self._handle_read(task, op)
+            elif isinstance(op, WriteOp):
+                task.outputs[op.port].write(op.offset, op.data)
+                task.stats.bytes_written += len(op.data)
+                to_send = None
+            elif isinstance(op, PutSpaceOp):
+                self._handle_put_space(task, op)
+                to_send = None
+            elif isinstance(op, ComputeOp):
+                task.stats.compute_cycles += op.cycles
+                to_send = None
+            elif isinstance(op, ExternalAccessOp):
+                to_send = None  # timing-only; content lives in task state
+            else:
+                raise TypeError(
+                    f"task {task.name!r} yielded {type(op).__name__}; expected an op"
+                )
+
+    def _finish_step(self, task: _Task, outcome: Any) -> bool:
+        if outcome is None:
+            outcome = StepOutcome.COMPLETED
+        if not isinstance(outcome, StepOutcome):
+            raise TypeError(
+                f"task {task.name!r} step returned {outcome!r}, expected StepOutcome"
+            )
+        if outcome is StepOutcome.COMPLETED:
+            task.stats.steps_completed += 1
+            return True
+        if outcome is StepOutcome.ABORTED:
+            # Functionally an abort only happens if the kernel chose to
+            # abort on an EOS-denied space without finishing; re-running
+            # would loop forever, so treat like completed-without-work
+            # and let EOS handling finish it next round.
+            task.stats.steps_aborted += 1
+            return True
+        # FINISHED
+        task.alive = False
+        task.step_gen = None
+        for port in task.outputs.values():
+            port.channel.close()
+        for edge in self.graph.output_streams(task.name):
+            self._wake(edge.name)
+        return False
+
+    # ------------------------------------------------------------------
+    # op handlers
+    # ------------------------------------------------------------------
+    def _handle_get_space(self, task: _Task, op: GetSpaceOp) -> Optional[Space]:
+        if op.port in task.outputs:
+            return Space(granted=True, available=op.n_bytes)
+        space = self._answer_get_space(task, op.port, op.n_bytes)
+        if space is None:
+            self._block(task, op.port, op.n_bytes)
+        return space
+
+    def _answer_get_space(self, task: _Task, port: str, n: int) -> Optional[Space]:
+        """Space if answerable now, else None (caller blocks)."""
+        inp = task.inputs[port]
+        avail = inp.available()
+        if avail >= n:
+            return Space(granted=True, available=avail)
+        if inp.channel.closed:
+            return Space(granted=False, eos=True, available=avail)
+        return None
+
+    def _block(self, task: _Task, port: str, n: int) -> None:
+        task.blocked_on = (port, n)
+        ch_name = self._in_channel_of[(task.name, port)]
+        self._waiters[ch_name].add(task.name)
+
+    def _enqueue(self, name: str) -> None:
+        if name not in self._in_ready:
+            self._in_ready.add(name)
+            self._ready.append(name)
+
+    def _wake(self, channel_name: str) -> None:
+        woken = sorted(self._waiters[channel_name])
+        self._waiters[channel_name].clear()
+        for tname in woken:
+            if self._tasks[tname].blocked_on is not None:
+                self._enqueue(tname)
+
+    def _handle_read(self, task: _Task, op: ReadOp) -> bytes:
+        inp = task.inputs[op.port]
+        data = inp.channel.peek(op.offset, op.n_bytes, inp.reader)
+        task.stats.bytes_read += len(data)
+        return data
+
+    def _handle_put_space(self, task: _Task, op: PutSpaceOp) -> None:
+        if op.port in task.outputs:
+            out = task.outputs[op.port]
+            out.commit(op.n_bytes)
+            stream = self.graph.stream_of(
+                PortRef(task.name, op.port)
+            )
+            self._wake(stream.name)
+        else:
+            inp = task.inputs[op.port]
+            inp.channel.advance(op.n_bytes, inp.reader)

@@ -1,0 +1,122 @@
+"""Unbounded FIFO byte channels for the reference executor.
+
+A :class:`FifoChannel` carries a byte stream from one writer to one or
+more readers.  Each reader has an independent position (paper §3:
+"one producer and one or more consumers").  Data is retained until the
+slowest reader has consumed it, then compacted away.
+
+This is the *functional* channel: unbounded, zero-time.  Bounded cyclic
+buffers with access windows — the hardware variant — live in
+:mod:`repro.core.buffer`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["FifoChannel", "EndOfStream"]
+
+#: Compact the backing store when the dead prefix exceeds this.
+_COMPACT_THRESHOLD = 1 << 16
+
+
+class EndOfStream(Exception):
+    """Raised on reading past end of a closed stream."""
+
+
+class FifoChannel:
+    """Unbounded multi-reader FIFO of bytes.
+
+    Writer API: :meth:`append`, :meth:`close`.
+    Reader API (per reader index): :meth:`available`, :meth:`peek`,
+    :meth:`advance`.
+
+    Reads are split into non-destructive :meth:`peek` (the Read
+    primitive — random access within available data) and
+    :meth:`advance` (the PutSpace commit), mirroring Eclipse's
+    transport/synchronization separation.
+    """
+
+    def __init__(self, name: str = "", n_readers: int = 1):
+        if n_readers < 1:
+            raise ValueError("need at least one reader")
+        self.name = name
+        self._data = bytearray()
+        #: absolute stream offset of _data[0]
+        self._base = 0
+        #: absolute read positions, one per reader
+        self._read_pos: List[int] = [0] * n_readers
+        self._closed = False
+        #: total bytes ever written (absolute write position)
+        self.total_written = 0
+
+    # ------------------------------------------------------------------
+    # writer side
+    # ------------------------------------------------------------------
+    def append(self, data: bytes) -> None:
+        if self._closed:
+            raise EndOfStream(f"write to closed stream {self.name!r}")
+        self._data.extend(data)
+        self.total_written += len(data)
+
+    def close(self) -> None:
+        """Mark end of stream; further appends are errors."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # reader side
+    # ------------------------------------------------------------------
+    def available(self, reader: int = 0) -> int:
+        """Bytes readable by *reader* right now."""
+        return self.total_written - self._read_pos[reader]
+
+    def at_eos(self, reader: int = 0) -> bool:
+        """True when closed and *reader* has consumed everything."""
+        return self._closed and self.available(reader) == 0
+
+    def peek(self, offset: int, n_bytes: int, reader: int = 0) -> bytes:
+        """Non-destructive read of ``n_bytes`` at ``offset`` past the
+        reader position.  The window must be available."""
+        pos = self._read_pos[reader] + offset
+        end = pos + n_bytes
+        if end > self.total_written:
+            raise EndOfStream(
+                f"stream {self.name!r}: read past write position "
+                f"(want [{pos}:{end}), written {self.total_written})"
+            )
+        lo = pos - self._base
+        return bytes(self._data[lo : lo + n_bytes])
+
+    def advance(self, n_bytes: int, reader: int = 0) -> None:
+        """Commit ``n_bytes`` as consumed by *reader* (PutSpace)."""
+        if n_bytes > self.available(reader):
+            raise EndOfStream(
+                f"stream {self.name!r}: advance {n_bytes} past available "
+                f"{self.available(reader)}"
+            )
+        self._read_pos[reader] += n_bytes
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        dead = min(self._read_pos) - self._base
+        if dead >= _COMPACT_THRESHOLD:
+            del self._data[:dead]
+            self._base += dead
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def history_length(self) -> int:
+        """Total bytes ever pushed through (stream history size)."""
+        return self.total_written
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"<FifoChannel {self.name!r} {state} written={self.total_written} "
+            f"readers_at={self._read_pos}>"
+        )

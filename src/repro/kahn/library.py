@@ -1,0 +1,439 @@
+"""Reusable generic task kernels.
+
+Small building-block kernels in the spirit of paper §2.1 ("once a set
+of basic functions has been defined as tasks, a multitude of
+applications can be configured").  They are used by the test suite, the
+quickstart example, and the baseline benchmarks; the media kernels live
+in :mod:`repro.media.tasks`.
+
+All kernels here follow the paper's coprocessor patterns:
+
+* test space for the whole step up front, abort (deny-and-redo) if the
+  shell cannot grant it;
+* read, compute, write inside the granted windows;
+* commit with PutSpace only when the step is sure to complete.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.kahn.graph import Direction, PortSpec
+from repro.kahn.kernel import Kernel, KernelContext, StepOutcome
+
+__all__ = [
+    "ProducerKernel",
+    "ConsumerKernel",
+    "MapKernel",
+    "ForkKernel",
+    "RoundRobinMergeKernel",
+    "ConditionalConsumerKernel",
+    "HeaderPayloadProducerKernel",
+    "HeaderPayloadRelayKernel",
+    "RouterKernel",
+    "GatherKernel",
+]
+
+
+class ProducerKernel(Kernel):
+    """Emit a fixed payload in ``chunk`` byte pieces, then finish."""
+
+    def __init__(self, payload: bytes, chunk: int = 64, compute_cycles: int = 10):
+        super().__init__()
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self.payload = bytes(payload)
+        self.chunk = chunk
+        self.compute_cycles = compute_cycles
+        self._pos = 0
+
+    PORTS = (PortSpec("out", Direction.OUT),)
+
+    def step(self, ctx: KernelContext):
+        if self._pos >= len(self.payload):
+            return StepOutcome.FINISHED
+        piece = self.payload[self._pos : self._pos + self.chunk]
+        space = yield ctx.get_space("out", len(piece))
+        if not space:
+            return StepOutcome.ABORTED
+        yield ctx.compute(self.compute_cycles)
+        yield ctx.write("out", 0, piece)
+        yield ctx.put_space("out", len(piece))
+        self._pos += len(piece)
+        return StepOutcome.COMPLETED
+
+
+class ConsumerKernel(Kernel):
+    """Sink: consume ``chunk`` bytes per step into :attr:`collected`."""
+
+    def __init__(self, chunk: int = 64, compute_cycles: int = 5):
+        super().__init__()
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self.chunk = chunk
+        self.compute_cycles = compute_cycles
+        self.collected = bytearray()
+
+    PORTS = (PortSpec("in", Direction.IN),)
+
+    def step(self, ctx: KernelContext):
+        space = yield ctx.get_space("in", self.chunk)
+        if not space:
+            if space.eos:
+                n = space.available
+                if n:  # drain the final partial chunk (granted window first)
+                    yield ctx.get_space("in", n)
+                    data = yield ctx.read("in", 0, n)
+                    yield ctx.put_space("in", n)
+                    self.collected.extend(data)
+                return StepOutcome.FINISHED
+            return StepOutcome.ABORTED
+        data = yield ctx.read("in", 0, self.chunk)
+        yield ctx.compute(self.compute_cycles)
+        yield ctx.put_space("in", self.chunk)
+        self.collected.extend(data)
+        return StepOutcome.COMPLETED
+
+
+class MapKernel(Kernel):
+    """Apply ``fn`` to each ``chunk``-byte block: classic filter task."""
+
+    def __init__(
+        self,
+        fn: Callable[[bytes], bytes],
+        chunk: int = 64,
+        compute_cycles: int = 20,
+    ):
+        super().__init__()
+        self.fn = fn
+        self.chunk = chunk
+        self.compute_cycles = compute_cycles
+
+    PORTS = (PortSpec("in", Direction.IN), PortSpec("out", Direction.OUT))
+
+    def step(self, ctx: KernelContext):
+        space_in = yield ctx.get_space("in", self.chunk)
+        if not space_in:
+            if space_in.eos:
+                n = space_in.available
+                if n:
+                    yield ctx.get_space("in", n)
+                    data = yield ctx.read("in", 0, n)
+                    out = self.fn(data)
+                    sp = yield ctx.get_space("out", len(out))
+                    if not sp:
+                        return StepOutcome.ABORTED
+                    yield ctx.write("out", 0, out)
+                    yield ctx.put_space("out", len(out))
+                    yield ctx.put_space("in", n)
+                return StepOutcome.FINISHED
+            return StepOutcome.ABORTED
+        out_est = self.chunk  # fn is length-preserving for fixed chunks
+        space_out = yield ctx.get_space("out", out_est)
+        if not space_out:
+            return StepOutcome.ABORTED
+        data = yield ctx.read("in", 0, self.chunk)
+        yield ctx.compute(self.compute_cycles)
+        out = self.fn(data)
+        yield ctx.write("out", 0, out)
+        # Commit input only once the full step is guaranteed (paper §4.2)
+        yield ctx.put_space("in", self.chunk)
+        yield ctx.put_space("out", len(out))
+        return StepOutcome.COMPLETED
+
+
+class ForkKernel(Kernel):
+    """Duplicate the input onto two outputs, packet by packet."""
+
+    def __init__(self, chunk: int = 64, compute_cycles: int = 5):
+        super().__init__()
+        self.chunk = chunk
+        self.compute_cycles = compute_cycles
+
+    PORTS = (
+        PortSpec("in", Direction.IN),
+        PortSpec("out_a", Direction.OUT),
+        PortSpec("out_b", Direction.OUT),
+    )
+
+    def step(self, ctx: KernelContext):
+        space = yield ctx.get_space("in", self.chunk)
+        if not space:
+            if space.eos:
+                n = space.available
+                if n:
+                    # reserve BOTH outputs before committing either —
+                    # a partial commit would duplicate data on redo
+                    for port in ("out_a", "out_b"):
+                        sp = yield ctx.get_space(port, n)
+                        if not sp:
+                            return StepOutcome.ABORTED
+                    yield ctx.get_space("in", n)
+                    data = yield ctx.read("in", 0, n)
+                    for port in ("out_a", "out_b"):
+                        yield ctx.write(port, 0, data)
+                        yield ctx.put_space(port, n)
+                    yield ctx.put_space("in", n)
+                return StepOutcome.FINISHED
+            return StepOutcome.ABORTED
+        for port in ("out_a", "out_b"):
+            sp = yield ctx.get_space(port, self.chunk)
+            if not sp:
+                return StepOutcome.ABORTED
+        data = yield ctx.read("in", 0, self.chunk)
+        yield ctx.compute(self.compute_cycles)
+        for port in ("out_a", "out_b"):
+            yield ctx.write(port, 0, data)
+        yield ctx.put_space("in", self.chunk)
+        yield ctx.put_space("out_a", self.chunk)
+        yield ctx.put_space("out_b", self.chunk)
+        return StepOutcome.COMPLETED
+
+
+class RoundRobinMergeKernel(Kernel):
+    """Deterministically interleave two inputs, ``chunk`` bytes each.
+
+    Strict alternation keeps the merge a Kahn process (a data-driven
+    merge would be non-deterministic and outside the model).
+    """
+
+    def __init__(self, chunk: int = 64, compute_cycles: int = 5):
+        super().__init__()
+        self.chunk = chunk
+        self.compute_cycles = compute_cycles
+        self._turn = 0
+        self._done = [False, False]
+
+    PORTS = (
+        PortSpec("in_a", Direction.IN),
+        PortSpec("in_b", Direction.IN),
+        PortSpec("out", Direction.OUT),
+    )
+
+    def step(self, ctx: KernelContext):
+        if all(self._done):
+            return StepOutcome.FINISHED
+        port = ("in_a", "in_b")[self._turn]
+        if self._done[self._turn]:
+            self._turn ^= 1
+            return StepOutcome.COMPLETED
+        space = yield ctx.get_space(port, self.chunk)
+        if not space:
+            if space.eos:
+                n = space.available
+                if n:
+                    sp = yield ctx.get_space("out", n)
+                    if not sp:
+                        return StepOutcome.ABORTED
+                    yield ctx.get_space(port, n)
+                    data = yield ctx.read(port, 0, n)
+                    yield ctx.write("out", 0, data)
+                    yield ctx.put_space(port, n)
+                    yield ctx.put_space("out", n)
+                self._done[self._turn] = True
+                self._turn ^= 1
+                return StepOutcome.COMPLETED
+            return StepOutcome.ABORTED
+        sp = yield ctx.get_space("out", self.chunk)
+        if not sp:
+            return StepOutcome.ABORTED
+        data = yield ctx.read(port, 0, self.chunk)
+        yield ctx.compute(self.compute_cycles)
+        yield ctx.write("out", 0, data)
+        yield ctx.put_space(port, self.chunk)
+        yield ctx.put_space("out", self.chunk)
+        self._turn ^= 1
+        return StepOutcome.COMPLETED
+
+
+class ConditionalConsumerKernel(Kernel):
+    """The paper's §4.2 conditional-input pattern, verbatim.
+
+    Reads a control byte from ``in``; when odd, must additionally read
+    ``extra`` bytes from ``in2`` before committing.  Exercises the
+    second exit point / redo-from-single-entry discipline: the input
+    commit is postponed until the conditional GetSpace has been granted.
+    """
+
+    def __init__(self, extra: int = 4):
+        super().__init__()
+        self.extra = extra
+        self.collected: List[bytes] = []
+        self.redo_count = 0
+
+    PORTS = (PortSpec("in", Direction.IN), PortSpec("in2", Direction.IN))
+
+    def step(self, ctx: KernelContext):
+        space = yield ctx.get_space("in", 1)
+        if not space:
+            return StepOutcome.FINISHED if space.eos else StepOutcome.ABORTED
+        flag = yield ctx.read("in", 0, 1)
+        record = flag
+        if flag[0] % 2 == 1:  # conditional second input
+            sp2 = yield ctx.get_space("in2", self.extra)
+            if not sp2:
+                if sp2.eos:
+                    return StepOutcome.FINISHED
+                self.redo_count += 1
+                return StepOutcome.ABORTED  # redo the whole step later
+            extra = yield ctx.read("in2", 0, self.extra)
+            yield ctx.put_space("in2", self.extra)
+            record = flag + extra
+        yield ctx.put_space("in", 1)
+        self.collected.append(bytes(record))
+        return StepOutcome.COMPLETED
+
+
+class HeaderPayloadProducerKernel(Kernel):
+    """Emit variable-length packets: 2-byte big-endian length + payload.
+
+    Variable packet sizes are one of the irregular-I/O cases the shell
+    interface is designed for (paper §3.2).
+    """
+
+    def __init__(self, payloads: List[bytes], compute_cycles: int = 10):
+        super().__init__()
+        self.payloads = [bytes(p) for p in payloads]
+        self.compute_cycles = compute_cycles
+        self._idx = 0
+
+    PORTS = (PortSpec("out", Direction.OUT),)
+
+    def step(self, ctx: KernelContext):
+        if self._idx >= len(self.payloads):
+            return StepOutcome.FINISHED
+        payload = self.payloads[self._idx]
+        if len(payload) > 0xFFFF:
+            raise ValueError("payload too large for 2-byte header")
+        packet = len(payload).to_bytes(2, "big") + payload
+        space = yield ctx.get_space("out", len(packet))
+        if not space:
+            return StepOutcome.ABORTED
+        yield ctx.compute(self.compute_cycles)
+        yield ctx.write("out", 0, packet)
+        yield ctx.put_space("out", len(packet))
+        self._idx += 1
+        return StepOutcome.COMPLETED
+
+
+class HeaderPayloadRelayKernel(Kernel):
+    """Relay variable-length packets: two-phase GetSpace (header, then
+    header+payload) — the canonical data-dependent-I/O kernel."""
+
+    def __init__(self, compute_cycles_per_byte: int = 1):
+        super().__init__()
+        self.compute_cycles_per_byte = compute_cycles_per_byte
+        self.packets_relayed = 0
+
+    PORTS = (PortSpec("in", Direction.IN), PortSpec("out", Direction.OUT))
+
+    def step(self, ctx: KernelContext):
+        sp_hdr = yield ctx.get_space("in", 2)
+        if not sp_hdr:
+            return StepOutcome.FINISHED if sp_hdr.eos else StepOutcome.ABORTED
+        header = yield ctx.read("in", 0, 2)
+        length = int.from_bytes(header, "big")
+        # data-dependent second inquiry: the full packet
+        sp_all = yield ctx.get_space("in", 2 + length)
+        if not sp_all:
+            return StepOutcome.FINISHED if sp_all.eos else StepOutcome.ABORTED
+        sp_out = yield ctx.get_space("out", 2 + length)
+        if not sp_out:
+            return StepOutcome.ABORTED
+        payload = yield ctx.read("in", 2, length)
+        yield ctx.compute(self.compute_cycles_per_byte * max(1, length))
+        yield ctx.write("out", 0, header + payload)
+        yield ctx.put_space("in", 2 + length)
+        yield ctx.put_space("out", 2 + length)
+        self.packets_relayed += 1
+        return StepOutcome.COMPLETED
+
+
+class RouterKernel(Kernel):
+    """Tag-routed 1:2 splitter: generic demultiplexer building block.
+
+    Packets are length-prefixed (2-byte big-endian) with a 1-byte tag;
+    tag 0 routes to ``out_a``, anything else to ``out_b``.  The
+    data-dependent *output* side of the variable-packet pattern (the
+    relay kernel exercises the input side)."""
+
+    def __init__(self, compute_cycles: int = 10):
+        super().__init__()
+        self.compute_cycles = compute_cycles
+        self.routed = [0, 0]
+
+    PORTS = (
+        PortSpec("in", Direction.IN),
+        PortSpec("out_a", Direction.OUT),
+        PortSpec("out_b", Direction.OUT),
+    )
+
+    def step(self, ctx: KernelContext):
+        sp = yield ctx.get_space("in", 3)
+        if not sp:
+            return StepOutcome.FINISHED if sp.eos else StepOutcome.ABORTED
+        header = yield ctx.read("in", 0, 3)
+        length = int.from_bytes(header[:2], "big")
+        tag = header[2]
+        total = 3 + length
+        sp = yield ctx.get_space("in", total)
+        if not sp:
+            return StepOutcome.FINISHED if sp.eos else StepOutcome.ABORTED
+        port = "out_a" if tag == 0 else "out_b"
+        sp_out = yield ctx.get_space(port, total)
+        if not sp_out:
+            return StepOutcome.ABORTED
+        payload = yield ctx.read("in", 3, length)
+        yield ctx.compute(self.compute_cycles)
+        yield ctx.write(port, 0, header + payload)
+        yield ctx.put_space(port, total)
+        yield ctx.put_space("in", total)
+        self.routed[0 if tag == 0 else 1] += 1
+        return StepOutcome.COMPLETED
+
+
+class GatherKernel(Kernel):
+    """Tag-ordered 2:1 joiner: the deterministic inverse of
+    :class:`RouterKernel`.
+
+    Reads a schedule stream of tags (one byte per packet, as emitted by
+    the original source) and pulls the next packet from the matching
+    input — a Kahn-legal merge because the order comes from data, not
+    from arrival timing."""
+
+    def __init__(self, compute_cycles: int = 10):
+        super().__init__()
+        self.compute_cycles = compute_cycles
+
+    PORTS = (
+        PortSpec("sched", Direction.IN),
+        PortSpec("in_a", Direction.IN),
+        PortSpec("in_b", Direction.IN),
+        PortSpec("out", Direction.OUT),
+    )
+
+    def step(self, ctx: KernelContext):
+        sp = yield ctx.get_space("sched", 1)
+        if not sp:
+            return StepOutcome.FINISHED if sp.eos else StepOutcome.ABORTED
+        tag = (yield ctx.read("sched", 0, 1))[0]
+        port = "in_a" if tag == 0 else "in_b"
+        sp = yield ctx.get_space(port, 3)
+        if not sp:
+            return StepOutcome.ABORTED
+        header = yield ctx.read(port, 0, 3)
+        length = int.from_bytes(header[:2], "big")
+        total = 3 + length
+        sp = yield ctx.get_space(port, total)
+        if not sp:
+            return StepOutcome.ABORTED
+        sp_out = yield ctx.get_space("out", total)
+        if not sp_out:
+            return StepOutcome.ABORTED
+        payload = yield ctx.read(port, 3, length)
+        yield ctx.compute(self.compute_cycles)
+        yield ctx.write("out", 0, header + payload)
+        yield ctx.put_space("out", total)
+        yield ctx.put_space(port, total)
+        yield ctx.put_space("sched", 1)
+        return StepOutcome.COMPLETED

@@ -1,0 +1,44 @@
+"""Media workload substrate (substrate S4): a simplified MPEG-2-like codec.
+
+The Eclipse evaluation (paper §6-§7) runs MPEG-2 encode/decode.  This
+package provides the equivalent workload as a *simplified but real*
+video codec — actual DCT, quantization, zigzag/run-level coding,
+canonical-Huffman VLC with escape codes, block motion estimation and
+compensation, and I/P/B GOP structure — everything that creates the
+data-dependent load the paper's architecture is designed for:
+
+* VLC bit counts vary wildly per macroblock and per frame type;
+* the number of coded blocks varies per frame (the paper's DCT
+  example of a "less obvious" irregular task);
+* motion compensation fetches one (P) or two (B) reference blocks from
+  off-chip memory.
+
+It is deliberately *not* bit-compatible with MPEG-2 (see DESIGN.md's
+substitution table): conformance syntax would add bulk without changing
+the workload shape the reproduction depends on.
+
+Layers:
+
+* signal primitives: :mod:`bitstream`, :mod:`dct`, :mod:`quant`,
+  :mod:`scan`, :mod:`vlc`, :mod:`motion`;
+* sequence structure: :mod:`gop`, :mod:`video`;
+* a functional reference codec: :mod:`codec`;
+* Eclipse task kernels speaking the five primitives: :mod:`tasks`;
+* ready-made application graphs (Figure 2 etc.): :mod:`pipelines`.
+"""
+
+from repro.media.bitstream import BitReader, BitWriter
+from repro.media.codec import CodecParams, decode_sequence, encode_sequence
+from repro.media.gop import FrameType, GopStructure
+from repro.media.video import synthetic_sequence
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "CodecParams",
+    "FrameType",
+    "GopStructure",
+    "decode_sequence",
+    "encode_sequence",
+    "synthetic_sequence",
+]

@@ -1,0 +1,84 @@
+"""The complete §6 application: demux + audio decode + video decode.
+
+"Audio decoding, variable-length encoding, and de-multiplexing are
+executed in software on the media processor (DSP-CPU)" while the
+hardwired coprocessors decode the video.  This graph is that full
+picture: a transport stream feeds a software demultiplexer, whose
+video elementary stream drives the streaming VLD → RLSQ → DCT → MC →
+DISP chain on the coprocessors and whose audio stream drives the
+software ADPCM decoder → PCM sink on the DSP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.kahn.graph import ApplicationGraph, TaskNode
+from repro.media.audio import AdpcmDecoderKernel, BLOCK_BYTES, BLOCK_SAMPLES, PcmSinkKernel
+from repro.media.codec import CodecParams
+from repro.media.pipelines import default_buffer_sizes
+from repro.media.tasks import CostModel, DispKernel, IdctKernel, McKernel, RlsqInvKernel
+from repro.media.transport import DemuxKernel, VldStreamKernel
+
+__all__ = ["av_decode_graph", "AV_DECODE_MAPPING"]
+
+#: task -> coprocessor for the Figure 8 instance: software tasks on the
+#: DSP, video pipeline on the hardwired units
+AV_DECODE_MAPPING: Dict[str, str] = {
+    "demux": "dsp",
+    "audio_dec": "dsp",
+    "pcm_sink": "dsp",
+    "vld": "vld",
+    "rlsq": "rlsq",
+    "idct": "dct",
+    "mc": "mcme",
+    "disp": "dsp",
+}
+
+
+def av_decode_graph(
+    ts: bytes,
+    params: CodecParams,
+    num_frames: int,
+    mapping: Optional[Dict[str, str]] = None,
+    buffer_packets: int = 3,
+    cost: Optional[CostModel] = None,
+    name: str = "av_decode",
+) -> ApplicationGraph:
+    """Build the audio+video decode network for a transport stream."""
+    cost = cost or CostModel()
+    sizes = default_buffer_sizes(buffer_packets)
+    mapping = mapping or {}
+    g = ApplicationGraph(name)
+
+    def node(tname, factory, ports):
+        g.add_task(TaskNode(tname, factory, ports, mapping=mapping.get(tname)))
+
+    node("demux", lambda: DemuxKernel(ts), DemuxKernel.PORTS)
+    node("vld", lambda: VldStreamKernel(params, num_frames, cost), VldStreamKernel.PORTS)
+    node("audio_dec", lambda: AdpcmDecoderKernel(), AdpcmDecoderKernel.PORTS)
+    node("pcm_sink", lambda: PcmSinkKernel(), PcmSinkKernel.PORTS)
+    node("rlsq", lambda: RlsqInvKernel(cost), RlsqInvKernel.PORTS)
+    node("idct", lambda: IdctKernel(cost), IdctKernel.PORTS)
+    node("mc", lambda: McKernel(params, num_frames, cost), McKernel.PORTS)
+    node("disp", lambda: DispKernel(params, num_frames, cost), DispKernel.PORTS)
+
+    g.connect("demux.video_out", "vld.es_in", name="video_es", buffer_size=2048)
+    g.connect(
+        "demux.audio_out",
+        "audio_dec.in",
+        name="audio_es",
+        buffer_size=4 * BLOCK_BYTES,
+    )
+    g.connect(
+        "audio_dec.out",
+        "pcm_sink.in",
+        name="pcm",
+        buffer_size=4 * BLOCK_SAMPLES * 2,
+    )
+    g.connect("vld.coef_out", "rlsq.in", name="coef", buffer_size=sizes["coef"])
+    g.connect("vld.mv_out", "mc.mv_in", name="mv", buffer_size=sizes["mv"] * 8)
+    g.connect("rlsq.out", "idct.in", name="dequant", buffer_size=sizes["coef_i16"])
+    g.connect("idct.out", "mc.resid_in", name="resid", buffer_size=sizes["residual"])
+    g.connect("mc.out", "disp.in", name="recon", buffer_size=sizes["pixels"])
+    return g

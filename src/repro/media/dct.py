@@ -1,0 +1,42 @@
+"""Exact 8x8 type-II DCT / inverse DCT.
+
+The orthonormal DCT-II in matrix form: ``coef = C @ block @ C.T`` with
+the standard basis matrix C.  Matrix multiplication on numpy arrays is
+both exact (float64) and fast — the DCT coprocessor's functional model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fdct8x8", "idct8x8", "DCT_BASIS"]
+
+_N = 8
+
+
+def _basis() -> np.ndarray:
+    k = np.arange(_N).reshape(-1, 1)
+    n = np.arange(_N).reshape(1, -1)
+    c = np.sqrt(2.0 / _N) * np.cos((2 * n + 1) * k * np.pi / (2 * _N))
+    c[0, :] = np.sqrt(1.0 / _N)
+    return c
+
+
+#: The orthonormal 8-point DCT-II basis matrix (C @ C.T == I).
+DCT_BASIS = _basis()
+_C = DCT_BASIS
+_CT = DCT_BASIS.T
+
+
+def fdct8x8(block: np.ndarray) -> np.ndarray:
+    """Forward DCT of one 8x8 block (any numeric dtype) -> float64."""
+    if block.shape != (_N, _N):
+        raise ValueError(f"expected 8x8 block, got {block.shape}")
+    return _C @ block.astype(np.float64) @ _CT
+
+
+def idct8x8(coef: np.ndarray) -> np.ndarray:
+    """Inverse DCT of one 8x8 coefficient block -> float64."""
+    if coef.shape != (_N, _N):
+        raise ValueError(f"expected 8x8 block, got {coef.shape}")
+    return _CT @ coef.astype(np.float64) @ _C

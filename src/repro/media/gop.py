@@ -1,0 +1,98 @@
+"""Group-of-pictures structure: frame types, coded vs display order.
+
+An MPEG GOP is parameterized by N (frames per GOP) and M (distance
+between anchor frames): display order ``I B B P B B P ...`` for M=3.
+Coded (transmission/decode) order moves each anchor before the B frames
+that reference it — the reordering that makes Figure 10's per-frame-
+type bottleneck analysis possible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["FrameType", "GopStructure", "FramePlan"]
+
+
+class FrameType(enum.Enum):
+    I = "I"
+    P = "P"
+    B = "B"
+
+
+@dataclass(frozen=True)
+class FramePlan:
+    """One frame's plan in coded order."""
+
+    coded_index: int
+    display_index: int
+    frame_type: FrameType
+    #: display indices of the references (None where not applicable)
+    forward_ref: Optional[int]
+    backward_ref: Optional[int]
+
+
+class GopStructure:
+    """Closed-GOP planner.
+
+    ``n`` frames per GOP, anchors every ``m`` frames.  ``m=1`` means no
+    B frames (IPPP...), ``n=1`` means all-intra.
+    """
+
+    def __init__(self, n: int = 12, m: int = 3):
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if m < 1 or m > n:
+            raise ValueError(f"m must be in [1, n], got {m}")
+        self.n = n
+        self.m = m
+
+    def display_types(self, num_frames: int) -> List[FrameType]:
+        """Frame type of each display index."""
+        types = []
+        for i in range(num_frames):
+            pos = i % self.n
+            if pos == 0:
+                types.append(FrameType.I)
+            elif pos % self.m == 0:
+                types.append(FrameType.P)
+            else:
+                types.append(FrameType.B)
+        # A trailing B run has no backward anchor: force the last frame
+        # of the sequence to P so every B is properly bounded.
+        if types and types[-1] is FrameType.B:
+            types[-1] = FrameType.P
+        return types
+
+    def coded_order(self, num_frames: int) -> List[FramePlan]:
+        """The transmission plan: anchors precede their B frames."""
+        types = self.display_types(num_frames)
+        plans: List[FramePlan] = []
+        pending_b: List[int] = []
+        prev_anchor: Optional[int] = None
+        for disp, ftype in enumerate(types):
+            if ftype is FrameType.B:
+                pending_b.append(disp)
+                continue
+            fwd = prev_anchor if ftype is FrameType.P else None
+            plans.append(FramePlan(len(plans), disp, ftype, fwd, None))
+            this_anchor = disp
+            for b in pending_b:
+                plans.append(
+                    FramePlan(len(plans), b, FrameType.B, prev_anchor, this_anchor)
+                )
+            pending_b = []
+            prev_anchor = this_anchor
+        if pending_b:  # unreachable given display_types()' trailing fix
+            raise AssertionError("B frames without a backward anchor")
+        return plans
+
+    def display_order(self, num_frames: int) -> List[int]:
+        """Permutation: display index -> coded index."""
+        plans = self.coded_order(num_frames)
+        out = [0] * num_frames
+        for p in plans:
+            out[p.display_index] = p.coded_index
+        return out

@@ -1,0 +1,177 @@
+"""On-stream packet formats for the media pipelines.
+
+Eclipse coprocessors operate on "logical units of data ... encapsulated
+in a data packet" (paper §4.2) — here one packet per macroblock.  Every
+packet starts with a fixed 16-byte header carrying the MB's identity,
+mode, motion vectors and the payload length; kernels use the paper's
+two-phase GetSpace pattern (inquire for the header, then for
+header+payload) for the variable-size coefficient packets.
+
+Payload kinds (all little-endian):
+
+===============  =====================================================
+kind             payload
+===============  =====================================================
+``coef``         per coded block: u16 n_pairs + n_pairs x (u8, i16)
+``levels``       6 x 64 int16 quantized levels
+``coef_f32``     6 x 64 float32 dequantized coefficients (exact — see
+                 CodecParams' qscale bound)
+``coef_f64``     6 x 64 float64 DCT coefficients (encode side)
+``residual``     6 x 64 int16 spatial residual
+``pixels``       384 x uint8 reconstructed/predicted macroblock
+``mv``           empty (header only) — the VLD→MC side stream
+===============  =====================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.media.codec import MacroblockData, MbMode
+from repro.media.gop import FrameType
+from repro.media.motion import MotionVector
+
+__all__ = [
+    "MbHeader",
+    "HEADER_SIZE",
+    "pack_coef_payload",
+    "unpack_coef_payload",
+    "pack_blocks",
+    "unpack_blocks",
+    "pack_pixels",
+    "unpack_pixels",
+    "header_from_mb",
+    "mb_from_header",
+]
+
+HEADER_SIZE = 16
+_HEADER_FMT = "<HBBBBhhhhH"
+assert struct.calcsize(_HEADER_FMT) == HEADER_SIZE
+
+_FTYPE_CODE = {FrameType.I: 0, FrameType.P: 1, FrameType.B: 2}
+_FTYPE_FROM = {v: k for k, v in _FTYPE_CODE.items()}
+
+
+@dataclass(frozen=True)
+class MbHeader:
+    """The uniform 16-byte macroblock packet header."""
+
+    mb_index: int
+    ftype: FrameType
+    mode: MbMode
+    cbp: int
+    qscale: int
+    fwd_vec: Optional[MotionVector]
+    bwd_vec: Optional[MotionVector]
+    payload_len: int
+
+    def pack(self) -> bytes:
+        fv = self.fwd_vec or MotionVector(0, 0)
+        bv = self.bwd_vec or MotionVector(0, 0)
+        half_pel = bool((self.fwd_vec and self.fwd_vec.half_pel)
+                        or (self.bwd_vec and self.bwd_vec.half_pel))
+        return struct.pack(
+            _HEADER_FMT,
+            self.mb_index,
+            _FTYPE_CODE[self.ftype] | (0x80 if half_pel else 0),
+            int(self.mode),
+            self.cbp,
+            self.qscale,
+            fv.dy,
+            fv.dx,
+            bv.dy,
+            bv.dx,
+            self.payload_len,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "MbHeader":
+        if len(data) != HEADER_SIZE:
+            raise ValueError(f"header must be {HEADER_SIZE} bytes, got {len(data)}")
+        (mb, ft, mode, cbp, q, fdy, fdx, bdy, bdx, plen) = struct.unpack(_HEADER_FMT, data)
+        half_pel = bool(ft & 0x80)
+        ft &= 0x7F
+        mode = MbMode(mode)
+        fwd = MotionVector(fdy, fdx, half_pel) if mode in (MbMode.FWD, MbMode.BI) else None
+        bwd = MotionVector(bdy, bdx, half_pel) if mode in (MbMode.BWD, MbMode.BI) else None
+        return cls(mb, _FTYPE_FROM[ft], mode, cbp, q, fwd, bwd, plen)
+
+    def with_payload(self, payload_len: int, cbp: Optional[int] = None) -> "MbHeader":
+        return MbHeader(
+            self.mb_index,
+            self.ftype,
+            self.mode,
+            self.cbp if cbp is None else cbp,
+            self.qscale,
+            self.fwd_vec,
+            self.bwd_vec,
+            payload_len,
+        )
+
+
+def header_from_mb(mb: MacroblockData, ftype: FrameType, qscale: int, payload_len: int) -> MbHeader:
+    return MbHeader(
+        mb.mb_index, ftype, mb.mode, mb.cbp, qscale, mb.fwd_vec, mb.bwd_vec, payload_len
+    )
+
+
+def mb_from_header(hdr: MbHeader, block_pairs: List[List[Tuple[int, int]]]) -> MacroblockData:
+    return MacroblockData(hdr.mb_index, hdr.mode, hdr.fwd_vec, hdr.bwd_vec, hdr.cbp, block_pairs)
+
+
+# ---------------------------------------------------------------------------
+# payloads
+# ---------------------------------------------------------------------------
+def pack_coef_payload(block_pairs: List[List[Tuple[int, int]]]) -> bytes:
+    """Run-level pairs of the coded blocks -> variable-size payload."""
+    out = bytearray()
+    for pairs in block_pairs:
+        out.extend(struct.pack("<H", len(pairs)))
+        for run, level in pairs:
+            out.extend(struct.pack("<Bh", run, level))
+    return bytes(out)
+
+
+def unpack_coef_payload(payload: bytes, cbp: int) -> List[List[Tuple[int, int]]]:
+    n_blocks = bin(cbp).count("1")
+    out: List[List[Tuple[int, int]]] = []
+    pos = 0
+    for _ in range(n_blocks):
+        (n_pairs,) = struct.unpack_from("<H", payload, pos)
+        pos += 2
+        pairs = []
+        for _ in range(n_pairs):
+            run, level = struct.unpack_from("<Bh", payload, pos)
+            pos += 3
+            pairs.append((run, level))
+        out.append(pairs)
+    if pos != len(payload):
+        raise ValueError(f"coef payload has {len(payload) - pos} trailing bytes")
+    return out
+
+
+def pack_blocks(blocks: List[np.ndarray], dtype: np.dtype) -> bytes:
+    """Six 8x8 blocks -> fixed-size payload of the given dtype."""
+    if len(blocks) != 6:
+        raise ValueError(f"expected 6 blocks, got {len(blocks)}")
+    arr = np.stack([np.asarray(b, dtype=dtype) for b in blocks])
+    return arr.tobytes()
+
+
+def unpack_blocks(payload: bytes, dtype: np.dtype) -> List[np.ndarray]:
+    arr = np.frombuffer(payload, dtype=dtype)
+    if arr.size != 6 * 64:
+        raise ValueError(f"expected {6 * 64} elements, got {arr.size}")
+    return [blk.copy() for blk in arr.reshape(6, 8, 8)]
+
+
+def pack_pixels(blocks: List[np.ndarray]) -> bytes:
+    return pack_blocks(blocks, np.uint8)
+
+
+def unpack_pixels(payload: bytes) -> List[np.ndarray]:
+    return unpack_blocks(payload, np.uint8)

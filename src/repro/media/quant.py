@@ -1,0 +1,70 @@
+"""Quantization with intra/non-intra matrices and a quantizer scale.
+
+Modelled on MPEG-2: a frequency-weighted quantization matrix (coarser
+for high frequencies) multiplied by a per-picture quantizer scale.
+Quantized levels are clamped to the VLC's representable range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "INTRA_MATRIX",
+    "NONINTRA_MATRIX",
+    "quantize",
+    "dequantize",
+    "LEVEL_MAX",
+    "COEF_MAX",
+]
+
+#: Largest |level| the escape code can carry (12-bit signed magnitude).
+LEVEL_MAX = 2047
+
+#: MPEG-2 default intra quantization matrix.
+INTRA_MATRIX = np.array(
+    [
+        [8, 16, 19, 22, 26, 27, 29, 34],
+        [16, 16, 22, 24, 27, 29, 34, 37],
+        [19, 22, 26, 27, 29, 34, 34, 38],
+        [22, 22, 26, 27, 29, 34, 37, 40],
+        [22, 26, 27, 29, 32, 35, 40, 48],
+        [26, 27, 29, 32, 35, 40, 48, 58],
+        [26, 27, 29, 34, 38, 46, 56, 69],
+        [27, 29, 35, 38, 46, 56, 69, 83],
+    ],
+    dtype=np.float64,
+)
+
+#: MPEG-2 default non-intra matrix is flat 16.
+NONINTRA_MATRIX = np.full((8, 8), 16.0, dtype=np.float64)
+
+
+def _step(intra: bool, qscale: int) -> np.ndarray:
+    if qscale < 1:
+        raise ValueError(f"qscale must be >= 1, got {qscale}")
+    matrix = INTRA_MATRIX if intra else NONINTRA_MATRIX
+    return matrix * qscale / 8.0
+
+
+def quantize(coef: np.ndarray, intra: bool, qscale: int) -> np.ndarray:
+    """Quantize float coefficients -> int16 levels (round-to-nearest)."""
+    levels = np.rint(coef / _step(intra, qscale))
+    return np.clip(levels, -LEVEL_MAX, LEVEL_MAX).astype(np.int16)
+
+
+#: dequantized coefficients saturate to this range (MPEG-2's [-2048,
+#: 2047] clamp), so they travel as int16 — the paper's "mostly 16 bits
+#: data items".
+COEF_MAX = 2047
+
+
+def dequantize(levels: np.ndarray, intra: bool, qscale: int) -> np.ndarray:
+    """Reconstruct integer coefficients from int levels.
+
+    MPEG-2 style: the inverse quantizer rounds to integer and saturates
+    to 12 bits, fixing the reconstruction arithmetic so any transport
+    or engine (reference codec, pipeline kernels) is bit-exact.
+    """
+    coef = np.rint(levels.astype(np.float64) * _step(intra, qscale))
+    return np.clip(coef, -COEF_MAX - 1, COEF_MAX).astype(np.int16)

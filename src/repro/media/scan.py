@@ -1,0 +1,83 @@
+"""Zigzag scan and run-level coding.
+
+The RLSQ coprocessor of the first Eclipse instance performs run-length
+(de)coding, (inverse) scan and (inverse) quantization (paper §6); this
+module is its scan/run-length functional model.  Run-level pairs are
+``(run-of-zeros, nonzero level)`` in zigzag order, terminated by EOB.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["ZIGZAG", "ZIGZAG_INV", "zigzag", "inverse_zigzag", "run_level_encode", "run_level_decode"]
+
+
+def _zigzag_order() -> np.ndarray:
+    order = []
+    for s in range(15):  # anti-diagonals of an 8x8 block
+        rng = range(max(0, s - 7), min(s, 7) + 1)
+        diag = [(s - j, j) for j in rng]
+        if s % 2 == 1:
+            diag.reverse()
+        order.extend(diag)
+    idx = np.array([r * 8 + c for r, c in order], dtype=np.int64)
+    return idx
+
+
+#: Flat indices of the zigzag scan (position k of the scan reads
+#: flattened block element ZIGZAG[k]).
+ZIGZAG = _zigzag_order()
+#: Inverse permutation: scan position of each flat block element.
+ZIGZAG_INV = np.argsort(ZIGZAG)
+
+
+def zigzag(block: np.ndarray) -> np.ndarray:
+    """8x8 block -> 64-vector in zigzag order."""
+    if block.shape != (8, 8):
+        raise ValueError(f"expected 8x8 block, got {block.shape}")
+    return block.reshape(64)[ZIGZAG]
+
+
+def inverse_zigzag(vec: np.ndarray) -> np.ndarray:
+    """64-vector in zigzag order -> 8x8 block."""
+    if vec.shape != (64,):
+        raise ValueError(f"expected 64-vector, got {vec.shape}")
+    return vec[ZIGZAG_INV].reshape(8, 8)
+
+
+def run_level_encode(levels: np.ndarray) -> List[Tuple[int, int]]:
+    """Zigzagged levels -> [(run, level), ...] (EOB implicit).
+
+    ``run`` is the number of zeros preceding the nonzero ``level``.
+    An all-zero block encodes to an empty list.
+    """
+    if levels.shape != (64,):
+        raise ValueError(f"expected 64-vector, got {levels.shape}")
+    pairs: List[Tuple[int, int]] = []
+    run = 0
+    for v in levels:
+        v = int(v)
+        if v == 0:
+            run += 1
+        else:
+            pairs.append((run, v))
+            run = 0
+    return pairs
+
+
+def run_level_decode(pairs: List[Tuple[int, int]]) -> np.ndarray:
+    """[(run, level), ...] -> zigzagged 64-vector of int16."""
+    out = np.zeros(64, dtype=np.int16)
+    pos = 0
+    for run, level in pairs:
+        if run < 0 or level == 0:
+            raise ValueError(f"bad run-level pair ({run}, {level})")
+        pos += run
+        if pos >= 64:
+            raise ValueError(f"run-level data overflows the block (pos {pos})")
+        out[pos] = level
+        pos += 1
+    return out

@@ -1,0 +1,164 @@
+"""Variable-length coding: canonical Huffman for (run, level) pairs.
+
+Modelled on MPEG-2's DCT-coefficient tables: common (run, |level|)
+pairs get short codes from a static table; everything else uses an
+escape code with fixed-length run and level fields; EOB terminates a
+block.  The table is generated deterministically at import time from a
+two-sided geometric frequency model — not MPEG-2's exact table, but
+with the same structure and a similar length distribution, so VLD/VLE
+cycle counts scale with content the same way.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from repro.media.bitstream import BitReader, BitWriter, BitstreamError
+from repro.media.quant import LEVEL_MAX
+
+__all__ = ["VlcTable", "COEFF_TABLE", "encode_block_pairs", "decode_block_pairs"]
+
+#: (run, |level|) pairs that get dedicated Huffman codes.
+_TABLED_RUN = 16
+_TABLED_LEVEL = 8
+
+#: escape code field widths
+_ESC_RUN_BITS = 6
+_ESC_LEVEL_BITS = 12  # signed magnitude fits LEVEL_MAX
+
+
+class VlcTable:
+    """A canonical Huffman code over symbols 0..n-1 plus helpers.
+
+    Symbols: ``0`` = EOB, ``1`` = ESC, then tabled (run, |level|) pairs
+    in row-major order.  Codes are canonical (sorted by length, then
+    symbol), so the table is fully defined by its code lengths.
+    """
+
+    EOB = 0
+    ESC = 1
+
+    def __init__(self, frequencies: List[float]):
+        if len(frequencies) < 2:
+            raise ValueError("need at least two symbols")
+        lengths = _huffman_lengths(frequencies)
+        self.codes: List[Tuple[int, int]] = _canonical_codes(lengths)  # (code, length)
+        #: decode map: (length, code) -> symbol
+        self._decode: Dict[Tuple[int, int], int] = {
+            (length, code): sym for sym, (code, length) in enumerate(self.codes)
+        }
+        self.max_length = max(length for _c, length in self.codes)
+
+    @staticmethod
+    def pair_symbol(run: int, magnitude: int) -> int:
+        """Symbol index of a tabled (run, |level|) pair."""
+        return 2 + run * _TABLED_LEVEL + (magnitude - 1)
+
+    @staticmethod
+    def is_tabled(run: int, level: int) -> bool:
+        return 0 <= run < _TABLED_RUN and 1 <= abs(level) <= _TABLED_LEVEL
+
+    def write_symbol(self, w: BitWriter, symbol: int) -> None:
+        code, length = self.codes[symbol]
+        w.write_bits(code, length)
+
+    def read_symbol(self, r: BitReader) -> int:
+        code = 0
+        for length in range(1, self.max_length + 1):
+            code = (code << 1) | r.read_bits(1)
+            sym = self._decode.get((length, code))
+            if sym is not None:
+                return sym
+        raise BitstreamError("invalid VLC code (corrupt stream)")
+
+
+def _huffman_lengths(frequencies: List[float]) -> List[int]:
+    """Code lengths from frequencies via the standard Huffman heap."""
+    n = len(frequencies)
+    heap = [(freq, i, (i,)) for i, freq in enumerate(frequencies)]
+    heapq.heapify(heap)
+    lengths = [0] * n
+    next_id = n
+    while len(heap) > 1:
+        f1, _i1, syms1 = heapq.heappop(heap)
+        f2, _i2, syms2 = heapq.heappop(heap)
+        merged = syms1 + syms2
+        for s in merged:
+            lengths[s] += 1
+        heapq.heappush(heap, (f1 + f2, next_id, merged))
+        next_id += 1
+    return lengths
+
+
+def _canonical_codes(lengths: List[int]) -> List[Tuple[int, int]]:
+    """Canonical code assignment: by (length, symbol)."""
+    order = sorted(range(len(lengths)), key=lambda s: (lengths[s], s))
+    codes: List[Tuple[int, int]] = [(0, 0)] * len(lengths)
+    code = 0
+    prev_len = 0
+    for sym in order:
+        length = lengths[sym]
+        code <<= length - prev_len
+        codes[sym] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+def _default_frequencies() -> List[float]:
+    """Two-sided geometric model: short runs and small levels dominate
+    (the empirical shape of DCT coefficient statistics)."""
+    freqs = [1.0, 0.02]  # EOB very frequent (once per block), ESC rare
+    for run in range(_TABLED_RUN):
+        for mag in range(1, _TABLED_LEVEL + 1):
+            freqs.append(0.9 ** run * 0.55 ** mag)
+    return freqs
+
+
+#: The coefficient table shared by the encoder (VLE) and decoder (VLD).
+COEFF_TABLE = VlcTable(_default_frequencies())
+
+
+def encode_block_pairs(w: BitWriter, pairs: List[Tuple[int, int]]) -> int:
+    """Write one block's run-level pairs + EOB; returns bits written."""
+    start = w.bits_written
+    for run, level in pairs:
+        if level == 0 or run < 0:
+            raise ValueError(f"bad pair ({run}, {level})")
+        if abs(level) > LEVEL_MAX or run >= (1 << _ESC_RUN_BITS):
+            raise ValueError(f"pair ({run}, {level}) exceeds escape range")
+        if COEFF_TABLE.is_tabled(run, level):
+            COEFF_TABLE.write_symbol(w, VlcTable.pair_symbol(run, abs(level)))
+            w.write_bit(1 if level < 0 else 0)
+        else:
+            COEFF_TABLE.write_symbol(w, VlcTable.ESC)
+            w.write_bits(run, _ESC_RUN_BITS)
+            w.write_bit(1 if level < 0 else 0)
+            w.write_bits(abs(level), _ESC_LEVEL_BITS)
+    COEFF_TABLE.write_symbol(w, VlcTable.EOB)
+    return w.bits_written - start
+
+
+def decode_block_pairs(r: BitReader) -> List[Tuple[int, int]]:
+    """Read run-level pairs up to and including EOB."""
+    pairs: List[Tuple[int, int]] = []
+    while True:
+        sym = COEFF_TABLE.read_symbol(r)
+        if sym == VlcTable.EOB:
+            return pairs
+        if sym == VlcTable.ESC:
+            run = r.read_bits(_ESC_RUN_BITS)
+            sign = r.read_bit()
+            mag = r.read_bits(_ESC_LEVEL_BITS)
+            if mag == 0:
+                raise BitstreamError("escape with zero level")
+            pairs.append((run, -mag if sign else mag))
+        else:
+            idx = sym - 2
+            run, mag = divmod(idx, _TABLED_LEVEL)
+            mag += 1
+            sign = r.read_bit()
+            pairs.append((run, -mag if sign else mag))
+        if len(pairs) > 64:
+            raise BitstreamError("more than 64 coefficients in a block")

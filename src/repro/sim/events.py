@@ -1,0 +1,194 @@
+"""Events: one-shot occurrences that processes can wait on.
+
+An :class:`Event` has a three-state lifecycle:
+
+``pending`` → ``triggered`` (scheduled on the queue) → ``fired``
+(callbacks executed, value/exception delivered).
+
+Processes (see :mod:`repro.sim.process`) yield events; the process is
+resumed with the event's value when it fires, or the event's exception
+is thrown into the generator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from repro.sim.kernel import PRIORITY_NORMAL, PRIORITY_URGENT, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+__all__ = ["Event", "Timeout", "Interrupt", "AllOf", "AnyOf"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`repro.sim.process.Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence with a value or an exception.
+
+    Callbacks are callables of one argument (the event itself), invoked
+    in registration order when the event fires.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_fired", "defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._fired = False
+        #: Set when a failure was handled (waited on); unhandled failed
+        #: events raise at fire time so errors never pass silently.
+        self.defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def fired(self) -> bool:
+        """True once callbacks have run."""
+        return self._fired
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully (no exception)."""
+        return self._fired and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, delay: int = 0, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Schedule this event to fire successfully with *value*."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim.schedule(self, delay, priority)
+        return self
+
+    def fail(self, exc: BaseException, delay: int = 0, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Schedule this event to fire with exception *exc*."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._triggered = True
+        self._exc = exc
+        self.sim.schedule(self, delay, priority)
+        return self
+
+    # -- firing -----------------------------------------------------------
+    def _fire(self) -> None:
+        if self._fired:
+            raise SimulationError(f"{self!r} fired twice")
+        self._fired = True
+        callbacks, self.callbacks = self.callbacks, None
+        for cb in callbacks or ():
+            cb(self)
+        if self._exc is not None and not self.defused:
+            # Nobody waited on this failure: surface it instead of
+            # silently dropping a model error.
+            raise self._exc
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already fired: run immediately (same semantics as SimPy's
+            # schedule-now would give, but without a queue round-trip —
+            # used only by condition events and process wakeups, which
+            # tolerate synchronous invocation).
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self._fired else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` cycles after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        super().__init__(sim)
+        self.delay = int(delay)
+        self._triggered = True
+        self._value = value
+        sim.schedule(self, self.delay)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf: fires when a predicate over children holds."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, sim: "Simulator", events: List[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._n_fired = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._child_fired)
+
+    def _child_fired(self, ev: Event) -> None:
+        if self._triggered:
+            if ev.exception is not None:
+                ev.defused = True
+            return
+        self._n_fired += 1
+        if ev.exception is not None:
+            ev.defused = True
+            self.fail(ev.exception, priority=PRIORITY_URGENT)
+        elif self._satisfied():
+            self.succeed(self._collect(), priority=PRIORITY_URGENT)
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        return {i: ev._value for i, ev in enumerate(self.events) if ev.fired and ev.exception is None}
+
+
+class AllOf(_Condition):
+    """Fires when all child events have fired (value: dict index→value)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_fired == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Fires when any child event has fired (value: dict index→value)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_fired >= 1

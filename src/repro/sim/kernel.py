@@ -1,0 +1,156 @@
+"""Simulation kernel: time, the event queue, and the run loop.
+
+The kernel is deliberately small.  All model behaviour lives in
+processes (see :mod:`repro.sim.process`); the kernel only orders event
+callbacks in (time, priority, insertion) order and advances the clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = ["Simulator", "SimulationError", "PRIORITY_URGENT", "PRIORITY_NORMAL"]
+
+#: Priority for events that must fire before same-time normal events
+#: (e.g. process resumption after an interrupt).
+PRIORITY_URGENT = 0
+#: Default event priority.
+PRIORITY_NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (time travel, re-triggering events...)."""
+
+
+class Simulator:
+    """Discrete-event simulator with integer (cycle) time.
+
+    The simulator is the rendezvous object of a model: every event and
+    process is created against one ``Simulator`` and scheduled on its
+    queue.  Time is an ``int`` so that cycle-level hardware models never
+    accumulate floating-point error and schedules replay exactly.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> log = []
+    >>> def proc(sim):
+    ...     yield sim.timeout(5)
+    ...     log.append(sim.now)
+    >>> _ = sim.process(proc(sim))
+    >>> sim.run()
+    >>> log
+    [5]
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._queue: list[tuple[int, int, int, Any]] = []
+        self._seq: int = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, event: Any, delay: int = 0, priority: int = PRIORITY_NORMAL) -> None:
+        """Enqueue *event* to fire ``delay`` cycles from now.
+
+        ``event`` must expose a ``_fire()`` method (all events in
+        :mod:`repro.sim.events` do).  Ties at identical (time, priority)
+        are broken by insertion order for determinism.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + int(delay), priority, self._seq, event))
+
+    # ------------------------------------------------------------------
+    # factories (convenience mirrors of the events / process modules)
+    # ------------------------------------------------------------------
+    def event(self):
+        from repro.sim.events import Event
+
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None):
+        from repro.sim.events import Timeout
+
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator):
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Any]):
+        from repro.sim.events import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Any]):
+        from repro.sim.events import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Fire the single next event, advancing time to it."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - guarded by schedule()
+            raise SimulationError("event queue corrupted: time went backwards")
+        self._now = when
+        event._fire()
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or ``None`` if queue empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` cycles, or ``max_events``.
+
+        ``until`` is an absolute simulation time; events scheduled at
+        exactly ``until`` are *not* executed (time stops at ``until``).
+        ``max_events`` bounds total fired events — a safety net for
+        models suspected of livelock.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                when = self._queue[0][0]
+                if until is not None and when >= until:
+                    self._now = until
+                    return
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; possible livelock"
+                    )
+                self.step()
+                fired += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def pending_events(self) -> int:
+        """Number of events currently queued (mainly for tests)."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now} pending={len(self._queue)}>"

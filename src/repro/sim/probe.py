@@ -1,0 +1,140 @@
+"""Time-weighted statistics probes.
+
+These back the hardware performance counters of Section 5.4 of the
+Eclipse paper: buffer filling, coprocessor utilization, access latency.
+All probes work on integer simulation time and are safe to sample at
+any moment (they fold in the partial interval up to "now").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+__all__ = ["TimeWeightedStat", "UtilizationProbe", "Series"]
+
+
+class TimeWeightedStat:
+    """Tracks a piecewise-constant quantity's time-weighted statistics.
+
+    Call :meth:`update` whenever the quantity changes; query
+    :meth:`mean`, :attr:`minimum`, :attr:`maximum` at any time.  Used
+    for stream-buffer filling levels.
+    """
+
+    def __init__(self, sim: "Simulator", initial: float = 0.0):
+        self.sim = sim
+        self._value = initial
+        self._last_change = sim.now
+        self._weighted_sum = 0.0
+        self._origin = sim.now
+        self.minimum = initial
+        self.maximum = initial
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def update(self, new_value: float) -> None:
+        now = self.sim.now
+        self._weighted_sum += self._value * (now - self._last_change)
+        self._value = new_value
+        self._last_change = now
+        if new_value < self.minimum:
+            self.minimum = new_value
+        if new_value > self.maximum:
+            self.maximum = new_value
+
+    def add(self, delta: float) -> None:
+        self.update(self._value + delta)
+
+    def mean(self) -> float:
+        """Time-weighted mean over the observation window (up to now)."""
+        now = self.sim.now
+        total = now - self._origin
+        if total <= 0:
+            return self._value
+        return (self._weighted_sum + self._value * (now - self._last_change)) / total
+
+
+class UtilizationProbe:
+    """Tracks the busy fraction of a unit (coprocessor utilization).
+
+    Mark work intervals with :meth:`set_busy` / :meth:`set_idle`;
+    :meth:`utilization` returns busy-time / elapsed-time.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._busy = False
+        self._busy_since = 0
+        self._busy_total = 0
+        self._origin = sim.now
+
+    @property
+    def is_busy(self) -> bool:
+        return self._busy
+
+    def set_busy(self) -> None:
+        if not self._busy:
+            self._busy = True
+            self._busy_since = self.sim.now
+
+    def set_idle(self) -> None:
+        if self._busy:
+            self._busy_total += self.sim.now - self._busy_since
+            self._busy = False
+
+    def busy_cycles(self) -> int:
+        extra = (self.sim.now - self._busy_since) if self._busy else 0
+        return self._busy_total + extra
+
+    def utilization(self) -> float:
+        elapsed = self.sim.now - self._origin
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_cycles() / elapsed
+
+
+class Series:
+    """A recorded time series of (time, value) samples.
+
+    This is what the Figure 9/10 viewer plots.  Recording every change
+    of a fast signal would need unbounded memory, so the paper samples
+    at intervals (Section 5.4); :class:`repro.trace.sampler.Sampler`
+    drives :meth:`record` periodically.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[int] = []
+        self.values: List[float] = []
+
+    def record(self, time: int, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def window(self, t0: int, t1: int) -> "Series":
+        """Samples with t0 <= time < t1, as a new Series."""
+        out = Series(self.name)
+        for t, v in zip(self.times, self.values):
+            if t0 <= t < t1:
+                out.record(t, v)
+        return out
+
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0

@@ -1,0 +1,126 @@
+"""Generator-driven processes.
+
+A process wraps a Python generator.  The generator yields
+:class:`~repro.sim.events.Event` instances; the process subscribes to
+each yielded event and resumes the generator with the event's value
+when it fires (or throws the event's exception into the generator).
+
+A ``Process`` is itself an :class:`Event` that fires when the generator
+returns — so processes can wait on each other, join-style.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from repro.sim.events import Event, Interrupt
+from repro.sim.kernel import PRIORITY_URGENT, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """Drive *generator* as a concurrent process of *sim*.
+
+    The process starts at the current simulation time (its first resume
+    is scheduled immediately, not run synchronously, so creation order
+    and execution order are decoupled deterministically).
+
+    Example
+    -------
+    >>> from repro.sim import Simulator
+    >>> sim = Simulator()
+    >>> def child(sim):
+    ...     yield sim.timeout(3)
+    ...     return "done"
+    >>> def parent(sim):
+    ...     result = yield sim.process(child(sim))
+    ...     assert result == "done"
+    >>> _ = sim.process(parent(sim))
+    >>> sim.run()
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process needs a generator, got {type(generator).__name__}")
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off via an initialisation event so the body runs inside
+        # the event loop, not inside the constructor.
+        init = Event(sim)
+        init.callbacks.append(self._resume)
+        init.succeed(None, priority=PRIORITY_URGENT)
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not returned or raised."""
+        return not self._triggered
+
+    # -- control -----------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The interrupt is delivered urgently (before same-time normal
+        events).  Interrupting a dead process is an error; interrupting
+        a process blocked on an event detaches it from that event.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        ev = Event(self.sim)
+        ev.callbacks.append(self._deliver_interrupt)
+        ev.fail(Interrupt(cause), priority=PRIORITY_URGENT)
+        ev.defused = True
+
+    def _deliver_interrupt(self, ev: Event) -> None:
+        if not self.is_alive:
+            return  # finished before delivery
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._waiting_on = None
+        self._step(ev)
+
+    # -- engine -------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
+        try:
+            if event.exception is not None:
+                event.defused = True
+                target = self._generator.throw(event.exception)
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value, priority=PRIORITY_URGENT)
+            return
+        except Interrupt as exc:
+            # Process let an interrupt escape: treat as failure.
+            self.fail(exc, priority=PRIORITY_URGENT)
+            return
+        except Exception as exc:
+            self.fail(exc, priority=PRIORITY_URGENT)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, expected Event"
+            )
+        if target is self:
+            raise SimulationError(f"process {self.name!r} waited on itself")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'dead'}>"

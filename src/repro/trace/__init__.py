@@ -1,0 +1,37 @@
+"""Performance measurement support (paper Section 5.4, Figures 9-10).
+
+Eclipse shells accumulate measurements in the stream and task tables;
+the main CPU reads them over the control bus at intervals.  This
+package provides:
+
+* :mod:`counters` — one-shot snapshots of every shell table (the
+  "CPU collects measurement data" role);
+* :mod:`sampler` — the periodic sampling process of §5.4 that records
+  bounded-memory time series (buffer filling, utilization, task
+  progress);
+* :mod:`viewer` — Figure 9's architecture view (utilization) and
+  application view (buffer filling, stalls), rendered as ASCII charts
+  and CSV.
+"""
+
+from repro.trace.counters import collect_counters
+from repro.trace.sampler import Sampler
+from repro.trace.viewer import (
+    render_application_view,
+    render_architecture_view,
+    render_fill_traces,
+    render_task_gantt,
+    series_to_csv,
+    sparkline,
+)
+
+__all__ = [
+    "Sampler",
+    "collect_counters",
+    "render_application_view",
+    "render_architecture_view",
+    "render_fill_traces",
+    "render_task_gantt",
+    "series_to_csv",
+    "sparkline",
+]

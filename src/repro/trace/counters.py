@@ -1,0 +1,94 @@
+"""Shell-table counter snapshots.
+
+"All shell tables are memory-mapped and accessible to the main CPU via
+a control bus" (paper §5.4).  :func:`collect_counters` is that read-out
+as one nested, JSON-able dictionary — per shell, per task row, per
+stream row, plus cache and bus counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.system import EclipseSystem
+
+__all__ = ["collect_counters"]
+
+
+def collect_counters(system: EclipseSystem) -> Dict[str, Any]:
+    """Snapshot every hardware counter in the system, at `sim.now`."""
+    shells: Dict[str, Any] = {}
+    for name, shell in system.shells.items():
+        coproc = system.coprocessors.get(name)
+        shells[name] = {
+            "tasks": {
+                t.name: {
+                    "steps_completed": t.steps_completed,
+                    "steps_aborted": t.steps_aborted,
+                    "busy_cycles": t.busy_cycles,
+                    "compute_cycles": t.compute_cycles,
+                    "stall_cycles": t.stall_cycles,
+                    "budget": t.budget,
+                    "finished": t.finished,
+                }
+                for t in shell.task_table
+            },
+            "streams": {
+                f"{row.stream}:{row.port}": {
+                    "is_producer": row.is_producer,
+                    "space": row.available(),
+                    "granted_window": row.granted,
+                    "position": row.position,
+                    "denied_getspace": row.denied_getspace,
+                    "granted_getspace": row.granted_getspace,
+                    "putspace_messages": row.putspace_messages_sent,
+                    "committed_bytes": row.committed_bytes,
+                    "fill_mean": row.fill_stat.mean() if row.fill_stat else None,
+                    "fill_max": row.fill_stat.maximum if row.fill_stat else None,
+                }
+                for row in shell.stream_table
+            },
+            "read_cache": {
+                "hits": shell.read_cache.stats.hits,
+                "misses": shell.read_cache.stats.misses,
+                "hit_rate": shell.read_cache.stats.hit_rate(),
+                "invalidations": shell.read_cache.stats.invalidations,
+                "evictions": shell.read_cache.stats.evictions,
+                "prefetch_fills": shell.read_cache.stats.prefetch_fills,
+            },
+            "write_cache": {
+                "hits": shell.write_cache.stats.hits,
+                "misses": shell.write_cache.stats.misses,
+                "evictions": shell.write_cache.stats.evictions,
+            },
+            "ops": {
+                "getspace": shell.getspace_ops,
+                "putspace": shell.putspace_ops,
+                "gettask": shell.gettask_ops,
+                "task_switches": shell.scheduler.task_switches,
+                "budget_exhaustions": shell.scheduler.budget_exhaustions,
+                "idle_wait_cycles": shell.idle_wait_cycles,
+            },
+            "utilization": coproc.utilization.utilization() if coproc else 0.0,
+        }
+    return {
+        "now": system.sim.now,
+        "shells": shells,
+        "read_bus": {
+            "transactions": system.read_bus.stats.transactions,
+            "bytes": system.read_bus.stats.bytes_transferred,
+            "busy_cycles": system.read_bus.stats.busy_cycles,
+            "wait_cycles": system.read_bus.stats.wait_cycles,
+        },
+        "write_bus": {
+            "transactions": system.write_bus.stats.transactions,
+            "bytes": system.write_bus.stats.bytes_transferred,
+            "busy_cycles": system.write_bus.stats.busy_cycles,
+            "wait_cycles": system.write_bus.stats.wait_cycles,
+        },
+        "dram": {
+            "bytes_read": system.dram.bytes_read,
+            "bytes_written": system.dram.bytes_written,
+        },
+        "fabric_messages": system.fabric.messages_sent,
+    }

@@ -1,0 +1,128 @@
+"""Operation logging: a structured trace of task-level-interface ops.
+
+The §7 simulator was a *design tool*: when a run misbehaves, designers
+need to see exactly which primitive each coprocessor issued when.
+:class:`OpLog` attaches to a configured system and records every
+GetTask/GetSpace/Read/Write/PutSpace/compute/external access and every
+fabric message as ``(time, unit, task, kind, detail)`` records, with an
+optional filter and a bounded buffer (oldest records dropped).
+
+Zero cost when not attached; deterministic (pure observation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterable, List, Optional
+
+from repro.core.system import EclipseSystem
+
+__all__ = ["OpRecord", "OpLog", "render_oplog"]
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One logged operation."""
+
+    time: int
+    unit: str
+    task: str
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:>10}] {self.unit:>6} {self.task:>12} {self.kind:<9} {self.detail}"
+
+
+class OpLog:
+    """Bounded in-memory operation trace for one system."""
+
+    def __init__(
+        self,
+        system: EclipseSystem,
+        capacity: int = 10_000,
+        predicate: Optional[Callable[[OpRecord], bool]] = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not system.coprocessors:
+            raise RuntimeError("attach the OpLog after configure()")
+        self.system = system
+        self.capacity = capacity
+        self.predicate = predicate
+        self.records: Deque[OpRecord] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.total = 0
+        self._install()
+
+    # ------------------------------------------------------------------
+    def _emit(self, unit: str, task: str, kind: str, detail: str) -> None:
+        rec = OpRecord(self.system.sim.now, unit, task, kind, detail)
+        if self.predicate is not None and not self.predicate(rec):
+            return
+        self.total += 1
+        if len(self.records) == self.capacity:
+            self.dropped += 1
+        self.records.append(rec)
+
+    def _install(self) -> None:
+        for cname, coproc in self.system.coprocessors.items():
+            self._wrap_coprocessor(cname, coproc)
+        fabric = self.system.fabric
+        original_send = fabric.send
+
+        def send(dest, msg, _orig=original_send):
+            self._emit("fabric", "-", type(msg).__name__, f"-> {dest.name} {msg}")
+            _orig(dest, msg)
+
+        fabric.send = send  # type: ignore[method-assign]
+
+    def _wrap_coprocessor(self, cname: str, coproc) -> None:
+        original = coproc._run_step
+
+        log = self._emit
+
+        def run_step(row, _orig=original):
+            log(cname, row.name, "step", "begin")
+            outcome = yield from _orig(row)
+            log(cname, row.name, "step", f"end:{outcome.value}")
+            return outcome
+
+        coproc._run_step = run_step  # type: ignore[method-assign]
+        shell = coproc.shell
+        for name in ("get_space", "put_space"):
+            original_prim = getattr(shell, name)
+
+            def prim(task, port, n, _orig=original_prim, _name=name):
+                result = yield from _orig(task, port, n)
+                detail = f"{port}:{n}"
+                if _name == "get_space":
+                    detail += f" -> {'grant' if result else 'DENY'}"
+                    if getattr(result, "eos", False):
+                        detail += "(eos)"
+                log(cname, task.name, _name, detail)
+                return result
+
+            setattr(shell, name, prim)
+
+    # ------------------------------------------------------------------
+    def filter(self, kind: Optional[str] = None, task: Optional[str] = None) -> List[OpRecord]:
+        return [
+            r
+            for r in self.records
+            if (kind is None or r.kind == kind) and (task is None or r.task == task)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def render_oplog(log: OpLog, last: int = 40) -> str:
+    """The tail of the trace, one op per line."""
+    records = list(log.records)[-last:]
+    header = (
+        f"op log: showing {len(records)} of {log.total} records "
+        f"({log.dropped} dropped by the ring buffer)"
+    )
+    return "\n".join([header] + [str(r) for r in records])

@@ -1,0 +1,171 @@
+"""Figure 9-style performance visualization, in text.
+
+"The viewer differentiates between architecture views (e.g. VLD
+coprocessor utilization) and application views (e.g. stream buffer
+filling, stall time of tasks)" (paper §7).  The original tool was
+graphical; the content — which series exist and how they are
+attributed per task/stream — is what matters, so this module renders
+the same views as ASCII charts and CSV.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.system import SystemResult
+from repro.sim import Series
+
+__all__ = [
+    "sparkline",
+    "bar",
+    "render_fill_traces",
+    "render_architecture_view",
+    "render_application_view",
+    "render_task_gantt",
+    "series_to_csv",
+]
+
+_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Iterable[float], vmax: Optional[float] = None, width: Optional[int] = None) -> str:
+    """Values -> one line of density characters (0..vmax)."""
+    vals = list(values)
+    if not vals:
+        return ""
+    if width is not None and len(vals) > width:
+        # decimate by taking the max of each bucket (peaks matter for
+        # buffer-filling plots)
+        bucket = len(vals) / width
+        vals = [
+            max(vals[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            for i in range(width)
+        ]
+    top = vmax if vmax is not None else max(vals)
+    if top <= 0:
+        return _LEVELS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int(min(max(v / top, 0.0), 1.0) * (len(_LEVELS) - 1))
+        out.append(_LEVELS[idx])
+    return "".join(out)
+
+
+def bar(fraction: float, width: int = 40) -> str:
+    """A utilization bar: ``[#####.....] 50.0%``."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return f"[{'#' * filled}{'.' * (width - filled)}] {100 * fraction:5.1f}%"
+
+
+def render_fill_traces(
+    fill: Mapping[Tuple[str, str], Series],
+    buffer_sizes: Optional[Mapping[str, int]] = None,
+    width: int = 100,
+    frame_marks: Optional[Mapping[int, int]] = None,
+    frame_types: Optional[List[str]] = None,
+) -> str:
+    """The Figure 10 plot: available input data per stream over time.
+
+    ``frame_marks`` (frame index -> cycle) and ``frame_types`` add the
+    paper's I/P/B row on top.
+    """
+    lines: List[str] = []
+    all_series = list(fill.items())
+    if not all_series:
+        return "(no streams sampled)"
+    t_end = max((s.times[-1] for _k, s in all_series if len(s)), default=0)
+    if frame_marks and frame_types and t_end > 0:
+        ruler = [" "] * width
+        for frame, t in frame_marks.items():
+            pos = min(int(t / t_end * (width - 1)), width - 1)
+            if 0 < frame <= len(frame_types):
+                ruler[pos] = frame_types[frame - 1]
+        lines.append("frames  " + "".join(ruler))
+    name_w = max(len(f"{stream}->{task}") for (stream, task), _s in all_series)
+    for (stream, task), series in sorted(all_series):
+        cap = buffer_sizes.get(stream) if buffer_sizes else None
+        label = f"{stream}->{task}".ljust(name_w)
+        spark = sparkline(series.values, vmax=cap, width=width)
+        suffix = f"  (max {series.max():.0f}" + (f"/{cap} B)" if cap else " B)")
+        lines.append(f"{label}  {spark}{suffix}")
+    return "\n".join(lines)
+
+
+def render_architecture_view(result: SystemResult) -> str:
+    """Figure 9's architecture view: per-unit utilization, buses,
+    caches."""
+    lines = ["=== architecture view ==="]
+    for name in sorted(result.utilization):
+        lines.append(f"{name:>10}  {bar(result.utilization[name])}")
+    lines.append(f"{'read bus':>10}  {bar(result.read_bus_utilization)}")
+    lines.append(f"{'write bus':>10}  {bar(result.write_bus_utilization)}")
+    for name in sorted(result.cache_hit_rate):
+        lines.append(
+            f"{name:>10}  read-cache hit rate {100 * result.cache_hit_rate[name]:5.1f}%"
+        )
+    lines.append(f"messages sent: {result.messages_sent}")
+    return "\n".join(lines)
+
+
+def render_application_view(result: SystemResult) -> str:
+    """Figure 9's application view: per-task and per-stream statistics
+    — progress, aborted steps, stall time, buffer filling."""
+    lines = ["=== application view ==="]
+    lines.append(
+        f"{'task':>12} {'on':>6} {'steps':>8} {'aborts':>7} {'busy':>10} "
+        f"{'stall':>9} {'stall%':>7}"
+    )
+    for name in sorted(result.tasks):
+        t = result.tasks[name]
+        stall_pct = 100 * t.stall_cycles / t.busy_cycles if t.busy_cycles else 0.0
+        lines.append(
+            f"{name:>12} {t.coprocessor:>6} {t.steps_completed:>8} "
+            f"{t.steps_aborted:>7} {t.busy_cycles:>10} {t.stall_cycles:>9} "
+            f"{stall_pct:>6.1f}%"
+        )
+    lines.append("")
+    lines.append(
+        f"{'stream':>12} {'bytes':>10} {'fill mean':>10} {'fill max':>9} "
+        f"{'denied':>7} {'msgs':>7}"
+    )
+    for name in sorted(result.streams):
+        s = result.streams[name]
+        lines.append(
+            f"{name:>12} {s.bytes_transferred:>10} {s.fill_mean:>10.1f} "
+            f"{s.fill_max:>9.0f} {s.denied_getspace:>7} {s.putspace_messages:>7}"
+        )
+    return "\n".join(lines)
+
+
+def render_task_gantt(sampler, system, width: int = 100) -> str:
+    """Per-coprocessor task activity over time (the multi-tasking view).
+
+    One row per coprocessor; each column is a sampling window showing
+    which task the shell's scheduler held while the unit was busy
+    (digit = task id in that shell's table, '.' = idle).  Makes the
+    time-sharing of e.g. the DCT coprocessor between forward and
+    inverse DCT directly visible."""
+    lines: List[str] = []
+    legend: List[str] = []
+    for cname in sorted(sampler.running_task):
+        series = sampler.running_task[cname]
+        vals = series.values
+        if width and len(vals) > width:
+            bucket = len(vals) / width
+            vals = [vals[int(i * bucket)] for i in range(width)]
+        row = "".join("." if v < 0 else str(int(v) % 10) for v in vals)
+        lines.append(f"{cname:>8}  {row}")
+        names = [t.name for t in system.shells[cname].task_table]
+        legend.append(f"{cname}: " + ", ".join(f"{i}={n}" for i, n in enumerate(names)))
+    return "\n".join(lines) + "\n" + "\n".join(legend)
+
+
+def series_to_csv(series: Mapping[str, Series] | Mapping[Tuple[str, str], Series]) -> str:
+    """Export sampled series as CSV (name,time,value rows)."""
+    lines = ["name,time,value"]
+    for key, s in series.items():
+        name = key if isinstance(key, str) else "->".join(key)
+        for t, v in s:
+            lines.append(f"{name},{t},{v}")
+    return "\n".join(lines)

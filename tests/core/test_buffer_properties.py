@@ -1,0 +1,67 @@
+"""Property-based tests for cyclic-buffer address arithmetic — the
+foundation of the Figures 5-6 window semantics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import CyclicBuffer
+
+
+@given(
+    base=st.integers(0, 10_000),
+    size=st.integers(1, 4096),
+    position=st.integers(0, 1_000_000),
+    data=st.data(),
+)
+def test_segments_cover_exact_range(base, size, position, data):
+    """Segments are disjoint, in-buffer, and byte-for-byte equal to the
+    cyclic range."""
+    n = data.draw(st.integers(0, size))
+    buf = CyclicBuffer(base, size)
+    segs = buf.segments(position, n)
+    # total length matches
+    assert sum(length for _a, length in segs) == n
+    # at most two pieces; all inside [base, base+size)
+    assert len(segs) <= 2
+    for addr, length in segs:
+        assert base <= addr and addr + length <= base + size
+    # piecewise addresses equal addr_of for every byte
+    flat = [addr + i for addr, length in segs for i in range(length)]
+    assert flat == [buf.addr_of(position + k) for k in range(n)]
+
+
+@given(
+    base=st.integers(0, 1000),
+    size=st.integers(1, 1024),
+    position=st.integers(0, 100_000),
+    line_pow=st.integers(2, 7),
+    data=st.data(),
+)
+def test_lines_cover_all_touched_bytes(base, size, position, line_pow, data):
+    n = data.draw(st.integers(0, size))
+    line = 1 << line_pow
+    buf = CyclicBuffer(base, size)
+    lines = buf.lines(position, n, line)
+    line_set = set(lines)
+    assert lines == sorted(line_set)  # sorted, deduped
+    for addr, length in buf.segments(position, n):
+        for byte in (addr, addr + length - 1):
+            assert byte - byte % line in line_set
+    # no gratuitous lines: every reported line intersects the range
+    covered = {
+        a
+        for addr, length in buf.segments(position, n)
+        for a in range(addr - addr % line, addr + length, line)
+    }
+    assert line_set == covered
+
+
+@given(
+    size=st.integers(1, 512),
+    position=st.integers(0, 10_000),
+)
+def test_wraparound_periodicity(size, position):
+    """Positions one buffer apart map to identical addresses."""
+    buf = CyclicBuffer(100, size)
+    assert buf.addr_of(position) == buf.addr_of(position + size)
+    assert buf.segments(position, min(size, 7)) == buf.segments(position + size, min(size, 7))

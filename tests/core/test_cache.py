@@ -1,0 +1,112 @@
+"""Unit tests for the shell read/write caches."""
+
+import pytest
+
+from repro.core import ReadCache, WriteCache
+
+
+def test_read_cache_fill_and_lookup():
+    c = ReadCache(capacity_lines=2, line_size=4)
+    assert c.lookup(0) is None
+    c.fill(0, b"abcd")
+    assert c.lookup(0) == b"abcd"
+
+
+def test_read_cache_lru_eviction():
+    c = ReadCache(capacity_lines=2, line_size=4)
+    c.fill(0, b"aaaa")
+    c.fill(4, b"bbbb")
+    c.lookup(0)  # promote line 0
+    c.fill(8, b"cccc")  # evicts line 4 (LRU)
+    assert c.lookup(0) == b"aaaa"
+    assert c.lookup(4) is None
+    assert c.lookup(8) == b"cccc"
+    assert c.stats.evictions == 1
+
+
+def test_read_cache_invalidate():
+    c = ReadCache(capacity_lines=4, line_size=4)
+    c.fill(0, b"aaaa")
+    c.fill(4, b"bbbb")
+    dropped = c.invalidate([0, 8])  # 8 not present
+    assert dropped == 1
+    assert c.lookup(0) is None
+    assert c.lookup(4) == b"bbbb"
+    assert c.stats.invalidations == 1
+
+
+def test_read_cache_wrong_fill_size():
+    c = ReadCache(capacity_lines=2, line_size=4)
+    with pytest.raises(ValueError):
+        c.fill(0, b"toolong!")
+
+
+def test_read_cache_prefetch_counter():
+    c = ReadCache(capacity_lines=2, line_size=4)
+    c.fill(0, b"aaaa", prefetch=True)
+    assert c.stats.prefetch_fills == 1
+
+
+def test_write_cache_stage_and_flush():
+    c = WriteCache(capacity_lines=4, line_size=8)
+    assert c.write(0, b"hello") == []
+    flushed = c.flush_range(0, 5)
+    assert len(flushed) == 1
+    addr, data, mask = flushed[0]
+    assert addr == 0
+    assert data[:5] == b"hello"
+    assert mask == bytes([1, 1, 1, 1, 1, 0, 0, 0])
+    assert c.dirty_lines() == 0
+
+
+def test_write_cache_partial_flush_keeps_rest_dirty():
+    c = WriteCache(capacity_lines=4, line_size=8)
+    c.write(0, b"ABCDEFGH")
+    flushed = c.flush_range(0, 4)
+    assert flushed[0][2] == bytes([1, 1, 1, 1, 0, 0, 0, 0])
+    assert c.dirty_lines() == 1  # bytes 4..7 still dirty
+    flushed2 = c.flush_range(4, 4)
+    assert flushed2[0][2] == bytes([0, 0, 0, 0, 1, 1, 1, 1])
+    assert c.dirty_lines() == 0
+
+
+def test_write_cache_spans_lines():
+    c = WriteCache(capacity_lines=4, line_size=8)
+    c.write(6, b"1234")  # bytes 6,7 in line 0; 8,9 in line 8
+    flushed = c.flush_range(6, 4)
+    assert [f[0] for f in flushed] == [0, 8]
+    assert flushed[0][1][6:8] == b"12"
+    assert flushed[1][1][0:2] == b"34"
+
+
+def test_write_cache_capacity_eviction():
+    c = WriteCache(capacity_lines=2, line_size=8)
+    c.write(0, b"a")
+    c.write(8, b"b")
+    evicted = c.write(16, b"c")
+    assert len(evicted) == 1
+    assert evicted[0][0] == 0  # LRU line
+    assert c.stats.evictions == 1
+
+
+def test_write_cache_overwrite_same_bytes():
+    c = WriteCache(capacity_lines=2, line_size=8)
+    c.write(0, b"AAAA")
+    c.write(2, b"BB")
+    flushed = c.flush_range(0, 4)
+    assert flushed[0][1][:4] == b"AABB"
+
+
+def test_write_cache_flush_empty_range():
+    c = WriteCache(capacity_lines=2, line_size=8)
+    c.write(0, b"x")
+    assert c.flush_range(0, 0) == []
+    assert c.flush_range(8, 8) == []  # different line, nothing dirty
+
+
+def test_write_cache_hit_miss_counters():
+    c = WriteCache(capacity_lines=2, line_size=8)
+    c.write(0, b"a")  # miss (new line)
+    c.write(1, b"b")  # hit (same line)
+    assert c.stats.misses == 1
+    assert c.stats.hits == 1

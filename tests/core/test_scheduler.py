@@ -1,0 +1,114 @@
+"""Unit tests for the weighted round-robin best-guess scheduler."""
+
+from repro.core import TaskRow, TaskTable, WeightedRoundRobinScheduler
+from repro.core.scheduler import ScheduleVerdict
+from repro.kahn.kernel import Kernel, KernelContext
+
+
+def make_table(budgets):
+    table = TaskTable()
+    for i, b in enumerate(budgets):
+        k = Kernel()
+        table.add(TaskRow(task_id=i, name=f"t{i}", kernel=k, ctx=KernelContext(()), budget=b))
+    return table
+
+
+def test_empty_table_is_done():
+    sched = WeightedRoundRobinScheduler(make_table([]))
+    verdict, row = sched.select(0)
+    assert verdict is ScheduleVerdict.DONE
+
+
+def test_first_selection_round_robin():
+    sched = WeightedRoundRobinScheduler(make_table([100, 100]))
+    verdict, row = sched.select(0)
+    assert verdict is ScheduleVerdict.RUN
+    assert row.task_id == 0
+    assert row.remaining == 100
+
+
+def test_task_continues_within_budget():
+    sched = WeightedRoundRobinScheduler(make_table([100, 100]))
+    _, row = sched.select(0)
+    verdict, row2 = sched.select(30)
+    assert row2 is row  # same task, budget left
+    assert row2.remaining == 70
+    assert sched.task_switches == 1  # only the initial pick
+
+
+def test_budget_exhaustion_switches():
+    sched = WeightedRoundRobinScheduler(make_table([100, 100]))
+    sched.select(0)
+    verdict, row = sched.select(100)  # budget fully consumed
+    assert row.task_id == 1
+    assert row.remaining == 100
+    assert sched.budget_exhaustions == 1
+    assert sched.task_switches == 2
+
+
+def test_blocked_task_skipped():
+    table = make_table([100, 100, 100])
+    sched = WeightedRoundRobinScheduler(table)
+    _, row = sched.select(0)
+    row.blocked_on.add(7)  # task 0 blocks
+    verdict, row2 = sched.select(10)
+    assert row2.task_id == 1
+
+
+def test_all_blocked_waits():
+    table = make_table([100, 100])
+    for r in table:
+        r.blocked_on.add(1)
+    sched = WeightedRoundRobinScheduler(table)
+    verdict, row = sched.select(0)
+    assert verdict is ScheduleVerdict.WAIT
+    assert row is None
+
+
+def test_unblock_allows_selection():
+    table = make_table([100, 100])
+    for r in table:
+        r.blocked_on.add(1)
+    sched = WeightedRoundRobinScheduler(table)
+    assert sched.select(0)[0] is ScheduleVerdict.WAIT
+    assert table.unblock(1)  # someone became runnable
+    verdict, row = sched.select(0)
+    assert verdict is ScheduleVerdict.RUN
+
+
+def test_finished_tasks_lead_to_done():
+    table = make_table([100, 100])
+    sched = WeightedRoundRobinScheduler(table)
+    for r in table:
+        r.finished = True
+    assert sched.select(0)[0] is ScheduleVerdict.DONE
+
+
+def test_round_robin_fair_rotation():
+    table = make_table([10, 10, 10])
+    sched = WeightedRoundRobinScheduler(table)
+    order = []
+    for _ in range(6):
+        _, row = sched.select(10)  # exhaust budget each time
+        order.append(row.task_id)
+    assert order == [0, 1, 2, 0, 1, 2]
+
+
+def test_weighted_budgets_ratio():
+    """A task with twice the budget gets twice the continuous cycles."""
+    table = make_table([200, 100])
+    sched = WeightedRoundRobinScheduler(table)
+    runtime = {0: 0, 1: 0}
+    _, row = sched.select(0)
+    for _ in range(30):
+        step = 50
+        runtime[row.task_id] += step
+        _, row = sched.select(step)
+    assert runtime[0] == 2 * runtime[1]
+
+
+def test_unblock_returns_false_when_still_blocked():
+    table = make_table([10])
+    table[0].blocked_on.update({1, 2})
+    assert not table.unblock(1)  # still blocked on 2
+    assert table.unblock(2)

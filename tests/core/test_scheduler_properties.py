@@ -1,0 +1,76 @@
+"""Property-based tests for the weighted round-robin scheduler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TaskRow, TaskTable, WeightedRoundRobinScheduler
+from repro.core.scheduler import ScheduleVerdict
+from repro.kahn.kernel import Kernel, KernelContext
+
+
+def make_table(budgets):
+    table = TaskTable()
+    for i, b in enumerate(budgets):
+        table.add(
+            TaskRow(task_id=i, name=f"t{i}", kernel=Kernel(), ctx=KernelContext(()), budget=b)
+        )
+    return table
+
+
+@given(budgets=st.lists(st.integers(min_value=10, max_value=10_000), min_size=2, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_long_run_share_proportional_to_budget(budgets):
+    """With always-runnable tasks, continuous execution time divides in
+    proportion to the configured budgets (the paper's 'weights')."""
+    table = make_table(budgets)
+    sched = WeightedRoundRobinScheduler(table)
+    runtime = [0] * len(budgets)
+    verdict, row = sched.select(0)
+    assert verdict is ScheduleVerdict.RUN
+    rounds = 50 * len(budgets)
+    for _ in range(rounds):
+        # consume the whole remaining budget in one go
+        step = row.remaining
+        runtime[row.task_id] += step
+        verdict, row = sched.select(step)
+        assert verdict is ScheduleVerdict.RUN
+    total_budget = sum(budgets)
+    total_runtime = sum(runtime)
+    for i, b in enumerate(budgets):
+        share = runtime[i] / total_runtime
+        expect = b / total_budget
+        assert abs(share - expect) < 0.02
+
+
+@given(
+    budgets=st.lists(st.integers(min_value=100, max_value=1000), min_size=2, max_size=5),
+    blocked_mask=st.lists(st.booleans(), min_size=2, max_size=5),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_never_selects_blocked_task(budgets, blocked_mask, data):
+    n = min(len(budgets), len(blocked_mask))
+    budgets, blocked_mask = budgets[:n], blocked_mask[:n]
+    table = make_table(budgets)
+    for row, blocked in zip(table, blocked_mask):
+        if blocked:
+            row.blocked_on.add(99)
+    sched = WeightedRoundRobinScheduler(table)
+    for _ in range(20):
+        verdict, row = sched.select(data.draw(st.integers(0, 500)))
+        if verdict is ScheduleVerdict.RUN:
+            assert not row.blocked_on
+        elif verdict is ScheduleVerdict.WAIT:
+            assert all(r.blocked_on for r in table if not r.finished)
+            break
+
+
+@given(budgets=st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=5))
+@settings(max_examples=40, deadline=None)
+def test_done_only_when_all_finished(budgets):
+    table = make_table(budgets)
+    sched = WeightedRoundRobinScheduler(table)
+    for i, row in enumerate(table):
+        assert sched.select(10)[0] is not ScheduleVerdict.DONE
+        row.finished = True
+    assert sched.select(10)[0] is ScheduleVerdict.DONE

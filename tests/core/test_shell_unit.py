@@ -1,0 +1,179 @@
+"""Unit tests for shell-level protocol behaviour: window semantics,
+coherency-driven invalidation/flush, protocol-error detection, and the
+putspace message machinery."""
+
+import pytest
+
+from repro.core import CoprocessorSpec, EclipseSystem, ShellParams, SystemParams
+from repro.core.shell import ShellProtocolError
+from repro.kahn import ApplicationGraph, Direction, Kernel, PortSpec, StepOutcome, TaskNode
+from repro.kahn.library import ConsumerKernel, ProducerKernel
+
+
+def run_system(producer_factory, consumer_factory=None, buffer_size=64, **sys_kw):
+    g = ApplicationGraph("unit")
+    g.add_task(TaskNode("src", producer_factory, producer_factory().ports(), mapping="cp0"))
+    cons = consumer_factory or ConsumerKernel
+    g.add_task(TaskNode("dst", cons, cons().ports(), mapping="cp1"))
+    g.connect("src.out", "dst.in", buffer_size=buffer_size)
+    system = EclipseSystem(
+        [CoprocessorSpec("cp0"), CoprocessorSpec("cp1")], SystemParams(**sys_kw)
+    )
+    system.configure(g)
+    return system
+
+
+class ReadOutsideWindow(Kernel):
+    PORTS = (PortSpec("in", Direction.IN),)
+
+    def step(self, ctx):
+        sp = yield ctx.get_space("in", 4)
+        if not sp:
+            return StepOutcome.FINISHED if sp.eos else StepOutcome.ABORTED
+        yield ctx.read("in", 0, 8)  # granted only 4!
+        return StepOutcome.COMPLETED
+
+
+def test_read_outside_granted_window_detected():
+    system = run_system(lambda: ProducerKernel(b"x" * 32, chunk=8), ReadOutsideWindow)
+    with pytest.raises(ShellProtocolError, match="outside"):
+        system.run()
+
+
+class WriteOutsideWindow(Kernel):
+    PORTS = (PortSpec("out", Direction.OUT),)
+
+    def step(self, ctx):
+        sp = yield ctx.get_space("out", 4)
+        if not sp:
+            return StepOutcome.ABORTED
+        yield ctx.write("out", 2, b"abcd")  # [2:6) > granted 4
+        return StepOutcome.COMPLETED
+
+
+def test_write_outside_granted_window_detected():
+    system = run_system(WriteOutsideWindow)
+    with pytest.raises(ShellProtocolError, match="outside"):
+        system.run()
+
+
+class OvercommitKernel(Kernel):
+    PORTS = (PortSpec("out", Direction.OUT),)
+
+    def step(self, ctx):
+        sp = yield ctx.get_space("out", 4)
+        if not sp:
+            return StepOutcome.ABORTED
+        yield ctx.put_space("out", 8)  # commit more than granted
+        return StepOutcome.COMPLETED
+
+
+def test_putspace_beyond_grant_detected():
+    """'in size constrained by the previously granted space' (§4.1)."""
+    system = run_system(OvercommitKernel)
+    with pytest.raises(ShellProtocolError, match="exceeds"):
+        system.run()
+
+
+class ReadOnOutput(Kernel):
+    PORTS = (PortSpec("out", Direction.OUT),)
+
+    def step(self, ctx):
+        # bypass KernelContext checking to hit the shell's own guard
+        from repro.kahn.kernel import ReadOp
+
+        yield ReadOp("out", 0, 4)
+        return StepOutcome.COMPLETED
+
+
+def test_read_on_output_port_detected():
+    system = run_system(ReadOnOutput)
+    with pytest.raises(ShellProtocolError, match="output port"):
+        system.run()
+
+
+class GrowingWindowKernel(Kernel):
+    """GetSpace(8) then GetSpace(4): the window must NOT shrink."""
+
+    PORTS = (PortSpec("out", Direction.OUT),)
+
+    def __init__(self):
+        super().__init__()
+        self.done = False
+
+    def step(self, ctx):
+        if self.done:
+            return StepOutcome.FINISHED
+        sp = yield ctx.get_space("out", 8)
+        assert sp
+        sp2 = yield ctx.get_space("out", 4)
+        assert sp2
+        # writing at [4:8) is legal only if the 8-byte grant survived
+        yield ctx.write("out", 4, b"WXYZ")
+        yield ctx.write("out", 0, b"abcd")
+        yield ctx.put_space("out", 8)
+        self.done = True
+        return StepOutcome.COMPLETED
+
+
+def test_granted_window_never_shrinks():
+    system = run_system(GrowingWindowKernel, lambda: ConsumerKernel(chunk=8))
+    result = system.run()
+    assert result.histories["s_src_out"] == b"abcdWXYZ"
+
+
+def test_getspace_larger_than_buffer_is_config_error():
+    system = run_system(lambda: ProducerKernel(b"x" * 64, chunk=32), buffer_size=16)
+    with pytest.raises(ShellProtocolError, match="exceeds\nbuffer size|exceeds"):
+        system.run()
+
+
+def test_coherency_counters_move():
+    """GetSpace extensions invalidate; PutSpace commits flush."""
+    system = run_system(
+        lambda: ProducerKernel(bytes(range(256)) * 4, chunk=32), buffer_size=128
+    )
+    result = system.run()
+    consumer_shell = system.shells["cp1"]
+    assert consumer_shell.read_cache.stats.invalidations > 0
+    producer_shell = system.shells["cp0"]
+    assert producer_shell.write_cache.stats.misses > 0  # lines staged
+    assert system.sram.bytes_written >= 1024  # flushes reached SRAM
+
+
+def test_zero_byte_ops_are_cheap_and_legal():
+    class ZeroOps(Kernel):
+        PORTS = (PortSpec("out", Direction.OUT),)
+
+        def __init__(self):
+            super().__init__()
+            self.done = False
+
+        def step(self, ctx):
+            if self.done:
+                return StepOutcome.FINISHED
+            sp = yield ctx.get_space("out", 0)
+            assert sp
+            yield ctx.write("out", 0, b"")
+            yield ctx.put_space("out", 0)
+            sp = yield ctx.get_space("out", 4)
+            yield ctx.write("out", 0, b"data")
+            yield ctx.put_space("out", 4)
+            self.done = True
+            return StepOutcome.COMPLETED
+
+    system = run_system(ZeroOps, lambda: ConsumerKernel(chunk=4))
+    result = system.run()
+    assert result.histories["s_src_out"] == b"data"
+
+
+def test_idle_wait_accounted():
+    """A consumer much faster than its producer spends time waiting in
+    GetTask; the shell accounts it as idle, not busy."""
+    system = run_system(
+        lambda: ProducerKernel(b"q" * 256, chunk=8, compute_cycles=500),
+    )
+    result = system.run()
+    consumer_shell = system.shells["cp1"]
+    assert consumer_shell.idle_wait_cycles > 1000
+    assert result.utilization["cp1"] < 0.5

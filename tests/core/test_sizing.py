@@ -1,0 +1,92 @@
+"""Tests for the buffer-sizing planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.sizing import apply_plan, plan_buffers
+from repro.media import CodecParams, encode_sequence, synthetic_sequence
+from repro.media.packets import HEADER_SIZE
+from repro.media.pipelines import decode_graph
+
+
+@pytest.fixture(scope="module")
+def content():
+    params = CodecParams(width=48, height=32, gop_n=6, gop_m=3)
+    frames = synthetic_sequence(params.width, params.height, 6)
+    bits, recon, stats = encode_sequence(frames, params)
+    return params, bits, recon, stats
+
+
+def worst_requests(params, stats):
+    pairs = np.array(stats.mb_pairs)
+    blocks = np.array(stats.mb_coded_blocks)
+    coef_worst = int((HEADER_SIZE + 2 * blocks + 3 * pairs).max())
+    return {
+        "coef": coef_worst,
+        "mv": HEADER_SIZE,
+        "dequant": HEADER_SIZE + 6 * 64 * 2,
+        "resid": HEADER_SIZE + 6 * 64 * 2,
+        "recon": HEADER_SIZE + 384,
+    }
+
+
+def test_plan_reports_fit(content):
+    params, bits, _recon, stats = content
+    g = decode_graph(bits)
+    plan = plan_buffers(g, worst_requests(params, stats), elasticity=3)
+    assert set(plan.sizes) == set(g.streams)
+    assert plan.fits
+    assert plan.total_bytes == sum(plan.sizes.values())
+    assert "fits" in plan.summary()
+
+
+def test_planned_sizes_are_padded_multiples(content):
+    params, bits, _recon, stats = content
+    plan = plan_buffers(decode_graph(bits), worst_requests(params, stats), line_pad=32)
+    for size in plan.sizes.values():
+        assert size % 32 == 0
+
+
+def test_apply_plan_and_run(content):
+    """A minimal (elasticity=1) plan still decodes bit-exactly."""
+    from repro.instance import DECODE_MAPPING, build_mpeg_instance
+
+    params, bits, recon, stats = content
+    g = decode_graph(bits, mapping=DECODE_MAPPING)
+    plan = plan_buffers(g, worst_requests(params, stats), elasticity=1)
+    apply_plan(plan, g)
+    system = build_mpeg_instance()
+    system.configure(g)
+    result = system.run()
+    assert result.completed
+    disp = next(
+        row.kernel
+        for shell in system.shells.values()
+        for row in shell.task_table
+        if row.name == "disp"
+    )
+    for d, r in zip(disp.display_frames(), recon):
+        assert np.array_equal(d.y, r.y)
+
+
+def test_undersized_sram_flagged(content):
+    params, bits, _recon, stats = content
+    plan = plan_buffers(
+        decode_graph(bits), worst_requests(params, stats), elasticity=8, sram_size=4096
+    )
+    assert not plan.fits
+    assert plan.headroom() < 0
+    assert "DOES NOT FIT" in plan.summary()
+
+
+def test_validation(content):
+    _params, bits, _recon, _stats = content
+    g = decode_graph(bits)
+    with pytest.raises(ValueError):
+        plan_buffers(g, {}, elasticity=0)
+    with pytest.raises(ValueError):
+        plan_buffers(g, {"coef": 0})
+    plan = plan_buffers(g, {})
+    plan.sizes["ghost"] = 64  # unknown stream in plan
+    with pytest.raises(KeyError):
+        apply_plan(plan, g)

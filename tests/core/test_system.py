@@ -1,0 +1,356 @@
+"""End-to-end tests of the cycle-level Eclipse system.
+
+The decisive check: the cycle-level run must reproduce the reference
+functional executor's stream histories byte-for-byte (Kahn
+determinism), which exercises shells, caches, coherency, scheduling,
+buses and synchronization together.
+"""
+
+import pytest
+
+from repro.core import (
+    CoprocessorSpec,
+    EclipseSystem,
+    ShellParams,
+    StalledError,
+    SystemParams,
+)
+from repro.kahn import ApplicationGraph, FunctionalExecutor, TaskNode
+from repro.kahn.library import (
+    ConditionalConsumerKernel,
+    ConsumerKernel,
+    ForkKernel,
+    HeaderPayloadProducerKernel,
+    HeaderPayloadRelayKernel,
+    MapKernel,
+    ProducerKernel,
+    RoundRobinMergeKernel,
+)
+
+
+def payload_of(n, seed=1):
+    return bytes((i * 131 + seed * 17) % 256 for i in range(n))
+
+
+def pipe_graph(payload, chunk=16, buffer_size=256, mapping=(None, None)):
+    g = ApplicationGraph("pipe")
+    g.add_task(
+        TaskNode("src", lambda: ProducerKernel(payload, chunk=chunk), ProducerKernel.PORTS, mapping=mapping[0])
+    )
+    g.add_task(
+        TaskNode("dst", lambda: ConsumerKernel(chunk=chunk), ConsumerKernel.PORTS, mapping=mapping[1])
+    )
+    g.connect("src.out", "dst.in", buffer_size=buffer_size)
+    return g
+
+
+def two_coprocs(**params):
+    return EclipseSystem(
+        [CoprocessorSpec("cp0"), CoprocessorSpec("cp1")],
+        SystemParams(**params) if params else None,
+    )
+
+
+def test_pipe_transfers_payload():
+    payload = payload_of(1000)
+    system = two_coprocs()
+    system.configure(pipe_graph(payload))
+    result = system.run()
+    assert result.completed
+    assert result.histories["s_src_out"] == payload
+    assert result.cycles > 0
+
+
+def test_matches_functional_reference():
+    payload = payload_of(2000)
+    ref = FunctionalExecutor(pipe_graph(payload)).run()
+    system = two_coprocs()
+    system.configure(pipe_graph(payload))
+    got = system.run()
+    assert got.histories["s_src_out"] == ref.histories["s_src_out"]
+
+
+def test_small_buffer_still_correct():
+    """Buffer barely larger than a chunk forces heavy backpressure."""
+    payload = payload_of(500)
+    g = pipe_graph(payload, chunk=16, buffer_size=32)
+    system = two_coprocs()
+    system.configure(g)
+    result = system.run()
+    assert result.histories["s_src_out"] == payload
+    # backpressure showed up as denied GetSpace on the producer side
+    assert result.streams["s_src_out"].denied_getspace > 0
+
+
+def test_buffer_smaller_than_packet_raises_protocol_error():
+    from repro.core.shell import ShellProtocolError
+
+    payload = payload_of(100)
+    g = pipe_graph(payload, chunk=64, buffer_size=32)
+    system = two_coprocs()
+    system.configure(g)
+    with pytest.raises(ShellProtocolError, match="exceeds"):
+        system.run()
+
+
+def test_same_coprocessor_multitasking():
+    """Producer and consumer time-share a single coprocessor."""
+    payload = payload_of(800)
+    g = pipe_graph(payload, mapping=("cp0", "cp0"))
+    system = EclipseSystem([CoprocessorSpec("cp0")])
+    system.configure(g)
+    result = system.run()
+    assert result.histories["s_src_out"] == payload
+    assert result.tasks["src"].coprocessor == "cp0"
+    assert result.tasks["dst"].coprocessor == "cp0"
+
+
+def test_three_stage_matches_reference():
+    payload = payload_of(1500)
+
+    def graph():
+        g = ApplicationGraph()
+        g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=32), ProducerKernel.PORTS))
+        g.add_task(
+            TaskNode("m1", lambda: MapKernel(lambda b: bytes(x ^ 0xA5 for x in b), chunk=32), MapKernel.PORTS)
+        )
+        g.add_task(TaskNode("dst", ConsumerKernel, ConsumerKernel.PORTS))
+        g.connect("src.out", "m1.in", buffer_size=128)
+        g.connect("m1.out", "dst.in", buffer_size=128)
+        return g
+
+    ref = FunctionalExecutor(graph()).run()
+    system = EclipseSystem([CoprocessorSpec(f"cp{i}") for i in range(3)])
+    system.configure(graph())
+    got = system.run()
+    for stream in ref.histories:
+        assert got.histories[stream] == ref.histories[stream]
+
+
+def test_diamond_matches_reference():
+    payload = payload_of(640)
+
+    def graph():
+        g = ApplicationGraph()
+        g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=16), ProducerKernel.PORTS))
+        g.add_task(TaskNode("fork", lambda: ForkKernel(chunk=16), ForkKernel.PORTS))
+        g.add_task(
+            TaskNode("ma", lambda: MapKernel(lambda b: bytes(x ^ 0xFF for x in b), chunk=16), MapKernel.PORTS)
+        )
+        g.add_task(
+            TaskNode("mb", lambda: MapKernel(lambda b: bytes((x + 3) % 256 for x in b), chunk=16), MapKernel.PORTS)
+        )
+        g.add_task(TaskNode("merge", lambda: RoundRobinMergeKernel(chunk=16), RoundRobinMergeKernel.PORTS))
+        g.add_task(TaskNode("dst", ConsumerKernel, ConsumerKernel.PORTS))
+        g.connect("src.out", "fork.in", buffer_size=96)
+        g.connect("fork.out_a", "ma.in", buffer_size=96)
+        g.connect("fork.out_b", "mb.in", buffer_size=96)
+        g.connect("ma.out", "merge.in_a", buffer_size=96)
+        g.connect("mb.out", "merge.in_b", buffer_size=96)
+        g.connect("merge.out", "dst.in", buffer_size=96)
+        return g
+
+    ref = FunctionalExecutor(graph()).run()
+    system = EclipseSystem([CoprocessorSpec("cp0"), CoprocessorSpec("cp1")])
+    system.configure(graph())
+    got = system.run()
+    for stream in ref.histories:
+        assert got.histories[stream] == ref.histories[stream], stream
+
+
+def test_multicast_matches_reference():
+    payload = payload_of(320)
+
+    def graph():
+        g = ApplicationGraph()
+        g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=16), ProducerKernel.PORTS))
+        g.add_task(TaskNode("a", ConsumerKernel, ConsumerKernel.PORTS))
+        g.add_task(TaskNode("b", ConsumerKernel, ConsumerKernel.PORTS))
+        g.connect("src.out", "a.in", "b.in", buffer_size=64)
+        return g
+
+    ref = FunctionalExecutor(graph()).run()
+    system = EclipseSystem([CoprocessorSpec(f"cp{i}") for i in range(3)])
+    system.configure(graph())
+    got = system.run()
+    assert got.histories["s_src_out"] == ref.histories["s_src_out"]
+
+
+def test_variable_length_packets_match_reference():
+    payloads = [payload_of(n, seed=n) for n in (0, 1, 30, 100, 7, 64, 3)]
+
+    def graph():
+        g = ApplicationGraph()
+        g.add_task(
+            TaskNode("src", lambda: HeaderPayloadProducerKernel(list(payloads)), HeaderPayloadProducerKernel.PORTS)
+        )
+        g.add_task(TaskNode("relay", HeaderPayloadRelayKernel, HeaderPayloadRelayKernel.PORTS))
+        g.add_task(TaskNode("dst", lambda: ConsumerKernel(chunk=8), ConsumerKernel.PORTS))
+        g.connect("src.out", "relay.in", buffer_size=256)
+        g.connect("relay.out", "dst.in", buffer_size=256)
+        return g
+
+    ref = FunctionalExecutor(graph()).run()
+    system = two_coprocs()
+    system.configure(graph())
+    got = system.run()
+    for stream in ref.histories:
+        assert got.histories[stream] == ref.histories[stream]
+
+
+def test_conditional_input_abort_and_redo():
+    """The §4.2 pattern under real backpressure: denied conditional
+    GetSpace causes aborted steps, and the redo produces correct data."""
+    control = bytes([1] * 50)  # every packet demands extra data
+    extras = payload_of(200)
+
+    def graph():
+        g = ApplicationGraph()
+        g.add_task(TaskNode("ctrl", lambda: ProducerKernel(control, chunk=1, compute_cycles=1), ProducerKernel.PORTS))
+        g.add_task(
+            TaskNode("extra", lambda: ProducerKernel(extras, chunk=4, compute_cycles=500), ProducerKernel.PORTS)
+        )
+        g.add_task(TaskNode("dst", lambda: ConditionalConsumerKernel(extra=4), ConditionalConsumerKernel.PORTS))
+        g.connect("ctrl.out", "dst.in", buffer_size=64)
+        g.connect("extra.out", "dst.in2", buffer_size=64)
+        return g
+
+    system = EclipseSystem([CoprocessorSpec(f"cp{i}") for i in range(3)])
+    system.configure(graph())
+    result = system.run()
+    assert result.completed
+    # slow 'extra' producer must have denied the conditional GetSpace
+    assert result.streams["s_extra_out"].denied_getspace > 0
+    assert result.tasks["dst"].steps_aborted > 0
+
+
+def test_stall_detection():
+    """A consumer that needs more than the producer ever sends stalls;
+    strict mode raises, non-strict reports."""
+    g = ApplicationGraph()
+    # producer sends 10 bytes then finishes without closing cleanly at
+    # consumer packet granularity 16 -> consumer sees EOS and finishes;
+    # instead build a consumer needing data from a producer that never
+    # produces (disabled via empty payload but no EOS semantics breach).
+    from repro.kahn.graph import Direction, PortSpec
+    from repro.kahn.kernel import Kernel, StepOutcome
+
+    class SilentProducer(Kernel):
+        PORTS = (PortSpec("out", Direction.OUT),)
+
+        def step(self, ctx):
+            # Never writes, never finishes: waits on room forever after
+            # buffer fills... simplest stall: block on own condition.
+            sp = yield ctx.get_space("out", 1)
+            if not sp:
+                return StepOutcome.ABORTED
+            # write but never commit and never finish -> consumer starves
+            yield ctx.write("out", 0, b"x")
+            return StepOutcome.ABORTED
+
+    g.add_task(TaskNode("silent", SilentProducer, SilentProducer.PORTS))
+    g.add_task(TaskNode("dst", ConsumerKernel, ConsumerKernel.PORTS))
+    g.connect("silent.out", "dst.in", buffer_size=64)
+    system = two_coprocs()
+    system.configure(g)
+    # The silent producer spins forever (aborted steps each time it is
+    # polled) — but since it never blocks, the sim never drains; bound it.
+    result = system.run(until=100_000, strict=False)
+    assert not result.completed
+    assert "dst" in result.stalled_tasks
+
+
+def test_result_reports_utilization_and_buses():
+    payload = payload_of(4000)
+    system = two_coprocs()
+    system.configure(pipe_graph(payload, chunk=64, buffer_size=512))
+    result = system.run()
+    assert 0.0 < result.utilization["cp0"] <= 1.0
+    assert result.read_bus_utilization > 0.0
+    assert result.write_bus_utilization > 0.0
+    assert result.messages_sent > 0
+    assert result.cache_hit_rate["cp1"] >= 0.0
+
+
+def test_configure_twice_rejected():
+    system = two_coprocs()
+    system.configure(pipe_graph(b"x" * 64))
+    with pytest.raises(RuntimeError, match="already configured"):
+        system.configure(pipe_graph(b"x" * 64))
+
+
+def test_run_before_configure_rejected():
+    with pytest.raises(RuntimeError, match="configure"):
+        two_coprocs().run()
+
+
+def test_unknown_mapping_rejected():
+    from repro.kahn import GraphError
+
+    g = pipe_graph(b"x" * 64, mapping=("ghost", None))
+    system = two_coprocs()
+    with pytest.raises(GraphError, match="unknown coprocessor"):
+        system.configure(g)
+
+
+def test_sram_overflow_detected():
+    from repro.hw import AllocationError
+
+    g = pipe_graph(b"x" * 64, buffer_size=100_000)
+    system = two_coprocs()
+    with pytest.raises(AllocationError):
+        system.configure(g)
+
+
+def test_centralized_sync_mode_still_correct():
+    payload = payload_of(600)
+    system = two_coprocs(sync_mode="centralized", central_sync_cycles=20)
+    system.configure(pipe_graph(payload))
+    result = system.run()
+    assert result.histories["s_src_out"] == payload
+    assert result.cpu_sync_ops > 0
+    assert result.cpu_busy_cycles == result.cpu_sync_ops * 20
+
+
+def test_centralized_sync_is_slower():
+    payload = payload_of(600)
+    fast = two_coprocs()
+    fast.configure(pipe_graph(payload))
+    t_fast = fast.run().cycles
+    slow = two_coprocs(sync_mode="centralized", central_sync_cycles=40)
+    slow.configure(pipe_graph(payload))
+    t_slow = slow.run().cycles
+    assert t_slow > t_fast
+
+
+def test_snooping_coherency_mode_still_correct_and_slower():
+    payload = payload_of(600)
+    base = two_coprocs()
+    base.configure(pipe_graph(payload))
+    t_base = base.run().cycles
+    snoop = two_coprocs(coherency="snooping", snoop_cycles_per_shell=4)
+    snoop.configure(pipe_graph(payload))
+    r = snoop.run()
+    assert r.histories["s_src_out"] == payload
+    assert r.cycles > t_base
+
+
+def test_prefetch_disabled_still_correct():
+    payload = payload_of(900)
+    g = pipe_graph(payload)
+    system = EclipseSystem(
+        [
+            CoprocessorSpec("cp0", shell=ShellParams(prefetch_lines=0)),
+            CoprocessorSpec("cp1", shell=ShellParams(prefetch_lines=0)),
+        ]
+    )
+    system.configure(g)
+    assert system.run().histories["s_src_out"] == payload
+
+
+def test_tiny_caches_still_correct():
+    payload = payload_of(900)
+    params = ShellParams(read_cache_lines=1, write_cache_lines=1, cache_line=8)
+    system = EclipseSystem([CoprocessorSpec("cp0", shell=params), CoprocessorSpec("cp1", shell=params)])
+    system.configure(pipe_graph(payload))
+    assert system.run().histories["s_src_out"] == payload

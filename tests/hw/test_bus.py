@@ -1,0 +1,93 @@
+"""Unit tests for the arbitrated bus model."""
+
+import pytest
+
+from repro.hw import Bus
+from repro.sim import Simulator
+
+
+def test_occupancy_cycles():
+    bus = Bus(Simulator(), width_bytes=16, setup_latency=2)
+    assert bus.occupancy_cycles(0) == 2
+    assert bus.occupancy_cycles(1) == 3
+    assert bus.occupancy_cycles(16) == 3
+    assert bus.occupancy_cycles(17) == 4
+    assert bus.occupancy_cycles(160) == 12
+
+
+def test_single_transfer_timing():
+    sim = Simulator()
+    bus = Bus(sim, width_bytes=16, setup_latency=2)
+    done = []
+
+    def master(sim, bus):
+        yield from bus.transfer(32, master="m0")
+        done.append(sim.now)
+
+    sim.process(master(sim, bus))
+    sim.run()
+    assert done == [4]  # 2 setup + 2 beats
+    assert bus.stats.transactions == 1
+    assert bus.stats.bytes_transferred == 32
+    assert bus.per_master_bytes == {"m0": 32}
+
+
+def test_contention_serializes():
+    sim = Simulator()
+    bus = Bus(sim, width_bytes=16, setup_latency=2)
+    done = []
+
+    def master(sim, bus, name):
+        yield from bus.transfer(16, master=name)
+        done.append((name, sim.now))
+
+    sim.process(master(sim, bus, "a"))
+    sim.process(master(sim, bus, "b"))
+    sim.run()
+    assert done == [("a", 3), ("b", 6)]
+    assert bus.stats.wait_cycles == 3  # b waited for a
+
+
+def test_priority_preempts_queue_order():
+    sim = Simulator()
+    bus = Bus(sim, width_bytes=16, setup_latency=1)
+    done = []
+
+    def holder(sim, bus):
+        yield from bus.transfer(16 * 9, master="hold")  # occupies 10 cycles
+
+    def master(sim, bus, name, prio, when):
+        yield sim.timeout(when)
+        yield from bus.transfer(16, master=name, priority=prio)
+        done.append(name)
+
+    sim.process(holder(sim, bus))
+    sim.process(master(sim, bus, "low", 5, 1))
+    sim.process(master(sim, bus, "high", 0, 2))
+    sim.run()
+    assert done == ["high", "low"]
+
+
+def test_utilization():
+    sim = Simulator()
+    bus = Bus(sim, width_bytes=16, setup_latency=2)
+
+    def master(sim, bus):
+        yield from bus.transfer(16)
+        yield sim.timeout(7)
+
+    sim.process(master(sim, bus))
+    sim.run()
+    assert sim.now == 10
+    assert bus.stats.utilization(sim.now) == pytest.approx(0.3)
+
+
+def test_bad_parameters():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Bus(sim, width_bytes=0)
+    with pytest.raises(ValueError):
+        Bus(sim, setup_latency=-1)
+    bus = Bus(sim)
+    with pytest.raises(ValueError):
+        list(bus.transfer(-1))

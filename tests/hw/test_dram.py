@@ -1,0 +1,55 @@
+"""Unit tests for the off-chip memory model."""
+
+from repro.hw import OffChipMemory
+from repro.sim import Simulator
+
+
+def test_sparse_storage_roundtrip():
+    mem = OffChipMemory(Simulator())
+    mem.write(100, b"abc")
+    assert mem.read(100, 3) == b"abc"
+    assert mem.read(99, 5) == b"\x00abc\x00"
+
+
+def test_cross_page_access():
+    mem = OffChipMemory(Simulator())
+    data = bytes(range(200)) * 50  # 10 kB > 2 pages
+    mem.write(4000, data)
+    assert mem.read(4000, len(data)) == data
+
+
+def test_far_addresses_independent():
+    mem = OffChipMemory(Simulator())
+    mem.write(0, b"near")
+    mem.write(10_000_000, b"far")
+    assert mem.read(0, 4) == b"near"
+    assert mem.read(10_000_000, 3) == b"far"
+
+
+def test_timed_access_latency():
+    sim = Simulator()
+    mem = OffChipMemory(sim, width_bytes=8, access_latency=20)
+    done = []
+
+    def master(sim, mem):
+        yield from mem.access(64, is_write=False, master="mc")
+        done.append(sim.now)
+
+    sim.process(master(sim, mem))
+    sim.run()
+    assert done == [28]  # 20 setup + 8 beats
+    assert mem.bytes_read == 64
+    assert mem.bus.per_master_bytes == {"mc": 64}
+
+
+def test_write_access_accounting():
+    sim = Simulator()
+    mem = OffChipMemory(sim)
+
+    def master(sim, mem):
+        yield from mem.access(32, is_write=True)
+
+    sim.process(master(sim, mem))
+    sim.run()
+    assert mem.bytes_written == 32
+    assert mem.bytes_read == 0

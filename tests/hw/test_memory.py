@@ -1,0 +1,85 @@
+"""Unit tests for the on-chip SRAM model."""
+
+import pytest
+
+from repro.hw import AllocationError, OnChipMemory
+
+
+def test_read_write_roundtrip():
+    mem = OnChipMemory(256)
+    mem.write(10, b"hello")
+    assert mem.read(10, 5) == b"hello"
+
+
+def test_fresh_memory_is_zeroed():
+    mem = OnChipMemory(64)
+    assert mem.read(0, 64) == bytes(64)
+
+
+def test_bounds_checking():
+    mem = OnChipMemory(16)
+    with pytest.raises(IndexError):
+        mem.read(10, 7)
+    with pytest.raises(IndexError):
+        mem.write(-1, b"x")
+    with pytest.raises(IndexError):
+        mem.write(16, b"x")
+
+
+def test_alloc_bump_and_alignment():
+    mem = OnChipMemory(1024)
+    a = mem.alloc(10, "a")
+    b = mem.alloc(10, "b", align=32)
+    assert a == 0
+    assert b == 32
+    assert mem.allocations == {"a": (0, 10), "b": (32, 10)}
+    assert mem.bytes_allocated == 42
+
+
+def test_alloc_overflow_rejected():
+    mem = OnChipMemory(64)
+    mem.alloc(60)
+    with pytest.raises(AllocationError):
+        mem.alloc(8)
+
+
+def test_alloc_bad_sizes():
+    mem = OnChipMemory(64)
+    with pytest.raises(AllocationError):
+        mem.alloc(0)
+    with pytest.raises(ValueError):
+        mem.alloc(8, align=3)
+
+
+def test_reset_reclaims_and_zeroes():
+    mem = OnChipMemory(64)
+    mem.alloc(32, "buf")
+    mem.write(0, b"\xff" * 32)
+    mem.reset()
+    assert mem.bytes_free == 64
+    assert mem.allocations == {}
+    assert mem.read(0, 32) == bytes(32)
+
+
+def test_write_masked_partial():
+    mem = OnChipMemory(16)
+    mem.write(0, b"AAAAAAAA")
+    mem.write_masked(0, b"BBBBBBBB", bytes([1, 0, 1, 0, 1, 0, 1, 0]))
+    assert mem.read(0, 8) == b"BABABABA"
+
+
+def test_write_masked_length_mismatch():
+    mem = OnChipMemory(16)
+    with pytest.raises(ValueError):
+        mem.write_masked(0, b"AB", b"\x01")
+
+
+def test_access_counters():
+    mem = OnChipMemory(64)
+    mem.write(0, b"abcd")
+    mem.read(0, 4)
+    mem.write_masked(4, b"xy", b"\x01\x00")
+    assert mem.total_reads == 1
+    assert mem.total_writes == 2
+    assert mem.bytes_read == 4
+    assert mem.bytes_written == 5  # 4 plain + 1 masked

@@ -1,0 +1,49 @@
+"""Unit tests for the §6 area/power/ops model."""
+
+import pytest
+
+from repro.instance import AreaPowerModel
+
+
+def test_paper_claims_all_hold():
+    assert all(AreaPowerModel().paper_claims_hold().values())
+
+
+def test_anchor_areas():
+    est = AreaPowerModel().estimate()
+    assert est.area_breakdown["sram"] == pytest.approx(1.7)
+    assert est.area_breakdown["vld"] == 2.0
+
+
+def test_total_area_is_sum_of_breakdown():
+    est = AreaPowerModel().estimate()
+    assert est.area_mm2 == pytest.approx(sum(est.area_breakdown.values()))
+
+
+def test_gops_in_paper_band():
+    est = AreaPowerModel().estimate()
+    assert 30.0 <= est.gops <= 42.0
+
+
+def test_power_under_bound():
+    est = AreaPowerModel().estimate()
+    assert 0 < est.power_mw < 240.0
+
+
+def test_gops_scales_with_streams():
+    model = AreaPowerModel()
+    assert model.estimate(n_streams=4).gops == pytest.approx(2 * model.estimate().gops)
+
+
+def test_sd_stream_is_cheap():
+    model = AreaPowerModel()
+    sd_mb_rate = (720 // 16) * (576 // 16) * 25
+    est = model.estimate(n_streams=1, mb_rate_per_stream=sd_mb_rate)
+    assert est.gops < 6.0  # SD decode is a small fraction of dual HD
+
+
+def test_area_scales_with_sram_only_via_sram_term():
+    model = AreaPowerModel()
+    small = model.estimate(sram_kb=32)
+    big = model.estimate(sram_kb=64)
+    assert big.area_mm2 - small.area_mm2 == pytest.approx(32 * model.sram_mm2_per_kb)

@@ -1,0 +1,42 @@
+"""Unit tests for the baseline architectures (§2.3 scalability)."""
+
+import pytest
+
+from repro.instance.baselines import (
+    ScalabilityPoint,
+    centralized_cpu_load,
+    sync_scalability_experiment,
+)
+
+
+def test_analytic_load_linear_in_coprocessors():
+    one = centralized_cpu_load(1, 50e3)
+    eight = centralized_cpu_load(8, 50e3)
+    assert eight == pytest.approx(8 * one)
+
+
+def test_analytic_load_paper_envelope():
+    # §5.3: 10-100 kHz sync rates; a 40-cycle handler on a 150 MHz CPU
+    assert centralized_cpu_load(8, 10e3) < 0.05
+    assert centralized_cpu_load(32, 100e3) > 0.85
+
+
+def test_analytic_load_validates_input():
+    with pytest.raises(ValueError):
+        centralized_cpu_load(-1, 10e3)
+
+
+def test_simulated_scalability_small():
+    points = sync_scalability_experiment([1, 2])
+    assert [p.n_coprocessors for p in points] == [2, 4]
+    for p in points:
+        assert p.cycles_centralized > p.cycles_distributed
+        assert 0.0 < p.cpu_utilization <= 1.0
+        assert p.slowdown > 1.0
+    # centralized cost grows with coprocessor count
+    assert points[1].cycles_centralized > 1.5 * points[0].cycles_centralized
+
+
+def test_distributed_time_roughly_flat():
+    points = sync_scalability_experiment([1, 4])
+    assert points[1].cycles_distributed < 1.5 * points[0].cycles_distributed

@@ -1,0 +1,81 @@
+"""EXP-F10 regression: the paper's per-frame-type bottleneck shift.
+
+Figure 10's conclusion — "the overall performance is constrained by a
+different task for each type of MPEG frame" — must reproduce on the
+Figure 8 instance: RLSQ slowest on I frames, DCT on P frames, MC on B
+frames; and the corresponding input-buffer fillings must move the same
+way (RLSQ's input fullest on I; MC's input fill rising sharply from I
+to B)."""
+
+import numpy as np
+import pytest
+
+from repro.instance import DECODE_MAPPING, build_mpeg_instance
+from repro.media import CodecParams, encode_sequence, synthetic_sequence
+from repro.media.pipelines import decode_graph
+from repro.trace import Sampler
+from repro.trace.analysis import (
+    bottleneck_by_frame_type,
+    per_frame_type_fill,
+    per_frame_type_service,
+)
+
+TASK2COP = {"rlsq": "rlsq", "idct": "dct", "mc": "mcme"}
+STREAMS = {
+    "rlsq_in": ("coef", "rlsq"),
+    "idct_in": ("dequant", "idct"),
+    "mc_in": ("resid", "mc"),
+}
+
+
+@pytest.fixture(scope="module")
+def figure10_run():
+    params = CodecParams(width=96, height=64, gop_n=12, gop_m=3)
+    frames = synthetic_sequence(params.width, params.height, num_frames=12, noise=1.0)
+    bits, _recon, _stats = encode_sequence(frames, params)
+    system = build_mpeg_instance()
+    system.configure(decode_graph(bits, mapping=DECODE_MAPPING, buffer_packets=3))
+    sampler = Sampler(system, interval=250)
+    result = system.run()
+    plans = params.gop().coded_order(12)
+    return params, sampler, result, plans
+
+
+def test_bottleneck_shifts_per_frame_type(figure10_run):
+    """THE Figure 10 claim: I->RLSQ, P->DCT, B->MC."""
+    params, sampler, _result, plans = figure10_run
+    service = per_frame_type_service(sampler, plans, params.mbs_per_frame, TASK2COP)
+    assert bottleneck_by_frame_type(service) == {"I": "rlsq", "P": "idct", "B": "mc"}
+
+
+def test_service_time_orderings(figure10_run):
+    params, sampler, _result, plans = figure10_run
+    service = per_frame_type_service(sampler, plans, params.mbs_per_frame, TASK2COP)
+    # MC is by far the lightest on I (no reference fetches at all)
+    assert service["mc"]["I"] < 0.6 * service["rlsq"]["I"]
+    # RLSQ's load collapses from I to B (few run-level pairs in B)
+    assert service["rlsq"]["B"] < 0.6 * service["rlsq"]["I"]
+    # MC's load rises from I to B (two off-chip fetches per B MB)
+    assert service["mc"]["B"] > 1.4 * service["mc"]["I"]
+
+
+def test_fill_traces_move_like_figure10(figure10_run):
+    params, sampler, _result, plans = figure10_run
+    fill = per_frame_type_fill(sampler, plans, params.mbs_per_frame, STREAMS)
+    # RLSQ's input is fullest (relative to the others) during I frames
+    assert fill["rlsq_in"]["I"] > fill["idct_in"]["I"]
+    assert fill["rlsq_in"]["I"] > fill["mc_in"]["I"]
+    # MC's input fill rises sharply from I to B...
+    assert fill["mc_in"]["B"] > 5 * fill["mc_in"]["I"]
+    # ...while RLSQ's input drains from I to B
+    assert fill["rlsq_in"]["B"] < 0.8 * fill["rlsq_in"]["I"]
+
+
+def test_gop_fluctuations_visible(figure10_run):
+    """Figure 10 shows 'large variations in buffer filling correspond
+    to the GOP sequence' — the fill series must fluctuate strongly."""
+    _params, sampler, _result, _plans = figure10_run
+    series = sampler.stream_fill[("coef", "rlsq")]
+    values = np.array(series.values)
+    assert values.max() > 4 * max(values.mean(), 1.0) / 2
+    assert values.min() == 0.0  # the buffer drains between frames

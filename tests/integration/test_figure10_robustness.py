@@ -1,0 +1,27 @@
+"""EXP-F10 robustness: the bottleneck attribution is a property of the
+workload class, not of one lucky seed."""
+
+import pytest
+
+from repro.instance import DECODE_MAPPING, build_mpeg_instance
+from repro.media import CodecParams, encode_sequence, synthetic_sequence
+from repro.media.pipelines import decode_graph
+from repro.trace import Sampler
+from repro.trace.analysis import bottleneck_by_frame_type, per_frame_type_service
+
+TASK2COP = {"rlsq": "rlsq", "idct": "dct", "mc": "mcme"}
+
+
+@pytest.mark.parametrize("seed", [7, 21, 1234])
+def test_bottleneck_attribution_across_seeds(seed):
+    params = CodecParams(width=96, height=64, gop_n=12, gop_m=3)
+    frames = synthetic_sequence(params.width, params.height, 12, seed=seed, noise=1.0)
+    bits, _, _ = encode_sequence(frames, params)
+    system = build_mpeg_instance()
+    system.configure(decode_graph(bits, mapping=DECODE_MAPPING))
+    sampler = Sampler(system, interval=250)
+    result = system.run()
+    assert result.completed
+    plans = params.gop().coded_order(12)
+    service = per_frame_type_service(sampler, plans, params.mbs_per_frame, TASK2COP)
+    assert bottleneck_by_frame_type(service) == {"I": "rlsq", "P": "idct", "B": "mc"}

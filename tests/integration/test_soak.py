@@ -1,0 +1,79 @@
+"""Longer-horizon soak tests: multiple GOPs end-to-end on the
+cycle-level instance, plus result serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.instance import decode_on_instance
+from repro.media import CodecParams, encode_sequence, synthetic_sequence
+
+
+@pytest.fixture(scope="module")
+def two_gop_run():
+    params = CodecParams(width=48, height=32, gop_n=6, gop_m=3)
+    frames = synthetic_sequence(params.width, params.height, num_frames=14)
+    bits, recon, stats = encode_sequence(frames, params)
+    system, result = decode_on_instance(bits)
+    return params, frames, recon, stats, system, result
+
+
+def test_two_gops_decode_bit_exact(two_gop_run):
+    _params, frames, recon, _stats, system, result = two_gop_run
+    assert result.completed
+    disp = next(
+        row.kernel
+        for shell in system.shells.values()
+        for row in shell.task_table
+        if row.name == "disp"
+    )
+    decoded = disp.display_frames()
+    assert len(decoded) == 14
+    for d, r in zip(decoded, recon):
+        assert np.array_equal(d.y, r.y)
+        assert np.array_equal(d.cb, r.cb)
+        assert np.array_equal(d.cr, r.cr)
+
+
+def test_second_gop_starts_with_i_frame(two_gop_run):
+    _params, _frames, _recon, stats, _system, _result = two_gop_run
+    from repro.media.gop import FrameType
+
+    assert stats.frame_types.count(FrameType.I) == 3  # frames 0, 6, 12
+    # GOP boundaries reset prediction: the 2nd GOP's I frame carries
+    # more bits than its neighbours
+    i_positions = [i for i, t in enumerate(stats.frame_types) if t is FrameType.I]
+    for pos in i_positions:
+        assert stats.frame_bits[pos] > 2 * min(stats.frame_bits)
+
+
+def test_result_serialization_roundtrip(two_gop_run):
+    _params, _frames, _recon, _stats, _system, result = two_gop_run
+    d = result.to_dict()
+    blob = json.dumps(d)  # must be JSON-serializable
+    back = json.loads(blob)
+    assert back["completed"] is True
+    assert back["cycles"] == result.cycles
+    assert back["tasks"]["mc"]["steps_completed"] == result.tasks["mc"].steps_completed
+    assert "histories" not in back
+    with_h = result.to_dict(include_histories=True)
+    assert bytes.fromhex(with_h["histories"]["recon"]) == result.histories["recon"]
+
+
+def test_cli_json_export(tmp_path):
+    from repro.cli import main
+
+    out = tmp_path / "result.json"
+    rc = main(
+        [
+            "decode",
+            "--width", "48", "--height", "32",
+            "--frames", "3", "--gop-n", "3", "--gop-m", "1",
+            "--json", str(out),
+        ]
+    )
+    assert rc == 0
+    data = json.loads(out.read_text())
+    assert data["completed"] is True
+    assert set(data["utilization"]) == {"vld", "rlsq", "dct", "mcme", "dsp"}

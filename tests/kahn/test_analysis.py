@@ -1,0 +1,133 @@
+"""Tests for the SDF balance-equation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.kahn import ApplicationGraph, GraphError, TaskNode
+from repro.kahn.analysis import (
+    RateInconsistencyError,
+    repetition_vector,
+    stream_rates_per_iteration,
+)
+from repro.kahn.library import ConsumerKernel, ForkKernel, MapKernel, ProducerKernel
+
+
+def chain(chunks):
+    """src -> m0 -> ... -> dst with per-stage chunk sizes."""
+    g = ApplicationGraph("sdf")
+    g.add_task(TaskNode("src", lambda: ProducerKernel(b"", chunk=chunks[0]), ProducerKernel.PORTS))
+    prev = "src.out"
+    rates = {("src", "out"): chunks[0]}
+    for i, (c_in, c_out) in enumerate(zip(chunks, chunks[1:])):
+        name = f"m{i}"
+        g.add_task(TaskNode(name, lambda: MapKernel(lambda b: b), MapKernel.PORTS))
+        g.connect(prev, f"{name}.in")
+        rates[(name, "in")] = c_in
+        rates[(name, "out")] = c_out
+        prev = f"{name}.out"
+    g.add_task(TaskNode("dst", ConsumerKernel, ConsumerKernel.PORTS))
+    g.connect(prev, "dst.in")
+    rates[("dst", "in")] = chunks[-1]
+    return g, rates
+
+
+def test_uniform_rates_give_unit_vector():
+    g, rates = chain([32, 32, 32])
+    q = repetition_vector(g, rates)
+    assert q == {"src": 1, "m0": 1, "m1": 1, "dst": 1}
+
+
+def test_downscaler_doubles_upstream_firings():
+    # m0 consumes 32 and produces 16; dst consumes 32 -> dst fires half
+    g, rates = chain([32, 16, 32])
+    # m1: in 16, out 32 -> m1 fires like src? balance:
+    q = repetition_vector(g, rates)
+    assert q["src"] * 32 == q["m0"] * 32
+    assert q["m0"] * 16 == q["m1"] * 16
+    assert q["m1"] * 32 == q["dst"] * 32
+    assert min(q.values()) == 1
+
+
+def test_rate_mismatch_numbers():
+    g = ApplicationGraph()
+    g.add_task(TaskNode("src", lambda: ProducerKernel(b"", 64), ProducerKernel.PORTS))
+    g.add_task(TaskNode("dst", ConsumerKernel, ConsumerKernel.PORTS))
+    g.connect("src.out", "dst.in")
+    q = repetition_vector(g, {("src", "out"): 64, ("dst", "in"): 16})
+    assert q == {"src": 1, "dst": 4}
+    per_iter = stream_rates_per_iteration(g, {("src", "out"): 64, ("dst", "in"): 16})
+    assert per_iter == {"s_src_out": 64}
+
+
+def test_inconsistent_reconvergence_detected():
+    """fork duplicates; one arm halves the data; the merge-free
+    reconvergence via a shared consumer is inconsistent."""
+    g = ApplicationGraph()
+    g.add_task(TaskNode("src", lambda: ProducerKernel(b"", 32), ProducerKernel.PORTS))
+    g.add_task(TaskNode("fork", lambda: ForkKernel(32), ForkKernel.PORTS))
+    g.add_task(TaskNode("half", lambda: MapKernel(lambda b: b), MapKernel.PORTS))
+    from repro.kahn.library import RoundRobinMergeKernel
+
+    g.add_task(TaskNode("merge", lambda: RoundRobinMergeKernel(32), RoundRobinMergeKernel.PORTS))
+    g.add_task(TaskNode("dst", ConsumerKernel, ConsumerKernel.PORTS))
+    g.connect("src.out", "fork.in")
+    g.connect("fork.out_a", "merge.in_a")
+    g.connect("fork.out_b", "half.in")
+    g.connect("half.out", "merge.in_b")
+    g.connect("merge.out", "dst.in")
+    rates = {
+        ("src", "out"): 32,
+        ("fork", "in"): 32,
+        ("fork", "out_a"): 32,
+        ("fork", "out_b"): 32,
+        ("half", "in"): 32,
+        ("half", "out"): 16,  # halves -> the two merge arms disagree
+        ("merge", "in_a"): 32,
+        ("merge", "in_b"): 32,
+        ("merge", "out"): 64,
+        ("dst", "in"): 64,
+    }
+    with pytest.raises(RateInconsistencyError):
+        repetition_vector(g, rates)
+    # making the half stage length-preserving restores consistency
+    rates[("half", "out")] = 32
+    q = repetition_vector(g, rates)
+    assert q["src"] == q["dst"]
+
+
+def test_missing_rate_rejected():
+    g, rates = chain([32, 32])
+    del rates[("dst", "in")]
+    with pytest.raises(GraphError, match="missing rate"):
+        repetition_vector(g, rates)
+
+
+def test_bad_rate_rejected():
+    g, rates = chain([32, 32])
+    rates[("dst", "in")] = 0
+    with pytest.raises(GraphError, match=">= 1"):
+        repetition_vector(g, rates)
+
+
+def test_filter_chain_rates():
+    """The §2.2 filter chain is SDF-consistent with the downscaler
+    halving the final stream."""
+    from repro.media.filters import filter_chain_graph
+
+    img = np.zeros((32, 64), dtype=np.uint8)
+    g = filter_chain_graph(img)
+    w = 64
+    rates = {
+        ("src", "out"): w,
+        ("hf", "in"): w,
+        ("hf", "out"): w,
+        ("vf", "in"): w,
+        ("vf", "out"): w,
+        ("ds", "in"): w,
+        ("ds", "out"): w // 2,
+        ("sink", "in"): w // 2,
+    }
+    q = repetition_vector(g, rates)
+    assert set(q.values()) == {1}
+    per_iter = stream_rates_per_iteration(g, rates)
+    assert per_iter["s_ds_out"] == w // 2

@@ -1,0 +1,257 @@
+"""Unit/integration tests for the reference functional executor."""
+
+import pytest
+
+from repro.kahn import (
+    ApplicationGraph,
+    DeadlockError,
+    Direction,
+    FunctionalExecutor,
+    Kernel,
+    PortSpec,
+    StepOutcome,
+    TaskNode,
+)
+from repro.kahn.library import (
+    ConditionalConsumerKernel,
+    ConsumerKernel,
+    ForkKernel,
+    HeaderPayloadProducerKernel,
+    HeaderPayloadRelayKernel,
+    MapKernel,
+    ProducerKernel,
+    RoundRobinMergeKernel,
+)
+
+
+def pipe_graph(payload, chunk=16, fn=None):
+    """src -> [map ->] dst pipeline; returns (graph, consumer getter)."""
+    g = ApplicationGraph("pipe")
+    consumers = {}
+
+    def make_consumer():
+        k = ConsumerKernel(chunk=chunk)
+        consumers["dst"] = k
+        return k
+
+    g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=chunk), ProducerKernel.PORTS))
+    if fn is not None:
+        g.add_task(TaskNode("map", lambda: MapKernel(fn, chunk=chunk), MapKernel.PORTS))
+        g.add_task(TaskNode("dst", make_consumer, ConsumerKernel.PORTS))
+        g.connect("src.out", "map.in")
+        g.connect("map.out", "dst.in")
+    else:
+        g.add_task(TaskNode("dst", make_consumer, ConsumerKernel.PORTS))
+        g.connect("src.out", "dst.in")
+    return g, consumers
+
+
+def test_producer_consumer_transfers_payload():
+    payload = bytes(range(256)) * 4
+    g, consumers = pipe_graph(payload)
+    result = FunctionalExecutor(g).run()
+    assert bytes(consumers["dst"].collected) == payload
+    assert result.histories["s_src_out"] == payload
+
+
+def test_partial_final_chunk_delivered():
+    payload = b"x" * 100  # not a multiple of chunk=16
+    g, consumers = pipe_graph(payload)
+    FunctionalExecutor(g).run()
+    assert bytes(consumers["dst"].collected) == payload
+
+
+def test_map_kernel_transforms():
+    payload = bytes(range(64))
+    g, consumers = pipe_graph(payload, fn=lambda b: bytes((x + 1) % 256 for x in b))
+    FunctionalExecutor(g).run()
+    assert bytes(consumers["dst"].collected) == bytes((x + 1) % 256 for x in payload)
+
+
+def test_task_stats_accounting():
+    payload = b"a" * 64
+    g, _ = pipe_graph(payload, chunk=16)
+    result = FunctionalExecutor(g).run()
+    src = result.task_stats["src"]
+    dst = result.task_stats["dst"]
+    assert src.steps_completed == 4
+    assert src.bytes_written == 64
+    assert dst.bytes_read == 64
+    assert dst.steps_completed == 4
+
+
+def test_fork_duplicates_stream():
+    payload = bytes(range(128))
+    g = ApplicationGraph()
+    sinks = {}
+
+    def sink(name):
+        def make():
+            k = ConsumerKernel(chunk=16)
+            sinks[name] = k
+            return k
+
+        return make
+
+    g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=16), ProducerKernel.PORTS))
+    g.add_task(TaskNode("fork", lambda: ForkKernel(chunk=16), ForkKernel.PORTS))
+    g.add_task(TaskNode("a", sink("a"), ConsumerKernel.PORTS))
+    g.add_task(TaskNode("b", sink("b"), ConsumerKernel.PORTS))
+    g.connect("src.out", "fork.in")
+    g.connect("fork.out_a", "a.in")
+    g.connect("fork.out_b", "b.in")
+    FunctionalExecutor(g).run()
+    assert bytes(sinks["a"].collected) == payload
+    assert bytes(sinks["b"].collected) == payload
+
+
+def test_multicast_stream_duplicates():
+    payload = bytes(range(64))
+    g = ApplicationGraph()
+    sinks = {}
+
+    def sink(name):
+        def make():
+            k = ConsumerKernel(chunk=16)
+            sinks[name] = k
+            return k
+
+        return make
+
+    g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=16), ProducerKernel.PORTS))
+    g.add_task(TaskNode("a", sink("a"), ConsumerKernel.PORTS))
+    g.add_task(TaskNode("b", sink("b"), ConsumerKernel.PORTS))
+    g.connect("src.out", "a.in", "b.in")
+    FunctionalExecutor(g).run()
+    assert bytes(sinks["a"].collected) == payload
+    assert bytes(sinks["b"].collected) == payload
+
+
+def test_round_robin_merge_interleaves():
+    g = ApplicationGraph()
+    sinks = {}
+
+    def sink():
+        k = ConsumerKernel(chunk=8)
+        sinks["dst"] = k
+        return k
+
+    g.add_task(TaskNode("a", lambda: ProducerKernel(b"A" * 32, chunk=8), ProducerKernel.PORTS))
+    g.add_task(TaskNode("b", lambda: ProducerKernel(b"B" * 32, chunk=8), ProducerKernel.PORTS))
+    g.add_task(TaskNode("merge", lambda: RoundRobinMergeKernel(chunk=8), RoundRobinMergeKernel.PORTS))
+    g.add_task(TaskNode("dst", sink, ConsumerKernel.PORTS))
+    g.connect("a.out", "merge.in_a")
+    g.connect("b.out", "merge.in_b")
+    g.connect("merge.out", "dst.in")
+    FunctionalExecutor(g).run()
+    assert bytes(sinks["dst"].collected) == (b"A" * 8 + b"B" * 8) * 4
+
+
+def test_variable_length_packets_relay():
+    payloads = [b"x" * n for n in (0, 1, 7, 100, 3, 255)]
+    g = ApplicationGraph()
+    sinks = {}
+
+    def sink():
+        k = ConsumerKernel(chunk=1)
+        sinks["dst"] = k
+        return k
+
+    relay = {}
+
+    def make_relay():
+        k = HeaderPayloadRelayKernel()
+        relay["r"] = k
+        return k
+
+    g.add_task(TaskNode("src", lambda: HeaderPayloadProducerKernel(payloads), HeaderPayloadProducerKernel.PORTS))
+    g.add_task(TaskNode("relay", make_relay, HeaderPayloadRelayKernel.PORTS))
+    g.add_task(TaskNode("dst", sink, ConsumerKernel.PORTS))
+    g.connect("src.out", "relay.in")
+    g.connect("relay.out", "dst.in")
+    FunctionalExecutor(g).run()
+    expected = b"".join(len(p).to_bytes(2, "big") + p for p in payloads)
+    assert bytes(sinks["dst"].collected) == expected
+    assert relay["r"].packets_relayed == len(payloads)
+
+
+def test_conditional_input_pattern():
+    control = bytes([0, 1, 2, 3, 4, 5])  # odd values demand extra data
+    extras = b"ABCDEFGHIJKL"  # 3 odd values x 4 bytes
+    g = ApplicationGraph()
+    sinks = {}
+
+    def sink():
+        k = ConditionalConsumerKernel(extra=4)
+        sinks["dst"] = k
+        return k
+
+    g.add_task(TaskNode("ctrl", lambda: ProducerKernel(control, chunk=1), ProducerKernel.PORTS))
+    g.add_task(TaskNode("extra", lambda: ProducerKernel(extras, chunk=4), ProducerKernel.PORTS))
+    g.add_task(TaskNode("dst", sink, ConditionalConsumerKernel.PORTS))
+    g.connect("ctrl.out", "dst.in")
+    g.connect("extra.out", "dst.in2")
+    FunctionalExecutor(g).run()
+    assert sinks["dst"].collected == [
+        b"\x00",
+        b"\x01ABCD",
+        b"\x02",
+        b"\x03EFGH",
+        b"\x04",
+        b"\x05IJKL",
+    ]
+
+
+def test_deadlock_detected():
+    class NeedsInput(Kernel):
+        PORTS = (PortSpec("in", Direction.IN), PortSpec("out", Direction.OUT))
+
+        def step(self, ctx):
+            sp = yield ctx.get_space("in", 1)
+            if not sp:
+                return StepOutcome.FINISHED
+            data = yield ctx.read("in", 0, 1)
+            yield ctx.write("out", 0, data)
+            yield ctx.put_space("in", 1)
+            yield ctx.put_space("out", 1)
+            return StepOutcome.COMPLETED
+
+    # two tasks in a cycle, both waiting for the other to produce first
+    g = ApplicationGraph()
+    g.add_task(TaskNode("a", NeedsInput, NeedsInput.PORTS))
+    g.add_task(TaskNode("b", NeedsInput, NeedsInput.PORTS))
+    g.connect("a.out", "b.in")
+    g.connect("b.out", "a.in")
+    with pytest.raises(DeadlockError):
+        FunctionalExecutor(g).run()
+
+
+def test_max_steps_guard():
+    class Spinner(Kernel):
+        PORTS = (PortSpec("out", Direction.OUT),)
+
+        def step(self, ctx):
+            yield ctx.compute(1)
+            return StepOutcome.COMPLETED  # never finishes
+
+    g = ApplicationGraph()
+    g.add_task(TaskNode("spin", Spinner, Spinner.PORTS))
+    g.add_task(TaskNode("dst", ConsumerKernel, ConsumerKernel.PORTS))
+    g.connect("spin.out", "dst.in")
+    with pytest.raises(RuntimeError, match="max_steps"):
+        FunctionalExecutor(g, max_steps=100).run()
+
+
+def test_invalid_kernel_factory_rejected():
+    g = ApplicationGraph()
+    g.add_task(TaskNode("bad", lambda: object(), ()))
+    from repro.kahn import GraphError
+
+    with pytest.raises(GraphError, match="factory returned"):
+        FunctionalExecutor(g)
+
+
+def test_compute_cycles_recorded():
+    g, _ = pipe_graph(b"z" * 32, chunk=16)
+    result = FunctionalExecutor(g).run()
+    assert result.task_stats["src"].compute_cycles == 20  # 2 steps x 10

@@ -1,0 +1,95 @@
+"""Unit tests for the unbounded multi-reader FIFO channel."""
+
+import pytest
+
+from repro.kahn import EndOfStream, FifoChannel
+
+
+def test_write_then_peek():
+    ch = FifoChannel("s")
+    ch.append(b"hello")
+    assert ch.available() == 5
+    assert ch.peek(0, 5) == b"hello"
+    assert ch.available() == 5  # peek is non-destructive
+
+
+def test_peek_with_offset():
+    ch = FifoChannel()
+    ch.append(b"abcdef")
+    assert ch.peek(2, 3) == b"cde"
+
+
+def test_advance_consumes():
+    ch = FifoChannel()
+    ch.append(b"abcdef")
+    ch.advance(2)
+    assert ch.available() == 4
+    assert ch.peek(0, 4) == b"cdef"
+
+
+def test_peek_past_write_position_rejected():
+    ch = FifoChannel()
+    ch.append(b"ab")
+    with pytest.raises(EndOfStream):
+        ch.peek(0, 3)
+
+
+def test_advance_past_available_rejected():
+    ch = FifoChannel()
+    ch.append(b"ab")
+    with pytest.raises(EndOfStream):
+        ch.advance(3)
+
+
+def test_write_after_close_rejected():
+    ch = FifoChannel()
+    ch.close()
+    with pytest.raises(EndOfStream):
+        ch.append(b"x")
+
+
+def test_eos_detection():
+    ch = FifoChannel()
+    ch.append(b"ab")
+    ch.close()
+    assert not ch.at_eos()
+    ch.advance(2)
+    assert ch.at_eos()
+
+
+def test_two_readers_independent():
+    ch = FifoChannel(n_readers=2)
+    ch.append(b"abcd")
+    ch.advance(2, reader=0)
+    assert ch.available(0) == 2
+    assert ch.available(1) == 4
+    assert ch.peek(0, 2, reader=0) == b"cd"
+    assert ch.peek(0, 2, reader=1) == b"ab"
+
+
+def test_compaction_preserves_data():
+    ch = FifoChannel(n_readers=2)
+    chunk = bytes(range(256)) * 16  # 4 KiB
+    total = 0
+    for _ in range(40):  # 160 KiB total — crosses the compact threshold
+        ch.append(chunk)
+        total += len(chunk)
+        ch.advance(len(chunk), reader=0)
+        ch.advance(len(chunk) - 1, reader=1)
+        assert ch.peek(0, 1, reader=1) == chunk[-1:]
+        ch.advance(1, reader=1)
+    assert ch.total_written == total
+    assert ch.available(0) == 0 and ch.available(1) == 0
+
+
+def test_history_length():
+    ch = FifoChannel()
+    ch.append(b"abc")
+    ch.advance(3)
+    ch.append(b"de")
+    assert ch.history_length() == 5
+
+
+def test_zero_readers_rejected():
+    with pytest.raises(ValueError):
+        FifoChannel(n_readers=0)

@@ -1,0 +1,176 @@
+"""Direct unit tests for the generic kernel library's edge cases."""
+
+import pytest
+
+from repro.kahn import ApplicationGraph, FunctionalExecutor, TaskNode
+from repro.kahn.library import (
+    ConditionalConsumerKernel,
+    ConsumerKernel,
+    ForkKernel,
+    HeaderPayloadProducerKernel,
+    MapKernel,
+    ProducerKernel,
+    RoundRobinMergeKernel,
+)
+
+
+def run_pipe(src_factory, dst_factory, buffer_size=128):
+    sinks = {}
+
+    def make_dst():
+        k = dst_factory()
+        sinks["dst"] = k
+        return k
+
+    g = ApplicationGraph()
+    g.add_task(TaskNode("src", src_factory, src_factory().ports()))
+    g.add_task(TaskNode("dst", make_dst, dst_factory().ports()))
+    g.connect("src.out", "dst.in", buffer_size=buffer_size)
+    result = FunctionalExecutor(g).run()
+    return result, sinks["dst"]
+
+
+def test_producer_empty_payload_finishes_immediately():
+    result, dst = run_pipe(lambda: ProducerKernel(b"", chunk=8), lambda: ConsumerKernel(chunk=8))
+    assert bytes(dst.collected) == b""
+    assert result.task_stats["src"].steps_completed == 0
+
+
+def test_producer_single_byte_chunks():
+    payload = bytes(range(10))
+    result, dst = run_pipe(lambda: ProducerKernel(payload, chunk=1), lambda: ConsumerKernel(chunk=1))
+    assert bytes(dst.collected) == payload
+    assert result.task_stats["src"].steps_completed == 10
+
+
+def test_producer_chunk_larger_than_payload():
+    payload = b"abc"
+    _result, dst = run_pipe(lambda: ProducerKernel(payload, chunk=100), lambda: ConsumerKernel(chunk=100))
+    assert bytes(dst.collected) == payload
+
+
+def test_producer_validates_chunk():
+    with pytest.raises(ValueError):
+        ProducerKernel(b"x", chunk=0)
+    with pytest.raises(ValueError):
+        ConsumerKernel(chunk=0)
+
+
+def test_header_payload_producer_rejects_oversize():
+    from repro.kahn import GraphError
+
+    k = HeaderPayloadProducerKernel([b"x" * 70000])
+    g = ApplicationGraph()
+    g.add_task(TaskNode("src", lambda: k, k.ports()))
+    g.add_task(TaskNode("dst", ConsumerKernel, ConsumerKernel.PORTS))
+    g.connect("src.out", "dst.in", buffer_size=128)
+    with pytest.raises(ValueError, match="too large"):
+        FunctionalExecutor(g).run()
+
+
+def test_merge_uneven_stream_lengths():
+    """One input finishes long before the other; the merge must drain
+    the longer one."""
+    sinks = {}
+
+    def sink():
+        k = ConsumerKernel(chunk=4)
+        sinks["dst"] = k
+        return k
+
+    g = ApplicationGraph()
+    g.add_task(TaskNode("a", lambda: ProducerKernel(b"A" * 4, chunk=4), ProducerKernel.PORTS))
+    g.add_task(TaskNode("b", lambda: ProducerKernel(b"B" * 20, chunk=4), ProducerKernel.PORTS))
+    g.add_task(TaskNode("m", lambda: RoundRobinMergeKernel(chunk=4), RoundRobinMergeKernel.PORTS))
+    g.add_task(TaskNode("dst", sink, ConsumerKernel.PORTS))
+    g.connect("a.out", "m.in_a", buffer_size=64)
+    g.connect("b.out", "m.in_b", buffer_size=64)
+    g.connect("m.out", "dst.in", buffer_size=64)
+    FunctionalExecutor(g).run()
+    out = bytes(sinks["dst"].collected)
+    assert out.count(b"A"[0]) == 4
+    assert out.count(b"B"[0]) == 20
+    assert out.startswith(b"AAAABBBB")  # alternation while both live
+
+
+def test_merge_partial_tail_chunks():
+    """Non-multiple payloads exercise the merge's EOS drain path."""
+    sinks = {}
+
+    def sink():
+        k = ConsumerKernel(chunk=3)
+        sinks["dst"] = k
+        return k
+
+    g = ApplicationGraph()
+    g.add_task(TaskNode("a", lambda: ProducerKernel(b"aaaaa", chunk=4), ProducerKernel.PORTS))
+    g.add_task(TaskNode("b", lambda: ProducerKernel(b"bb", chunk=4), ProducerKernel.PORTS))
+    g.add_task(TaskNode("m", lambda: RoundRobinMergeKernel(chunk=4), RoundRobinMergeKernel.PORTS))
+    g.add_task(TaskNode("dst", sink, ConsumerKernel.PORTS))
+    g.connect("a.out", "m.in_a", buffer_size=64)
+    g.connect("b.out", "m.in_b", buffer_size=64)
+    g.connect("m.out", "dst.in", buffer_size=64)
+    FunctionalExecutor(g).run()
+    assert sorted(bytes(sinks["dst"].collected)) == sorted(b"aaaaabb")
+
+
+def test_fork_partial_tail():
+    sinks = {}
+
+    def sink(name):
+        def make():
+            k = ConsumerKernel(chunk=4)
+            sinks[name] = k
+            return k
+
+        return make
+
+    g = ApplicationGraph()
+    g.add_task(TaskNode("src", lambda: ProducerKernel(b"0123456789", chunk=4), ProducerKernel.PORTS))
+    g.add_task(TaskNode("f", lambda: ForkKernel(chunk=4), ForkKernel.PORTS))
+    g.add_task(TaskNode("a", sink("a"), ConsumerKernel.PORTS))
+    g.add_task(TaskNode("b", sink("b"), ConsumerKernel.PORTS))
+    g.connect("src.out", "f.in", buffer_size=64)
+    g.connect("f.out_a", "a.in", buffer_size=64)
+    g.connect("f.out_b", "b.in", buffer_size=64)
+    FunctionalExecutor(g).run()
+    assert bytes(sinks["a"].collected) == b"0123456789"
+    assert bytes(sinks["b"].collected) == b"0123456789"
+
+
+def test_conditional_consumer_finishes_on_primary_eos():
+    sinks = {}
+
+    def sink():
+        k = ConditionalConsumerKernel(extra=2)
+        sinks["dst"] = k
+        return k
+
+    g = ApplicationGraph()
+    g.add_task(TaskNode("ctrl", lambda: ProducerKernel(bytes([0, 2, 4]), chunk=1), ProducerKernel.PORTS))
+    g.add_task(TaskNode("extra", lambda: ProducerKernel(b"", chunk=2), ProducerKernel.PORTS))
+    g.add_task(TaskNode("dst", sink, ConditionalConsumerKernel.PORTS))
+    g.connect("ctrl.out", "dst.in", buffer_size=16)
+    g.connect("extra.out", "dst.in2", buffer_size=16)
+    FunctionalExecutor(g).run()
+    # all control bytes even: the extra input is never needed
+    assert sinks["dst"].collected == [b"\x00", b"\x02", b"\x04"]
+
+
+def test_map_kernel_with_shrinking_fn_on_tail():
+    """fn may change length on the EOS tail; MapKernel handles it."""
+    sinks = {}
+
+    def sink():
+        k = ConsumerKernel(chunk=1)
+        sinks["dst"] = k
+        return k
+
+    g = ApplicationGraph()
+    g.add_task(TaskNode("src", lambda: ProducerKernel(b"abcde", chunk=2), ProducerKernel.PORTS))
+    g.add_task(TaskNode("m", lambda: MapKernel(bytes.upper, chunk=2), MapKernel.PORTS))
+    g.add_task(TaskNode("dst", sink, ConsumerKernel.PORTS))
+    g.connect("src.out", "m.in", buffer_size=16)
+    g.connect("m.out", "dst.in", buffer_size=16)
+    FunctionalExecutor(g).run()
+    assert bytes(sinks["dst"].collected) == b"ABCDE"

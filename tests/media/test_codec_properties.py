@@ -1,0 +1,65 @@
+"""Property-based codec testing: the bit-exact reconstruction invariant
+holds for arbitrary coding parameters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.media import CodecParams, decode_sequence, encode_sequence, synthetic_sequence
+
+
+@given(
+    gop_n=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+    q_i=st.integers(min_value=2, max_value=31),
+    q_p=st.integers(min_value=2, max_value=31),
+    q_b=st.integers(min_value=2, max_value=31),
+    num_frames=st.integers(min_value=1, max_value=6),
+    half_pel=st.booleans(),
+    seed=st.integers(min_value=0, max_value=99),
+)
+@settings(max_examples=15, deadline=None)
+def test_random_params_roundtrip_bit_exact(
+    gop_n, data, q_i, q_p, q_b, num_frames, half_pel, seed
+):
+    gop_m = data.draw(st.integers(min_value=1, max_value=gop_n))
+    params = CodecParams(
+        width=32,
+        height=32,
+        gop_n=gop_n,
+        gop_m=gop_m,
+        q_i=q_i,
+        q_p=q_p,
+        q_b=q_b,
+        half_pel=half_pel,
+    )
+    frames = synthetic_sequence(32, 32, num_frames, seed=seed)
+    bits, recon, _ = encode_sequence(frames, params)
+    decoded, got_params = decode_sequence(bits)
+    assert got_params.gop_n == gop_n and got_params.gop_m == gop_m
+    assert got_params.half_pel == half_pel
+    assert len(decoded) == num_frames
+    for d, r in zip(decoded, recon):
+        assert np.array_equal(d.y, r.y)
+        assert np.array_equal(d.cb, r.cb)
+        assert np.array_equal(d.cr, r.cr)
+
+
+@given(
+    q=st.integers(min_value=2, max_value=20),
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=10, deadline=None)
+def test_coarser_quant_never_costs_more_bits(q, seed):
+    """Monotonicity: doubling the quantizer scale cannot grow the
+    stream (same content, fewer/smaller coefficients)."""
+    frames = synthetic_sequence(32, 32, 3, seed=seed)
+    fine = CodecParams(width=32, height=32, gop_n=3, gop_m=1, q_i=q, q_p=q, q_b=q)
+    coarse_q = min(31, 2 * q)
+    coarse = CodecParams(
+        width=32, height=32, gop_n=3, gop_m=1, q_i=coarse_q, q_p=coarse_q, q_b=coarse_q
+    )
+    bits_fine, _, _ = encode_sequence(frames, fine)
+    bits_coarse, _, _ = encode_sequence(frames, coarse)
+    assert len(bits_coarse) <= len(bits_fine)

@@ -1,0 +1,107 @@
+"""Tests for the regular video-filter kernels (§2.2's regular tasks)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoprocessorSpec, EclipseSystem, SystemParams
+from repro.kahn import FunctionalExecutor
+from repro.media.filters import (
+    filter_chain_graph,
+    reference_chain,
+    reference_downscale,
+    reference_hfilter,
+    reference_vfilter,
+)
+
+
+def image(h=32, w=64, seed=0):
+    return np.random.default_rng(seed).integers(0, 256, (h, w)).astype(np.uint8)
+
+
+def test_reference_hfilter_edges_clamped():
+    img = np.zeros((1, 4), dtype=np.uint8)
+    img[0] = [0, 100, 200, 0]
+    out = reference_hfilter(img)
+    # leftmost pixel: (0 + 2*0 + 100 + 2)//4 = 25
+    assert out[0, 0] == 25
+    assert out.shape == img.shape
+
+
+def test_reference_vfilter_transpose_symmetry():
+    img = image(16, 16)
+    assert np.array_equal(reference_vfilter(img), reference_hfilter(img.T).T)
+
+
+def test_reference_downscale_halves_width():
+    img = image(4, 8)
+    out = reference_downscale(img)
+    assert out.shape == (4, 4)
+    assert out[0, 0] == (int(img[0, 0]) + int(img[0, 1]) + 1) // 2
+
+
+def test_functional_chain_matches_reference():
+    img = image()
+    g = filter_chain_graph(img)
+    ex = FunctionalExecutor(g)
+    ex.run()
+    sink = ex._tasks["sink"].kernel
+    assert np.array_equal(sink.image(), reference_chain(img))
+
+
+def test_cycle_level_chain_matches_reference():
+    img = image(16, 32)
+    g = filter_chain_graph(img, buffer_rows=2)
+    system = EclipseSystem(
+        [CoprocessorSpec(f"cp{i}") for i in range(3)], SystemParams(sram_size=64 * 1024)
+    )
+    system.configure(g)
+    result = system.run()
+    assert result.completed
+    sink = next(
+        row.kernel
+        for shell in system.shells.values()
+        for row in shell.task_table
+        if row.name == "sink"
+    )
+    assert np.array_equal(sink.image(), reference_chain(img))
+
+
+def test_single_row_buffers_still_correct():
+    """§2.2: regular tasks tolerate the tightest coupling."""
+    img = image(16, 32)
+    g = filter_chain_graph(img, buffer_rows=1)
+    system = EclipseSystem(
+        [CoprocessorSpec(f"cp{i}") for i in range(5)], SystemParams(sram_size=64 * 1024)
+    )
+    system.configure(g)
+    result = system.run()
+    assert result.completed
+    sink = next(
+        row.kernel
+        for shell in system.shells.values()
+        for row in shell.task_table
+        if row.name == "sink"
+    )
+    assert np.array_equal(sink.image(), reference_chain(img))
+
+
+def test_regular_tasks_have_constant_step_io():
+    """The defining property: every completed step moves exactly the
+    same number of bytes (worst case == average case)."""
+    img = image(8, 32)
+    g = filter_chain_graph(img)
+    ex = FunctionalExecutor(g)
+    result = ex.run()
+    hf = result.task_stats["hf"]
+    assert hf.bytes_read == 8 * 32
+    assert hf.bytes_written == 8 * 32
+    assert hf.steps_completed == 8  # exactly one row per step
+
+
+def test_bad_widths_rejected():
+    from repro.media.filters import DownscaleKernel, HFilterKernel
+
+    with pytest.raises(ValueError):
+        HFilterKernel(width=1)
+    with pytest.raises(ValueError):
+        DownscaleKernel(width=7)

@@ -1,0 +1,138 @@
+"""Half-pel motion compensation (MPEG-2 fidelity feature, opt-in)."""
+
+import numpy as np
+import pytest
+
+from repro.kahn import FunctionalExecutor
+from repro.media import CodecParams, decode_sequence, encode_sequence, synthetic_sequence
+from repro.media.motion import MotionVector, estimate, predict_block
+from repro.media.pipelines import decode_graph, encode_graph
+
+
+def test_halfpel_vector_flags_propagate():
+    v = MotionVector(3, -5, half_pel=True)
+    assert v.halved() == MotionVector(1, -2, True)
+
+
+def test_integer_positions_match_fullpel():
+    ref = np.random.default_rng(0).integers(0, 256, (32, 32)).astype(np.uint8)
+    full = predict_block(ref, 4, 4, 8, MotionVector(1, -2))
+    half = predict_block(ref, 4, 4, 8, MotionVector(2, -4, half_pel=True))
+    assert np.array_equal(full, half)
+
+
+def test_half_positions_interpolate():
+    ref = np.zeros((16, 16), dtype=np.uint8)
+    ref[4, :] = 100  # one bright row
+    # half-pel down: average of rows 4 and 5 -> (100 + 0 + 1) >> 1 = 50
+    pred = predict_block(ref, 4, 0, 4, MotionVector(1, 0, half_pel=True))
+    assert pred[0, 0] == 50
+
+
+def test_quarter_position_rounding():
+    ref = np.array([[0, 10], [20, 30]], dtype=np.uint8)
+    pred = predict_block(ref, 0, 0, 1, MotionVector(1, 1, half_pel=True))
+    # (0 + 10 + 20 + 30 + 2) >> 2 = 15
+    assert pred[0, 0] == 15
+
+
+def test_halfpel_estimate_finds_subpixel_shift():
+    """A half-pixel shift (synthesised by averaging neighbours) is
+    matched better by the half-pel search than any integer vector."""
+    rng = np.random.default_rng(1)
+    ref = rng.integers(0, 256, (64, 64)).astype(np.uint8)
+    shifted = ((ref[:, :-1].astype(np.int32) + ref[:, 1:].astype(np.int32) + 1) >> 1).astype(np.uint8)
+    cur = np.zeros_like(ref)
+    cur[:, :-1] = shifted
+    _ivec, icost = estimate(cur, ref, 16, 16, search_range=2, half_pel=False)
+    hvec, hcost = estimate(cur, ref, 16, 16, search_range=2, half_pel=True)
+    assert hcost < icost
+    assert hvec.half_pel and (hvec.dx % 2 == 1 or hvec.dy % 2 == 1)
+
+
+def small(num_frames=6, **kw):
+    params = CodecParams(width=48, height=32, gop_n=6, gop_m=3, half_pel=True, **kw)
+    frames = synthetic_sequence(params.width, params.height, num_frames)
+    return params, frames
+
+
+def test_halfpel_codec_roundtrip_bit_exact():
+    params, frames = small()
+    bits, recon, stats = encode_sequence(frames, params)
+    decoded, got_params = decode_sequence(bits)
+    assert got_params.half_pel
+    for d, r in zip(decoded, recon):
+        assert np.array_equal(d.y, r.y)
+        assert np.array_equal(d.cb, r.cb)
+
+
+def _subpixel_pan_sequence(num_frames=6, h=32, w=48, seed=2):
+    """Frames panning by 0.5 px/frame: genuinely sub-pixel motion."""
+    from repro.media.video import Frame
+
+    rng = np.random.default_rng(seed)
+    wide = rng.integers(0, 256, (h, 2 * w + 2 * num_frames)).astype(np.int32)
+    frames = []
+    for t in range(num_frames):
+        # position in half-pixels: t -> shift of t/2 px
+        int_shift, frac = divmod(t, 2)
+        win = wide[:, int_shift : int_shift + w + 1]
+        y = win[:, :w] if not frac else ((win[:, :w] + win[:, 1 : w + 1] + 1) >> 1)
+        frames.append(
+            Frame(
+                y.astype(np.uint8),
+                np.full((h // 2, w // 2), 128, dtype=np.uint8),
+                np.full((h // 2, w // 2), 128, dtype=np.uint8),
+            )
+        )
+    return frames
+
+
+def test_halfpel_improves_prediction():
+    """On content with genuine sub-pixel motion, half-pel mode spends
+    fewer bits on inter frames (better motion compensation)."""
+    frames = _subpixel_pan_sequence()
+    params_h = CodecParams(width=48, height=32, gop_n=6, gop_m=3, half_pel=True)
+    params_f = CodecParams(width=48, height=32, gop_n=6, gop_m=3, half_pel=False)
+    _, _, stats_h = encode_sequence(frames, params_h)
+    _, _, stats_f = encode_sequence(frames, params_f)
+    from repro.media.gop import FrameType
+
+    inter_bits_h = sum(
+        b for t, b in zip(stats_h.frame_types, stats_h.frame_bits) if t is not FrameType.I
+    )
+    inter_bits_f = sum(
+        b for t, b in zip(stats_f.frame_types, stats_f.frame_bits) if t is not FrameType.I
+    )
+    assert inter_bits_h < 0.8 * inter_bits_f
+
+
+def test_halfpel_pipelines_bit_exact():
+    """The KPN encode/decode pipelines honour half-pel mode exactly."""
+    params, frames = small(num_frames=5)
+    ref_bits, recon, _ = encode_sequence(frames, params)
+    ex = FunctionalExecutor(encode_graph(frames, params))
+    ex.run()
+    assert ex._tasks["vle"].kernel.bitstream() == ref_bits
+    dx = FunctionalExecutor(decode_graph(ref_bits))
+    dx.run()
+    disp = dx._tasks["disp"].kernel
+    for d, r in zip(disp.display_frames(), recon):
+        assert np.array_equal(d.y, r.y)
+
+
+def test_halfpel_on_cycle_level_instance():
+    from repro.instance import decode_on_instance
+
+    params, frames = small(num_frames=5)
+    bits, recon, _ = encode_sequence(frames, params)
+    system, result = decode_on_instance(bits)
+    assert result.completed
+    disp = next(
+        row.kernel
+        for shell in system.shells.values()
+        for row in shell.task_table
+        if row.name == "disp"
+    )
+    for d, r in zip(disp.display_frames(), recon):
+        assert np.array_equal(d.y, r.y)

@@ -1,0 +1,125 @@
+"""Unit tests for motion estimation/compensation and GOP planning."""
+
+import numpy as np
+import pytest
+
+from repro.media.gop import FrameType, GopStructure
+from repro.media.motion import MotionVector, estimate, predict_block, predict_mb, sad
+
+
+def test_sad_basic():
+    a = np.array([[1, 2], [3, 4]], dtype=np.uint8)
+    b = np.array([[2, 2], [3, 1]], dtype=np.uint8)
+    assert sad(a, b) == 4
+
+
+def test_estimate_finds_pure_translation():
+    rng = np.random.default_rng(3)
+    ref = rng.integers(0, 256, (64, 64), dtype=np.uint8).astype(np.uint8)
+    # roll(+2, 0) moves content down: cur[y, x] == ref[y-2, x+3], so the
+    # matching reference patch sits at displacement (-2, +3).
+    cur = np.roll(np.roll(ref, 2, axis=0), -3, axis=1)
+    vec, cost = estimate(cur, ref, 16, 16, search_range=4)
+    assert (vec.dy, vec.dx) == (-2, 3)
+    assert cost == 0
+
+
+def test_estimate_prefers_zero_on_tie():
+    ref = np.zeros((32, 32), dtype=np.uint8)
+    cur = np.zeros((32, 32), dtype=np.uint8)
+    vec, cost = estimate(cur, ref, 0, 0, search_range=2)
+    assert (vec.dy, vec.dx) == (0, 0)
+    assert cost == 0
+
+
+def test_predict_block_clamps_edges():
+    ref = np.arange(64, dtype=np.uint8).reshape(8, 8)
+    patch = predict_block(ref, 0, 0, 4, MotionVector(-2, -2))
+    # clamped to row/col 0
+    assert patch[0, 0] == ref[0, 0]
+    assert patch.shape == (4, 4)
+
+
+def test_bidirectional_prediction_averages():
+    f = np.full((16, 16), 10.0)
+    b = np.full((16, 16), 21.0)
+    pred = predict_mb(f, b, 0, 0, 8, MotionVector(0, 0), MotionVector(0, 0))
+    assert np.all(pred == 16.0)  # floor((10+21+1)/2)
+
+
+def test_predict_mb_needs_a_reference():
+    with pytest.raises(ValueError):
+        predict_mb(None, None, 0, 0, 8, None, None)
+
+
+def test_halved_vector_truncates_toward_zero():
+    assert MotionVector(3, -3).halved() == MotionVector(1, -1)
+    assert MotionVector(-1, 1).halved() == MotionVector(0, 0)
+
+
+# ---------------------------------------------------------------------------
+# GOP planning
+# ---------------------------------------------------------------------------
+def test_display_types_ibbp_pattern():
+    g = GopStructure(n=12, m=3)
+    types = [t.value for t in g.display_types(12)]
+    assert types == ["I", "B", "B", "P", "B", "B", "P", "B", "B", "P", "B", "P"]
+    # (last frame forced to P so trailing Bs are bounded)
+
+
+def test_display_types_no_b_frames():
+    g = GopStructure(n=4, m=1)
+    assert [t.value for t in g.display_types(6)] == ["I", "P", "P", "P", "I", "P"]
+
+
+def test_all_intra():
+    g = GopStructure(n=1, m=1)
+    assert all(t is FrameType.I for t in g.display_types(5))
+
+
+def test_coded_order_anchors_before_b():
+    g = GopStructure(n=12, m=3)
+    plans = g.coded_order(7)
+    coded = [(p.frame_type.value, p.display_index) for p in plans]
+    assert coded == [
+        ("I", 0),
+        ("P", 3),
+        ("B", 1),
+        ("B", 2),
+        ("P", 6),
+        ("B", 4),
+        ("B", 5),
+    ]
+
+
+def test_coded_order_references():
+    g = GopStructure(n=12, m=3)
+    plans = {p.display_index: p for p in g.coded_order(7)}
+    assert plans[0].forward_ref is None  # I
+    assert plans[3].forward_ref == 0  # P refs I
+    assert plans[1].forward_ref == 0 and plans[1].backward_ref == 3  # B
+    assert plans[4].forward_ref == 3 and plans[4].backward_ref == 6
+
+
+def test_display_order_inverse():
+    g = GopStructure(n=6, m=2)
+    n = 10
+    perm = g.display_order(n)
+    plans = g.coded_order(n)
+    for disp, coded in enumerate(perm):
+        assert plans[coded].display_index == disp
+
+
+def test_every_frame_planned_once():
+    g = GopStructure(n=12, m=3)
+    for n in (1, 2, 5, 12, 13, 25):
+        plans = g.coded_order(n)
+        assert sorted(p.display_index for p in plans) == list(range(n))
+        assert [p.coded_index for p in plans] == list(range(n))
+
+
+def test_bad_gop_params():
+    with pytest.raises(ValueError):
+        GopStructure(0, 1)
+    with pytest.raises(ValueError):
+        GopStructure(4, 5)

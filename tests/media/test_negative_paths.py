@@ -1,0 +1,50 @@
+"""Negative paths: stream-consistency guards in the media kernels."""
+
+import pytest
+
+from repro.kahn import ApplicationGraph, FunctionalExecutor, TaskNode
+from repro.media import CodecParams, encode_sequence, synthetic_sequence
+from repro.media.bitstream import BitstreamError
+from repro.media.audio import adpcm_encode, synthetic_pcm, BLOCK_SAMPLES
+from repro.media.av_pipeline import AV_DECODE_MAPPING, av_decode_graph
+from repro.media.transport import AUDIO_PID, VIDEO_PID, ts_mux
+
+
+def make_ts(params, num_frames):
+    frames = synthetic_sequence(params.width, params.height, num_frames)
+    video_es, _, _ = encode_sequence(frames, params)
+    audio_es = adpcm_encode(synthetic_pcm(BLOCK_SAMPLES * 2))
+    return ts_mux({VIDEO_PID: video_es, AUDIO_PID: audio_es})
+
+
+def test_vld_stream_rejects_wrong_sequence_header():
+    """The streaming VLD verifies the sequence header against its
+    configuration — a mismatch is a configuration error, caught loudly."""
+    params = CodecParams(width=48, height=32, gop_n=6, gop_m=3)
+    ts = make_ts(params, 4)
+    wrong = CodecParams(width=48, height=32, gop_n=6, gop_m=3, q_i=9)  # differs
+    g = av_decode_graph(ts, wrong, 4)
+    with pytest.raises(BitstreamError, match="sequence header mismatch"):
+        FunctionalExecutor(g).run()
+
+
+def test_vld_stream_rejects_wrong_frame_count():
+    params = CodecParams(width=48, height=32, gop_n=6, gop_m=3)
+    ts = make_ts(params, 4)
+    g = av_decode_graph(ts, params, 5)  # expects one frame too many
+    with pytest.raises(BitstreamError):
+        FunctionalExecutor(g).run()
+
+
+def test_vld_rejects_corrupt_magic():
+    from repro.media.tasks import VldKernel
+
+    with pytest.raises(BitstreamError, match="magic"):
+        VldKernel(b"NOPE" + b"\x00" * 64)
+
+
+def test_demux_rejects_ragged_ts():
+    from repro.media.transport import DemuxKernel
+
+    with pytest.raises(ValueError, match="whole number"):
+        DemuxKernel(b"\x47" * 100)

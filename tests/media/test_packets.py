@@ -1,0 +1,132 @@
+"""Unit tests for the macroblock packet formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.media.codec import MacroblockData, MbMode
+from repro.media.gop import FrameType
+from repro.media.motion import MotionVector
+from repro.media.packets import (
+    HEADER_SIZE,
+    MbHeader,
+    header_from_mb,
+    mb_from_header,
+    pack_blocks,
+    pack_coef_payload,
+    pack_pixels,
+    unpack_blocks,
+    unpack_coef_payload,
+    unpack_pixels,
+)
+
+
+def test_header_roundtrip_with_vectors():
+    hdr = MbHeader(
+        mb_index=1234,
+        ftype=FrameType.B,
+        mode=MbMode.BI,
+        cbp=0x2A,
+        qscale=12,
+        fwd_vec=MotionVector(-3, 4),
+        bwd_vec=MotionVector(2, -1),
+        payload_len=768,
+    )
+    packed = hdr.pack()
+    assert len(packed) == HEADER_SIZE
+    assert MbHeader.unpack(packed) == hdr
+
+
+def test_header_roundtrip_intra_drops_vectors():
+    hdr = MbHeader(0, FrameType.I, MbMode.INTRA, 0x3F, 8, None, None, 0)
+    got = MbHeader.unpack(hdr.pack())
+    assert got.fwd_vec is None and got.bwd_vec is None
+    assert got == hdr
+
+
+def test_header_wrong_size_rejected():
+    with pytest.raises(ValueError):
+        MbHeader.unpack(b"\x00" * (HEADER_SIZE - 1))
+
+
+def test_with_payload_override():
+    hdr = MbHeader(5, FrameType.P, MbMode.FWD, 0, 10, MotionVector(1, 1), None, 0)
+    h2 = hdr.with_payload(99, cbp=0x15)
+    assert h2.payload_len == 99 and h2.cbp == 0x15
+    assert h2.mb_index == 5 and h2.fwd_vec == MotionVector(1, 1)
+
+
+def test_coef_payload_roundtrip():
+    pairs = [[(0, 5), (3, -2)], [(10, 100)], []]
+    cbp = 0b000111  # three coded blocks (one with zero pairs)
+    payload = pack_coef_payload(pairs)
+    assert unpack_coef_payload(payload, cbp) == pairs
+
+
+def test_coef_payload_trailing_garbage_rejected():
+    payload = pack_coef_payload([[(0, 1)]]) + b"\x00"
+    with pytest.raises(ValueError, match="trailing"):
+        unpack_coef_payload(payload, 0b1)
+
+
+def test_blocks_roundtrip_dtypes():
+    rng = np.random.default_rng(0)
+    for dtype, lo, hi in ((np.int16, -2048, 2048), (np.uint8, 0, 256)):
+        blocks = [rng.integers(lo, hi, (8, 8)).astype(dtype) for _ in range(6)]
+        out = unpack_blocks(pack_blocks(blocks, dtype), dtype)
+        for a, b in zip(blocks, out):
+            assert np.array_equal(a, b)
+
+
+def test_blocks_f64_roundtrip_exact():
+    rng = np.random.default_rng(1)
+    blocks = [rng.standard_normal((8, 8)) * 1000 for _ in range(6)]
+    out = unpack_blocks(pack_blocks(blocks, np.float64), np.float64)
+    for a, b in zip(blocks, out):
+        assert np.array_equal(a, b)  # bit-exact, not approx
+
+
+def test_pack_blocks_needs_six():
+    with pytest.raises(ValueError):
+        pack_blocks([np.zeros((8, 8))] * 5, np.int16)
+
+
+def test_unpack_blocks_wrong_size():
+    with pytest.raises(ValueError):
+        unpack_blocks(b"\x00" * 100, np.int16)
+
+
+def test_pixels_roundtrip():
+    rng = np.random.default_rng(2)
+    blocks = [rng.integers(0, 256, (8, 8)).astype(np.uint8) for _ in range(6)]
+    out = unpack_pixels(pack_pixels(blocks))
+    for a, b in zip(blocks, out):
+        assert np.array_equal(a, b)
+
+
+def test_mb_header_conversion_helpers():
+    mb = MacroblockData(7, MbMode.FWD, MotionVector(2, -2), None, 0b11, [[(0, 1)], [(1, -1)]])
+    hdr = header_from_mb(mb, FrameType.P, 10, payload_len=0)
+    back = mb_from_header(hdr, mb.block_pairs)
+    assert back.mb_index == mb.mb_index
+    assert back.mode == mb.mode
+    assert back.fwd_vec == mb.fwd_vec
+    assert back.cbp == mb.cbp
+    assert back.block_pairs == mb.block_pairs
+
+
+@given(
+    mb_index=st.integers(0, 65535),
+    ftype=st.sampled_from(list(FrameType)),
+    cbp=st.integers(0, 63),
+    qscale=st.integers(1, 31),
+    plen=st.integers(0, 65535),
+    vec=st.tuples(st.integers(-100, 100), st.integers(-100, 100)),
+)
+@settings(max_examples=80)
+def test_header_roundtrip_property(mb_index, ftype, cbp, qscale, plen, vec):
+    mode = MbMode.FWD if ftype is not FrameType.I else MbMode.INTRA
+    fv = MotionVector(*vec) if mode is MbMode.FWD else None
+    hdr = MbHeader(mb_index, ftype, mode, cbp, qscale, fv, None, plen)
+    assert MbHeader.unpack(hdr.pack()) == hdr

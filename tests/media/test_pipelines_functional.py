@@ -1,0 +1,111 @@
+"""Media pipelines on the REFERENCE executor: bit-exactness vs the
+functional codec, before any cycle-level machinery is involved."""
+
+import numpy as np
+import pytest
+
+from repro.kahn import FunctionalExecutor
+from repro.media import CodecParams, decode_sequence, encode_sequence, synthetic_sequence
+from repro.media.pipelines import decode_graph, encode_graph, timeshift_graph
+
+
+def small_setup(num_frames=7, **kw):
+    params = CodecParams(width=48, height=32, gop_n=6, gop_m=3, **kw)
+    frames = synthetic_sequence(params.width, params.height, num_frames=num_frames)
+    return params, frames
+
+
+def run_and_grab(graph, task_name):
+    """Run functionally; the executor holds the kernel instances."""
+    ex = FunctionalExecutor(graph)
+    result = ex.run()
+    return ex._tasks[task_name].kernel, result
+
+
+def test_decode_pipeline_matches_reference_decoder():
+    params, frames = small_setup()
+    bitstream, recon, _ = encode_sequence(frames, params)
+    disp, _ = run_and_grab(decode_graph(bitstream), "disp")
+    decoded = disp.display_frames()
+    assert len(decoded) == len(frames)
+    for d, r in zip(decoded, recon):
+        assert np.array_equal(d.y, r.y)
+        assert np.array_equal(d.cb, r.cb)
+        assert np.array_equal(d.cr, r.cr)
+
+
+def test_decode_pipeline_no_b_frames():
+    params, frames = small_setup(num_frames=6)
+    params.gop_m = 1
+    bitstream, recon, _ = encode_sequence(frames, params)
+    disp, _ = run_and_grab(decode_graph(bitstream), "disp")
+    for d, r in zip(disp.display_frames(), recon):
+        assert np.array_equal(d.y, r.y)
+
+
+def test_encode_pipeline_matches_reference_encoder():
+    params, frames = small_setup()
+    ref_bits, _, _ = encode_sequence(frames, params)
+    vle, _ = run_and_grab(encode_graph(frames, params), "vle")
+    assert vle.bitstream() == ref_bits
+
+
+def test_encode_pipeline_bitstream_decodes():
+    params, frames = small_setup(num_frames=5)
+    vle, _ = run_and_grab(encode_graph(frames, params), "vle")
+    decoded, _ = decode_sequence(vle.bitstream())
+    assert len(decoded) == len(frames)
+
+
+def test_full_transcode_chain():
+    """encode (KPN) -> decode (KPN) == reference recon frames."""
+    params, frames = small_setup(num_frames=6)
+    vle, _ = run_and_grab(encode_graph(frames, params), "vle")
+    _, recon, _ = encode_sequence(frames, params)
+    disp, _ = run_and_grab(decode_graph(vle.bitstream()), "disp")
+    for d, r in zip(disp.display_frames(), recon):
+        assert np.array_equal(d.y, r.y)
+
+
+def test_timeshift_graph_runs_both_apps():
+    params, frames = small_setup(num_frames=5)
+    playback_bits, playback_recon, _ = encode_sequence(frames, params)
+    g = timeshift_graph(frames, params, playback_bits)
+    ex = FunctionalExecutor(g)
+    ex.run()
+    vle = ex._tasks["vle"].kernel
+    disp = ex._tasks["play_disp"].kernel
+    ref_bits, _, _ = encode_sequence(frames, params)
+    assert vle.bitstream() == ref_bits
+    for d, r in zip(disp.display_frames(), playback_recon):
+        assert np.array_equal(d.y, r.y)
+
+
+def test_decode_graph_structure_matches_figure2():
+    params, frames = small_setup(num_frames=3)
+    bitstream, _, _ = encode_sequence(frames, params)
+    g = decode_graph(bitstream)
+    g.validate()
+    assert set(g.tasks) == {"vld", "rlsq", "idct", "mc", "disp"}
+    # Figure 2 chain incl. the VLD->MC side stream
+    assert g.stream_of("vld.coef_out").consumers[0].task == "rlsq"
+    assert g.stream_of("vld.mv_out").consumers[0].task == "mc"
+    assert g.stream_of("rlsq.out").consumers[0].task == "idct"
+    assert g.stream_of("idct.out").consumers[0].task == "mc"
+    assert g.stream_of("mc.out").consumers[0].task == "disp"
+    assert g.is_acyclic()
+
+
+def test_encode_graph_has_reconstruction_cycle():
+    params, frames = small_setup(num_frames=3)
+    g = encode_graph(frames, params)
+    g.validate()
+    assert not g.is_acyclic()  # the ME <- RECON feedback loop
+
+
+def test_decode_determinism_across_schedules():
+    from repro.kahn import check_determinism
+
+    params, frames = small_setup(num_frames=5)
+    bitstream, _, _ = encode_sequence(frames, params)
+    check_determinism(lambda: decode_graph(bitstream), seeds=range(3))

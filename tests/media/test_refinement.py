@@ -1,0 +1,42 @@
+"""Tests for the coarse (fused) decoder model of the refinement
+trajectory."""
+
+import numpy as np
+import pytest
+
+from repro.kahn import FunctionalExecutor, check_determinism
+from repro.media import CodecParams, encode_sequence, synthetic_sequence
+from repro.media.refinement import decode_graph_coarse
+
+
+@pytest.fixture(scope="module")
+def content():
+    params = CodecParams(width=48, height=32, gop_n=6, gop_m=3)
+    frames = synthetic_sequence(params.width, params.height, 6)
+    bits, recon, _ = encode_sequence(frames, params)
+    return params, bits, recon
+
+
+def test_coarse_graph_structure(content):
+    _params, bits, _recon = content
+    g = decode_graph_coarse(bits)
+    g.validate()
+    assert set(g.tasks) == {"vld", "backend", "disp"}
+    assert g.is_acyclic()
+
+
+def test_coarse_decode_bit_exact(content):
+    _params, bits, recon = content
+    ex = FunctionalExecutor(decode_graph_coarse(bits))
+    ex.run()
+    disp = ex._tasks["disp"].kernel
+    decoded = disp.display_frames()
+    assert len(decoded) == len(recon)
+    for d, r in zip(decoded, recon):
+        assert np.array_equal(d.y, r.y)
+        assert np.array_equal(d.cb, r.cb)
+
+
+def test_coarse_decode_deterministic(content):
+    _params, bits, _recon = content
+    check_determinism(lambda: decode_graph_coarse(bits), seeds=range(2))

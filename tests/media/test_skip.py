@@ -1,0 +1,103 @@
+"""Skipped-macroblock coding: the 1-bit escape for static content."""
+
+import numpy as np
+import pytest
+
+from repro.media import CodecParams, decode_sequence, encode_sequence
+from repro.media.codec import MacroblockData, MbMode, is_skipped
+from repro.media.motion import MotionVector
+from repro.media.video import Frame
+
+
+def static_sequence(num_frames=4, h=32, w=48, seed=5):
+    """Identical frames: every P/B macroblock should skip."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 256, (h, w)).astype(np.uint8)
+    cb = rng.integers(0, 256, (h // 2, w // 2)).astype(np.uint8)
+    cr = rng.integers(0, 256, (h // 2, w // 2)).astype(np.uint8)
+    return [Frame(y.copy(), cb.copy(), cr.copy()) for _ in range(num_frames)]
+
+
+def test_is_skipped_predicate():
+    from repro.media.gop import FrameType
+
+    zero = MotionVector(0, 0)
+    P, B, I = FrameType.P, FrameType.B, FrameType.I
+    assert is_skipped(MacroblockData(0, MbMode.FWD, zero, None, 0, []), P)
+    assert is_skipped(MacroblockData(0, MbMode.BI, zero, zero, 0, []), B)
+    assert not is_skipped(MacroblockData(0, MbMode.FWD, MotionVector(1, 0), None, 0, []), P)
+    assert not is_skipped(MacroblockData(0, MbMode.FWD, zero, None, 1, [[(0, 1)]]), P)
+    assert not is_skipped(MacroblockData(0, MbMode.INTRA, None, None, 0, []), I)
+    assert not is_skipped(MacroblockData(0, MbMode.FWD, zero, None, 0, []), B)
+
+
+def test_static_content_skips_and_shrinks():
+    """Static frames: inter MBs predict perfectly from the anchor's
+    reconstruction once a coarse inter quantizer crushes the I frame's
+    quantization noise — the bulk of P/B macroblocks skip."""
+    frames = static_sequence(num_frames=6)
+    params = CodecParams(width=48, height=32, gop_n=6, gop_m=2, q_p=24, q_b=28)
+    bits, recon, stats = encode_sequence(frames, params)
+    from repro.media.gop import FrameType
+
+    mbs = params.mbs_per_frame
+    inter = [
+        (t, stats.mb_skipped[i * mbs : (i + 1) * mbs])
+        for i, t in enumerate(stats.frame_types)
+        if t is not FrameType.I
+    ]
+    # the first P frame must still code the I frame's quantization
+    # noise; later inter frames skip in the majority
+    skipped = sum(sum(flags) for _t, flags in inter)
+    total = sum(len(flags) for _t, flags in inter)
+    assert skipped / total > 0.5
+    later = inter[1:]
+    assert sum(sum(flags) for _t, flags in later) / sum(
+        len(flags) for _t, flags in later
+    ) > 0.6
+    # skipped inter frames are nearly free on the wire
+    inter_bits = [
+        b for t, b in zip(stats.frame_types, stats.frame_bits) if t is not FrameType.I
+    ]
+    assert min(inter_bits) < mbs * 8 + 64
+    decoded, _ = decode_sequence(bits)
+    for d, r in zip(decoded, recon):
+        assert np.array_equal(d.y, r.y)
+
+
+def test_skip_roundtrip_through_pipelines():
+    """Skipped MBs flow through the KPN pipelines bit-exactly (the VLD
+    synthesizes the zero-vector FWD macroblock; MC predicts; nothing is
+    coded)."""
+    from repro.kahn import FunctionalExecutor
+    from repro.media.pipelines import decode_graph, encode_graph
+
+    frames = static_sequence(num_frames=4)
+    params = CodecParams(width=48, height=32, gop_n=4, gop_m=2)
+    ref_bits, recon, _ = encode_sequence(frames, params)
+    ex = FunctionalExecutor(encode_graph(frames, params))
+    ex.run()
+    assert ex._tasks["vle"].kernel.bitstream() == ref_bits
+    dx = FunctionalExecutor(decode_graph(ref_bits))
+    dx.run()
+    disp = dx._tasks["disp"].kernel
+    for d, r in zip(disp.display_frames(), recon):
+        assert np.array_equal(d.y, r.y)
+
+
+def test_skip_on_cycle_level_instance():
+    from repro.instance import decode_on_instance
+
+    frames = static_sequence(num_frames=4)
+    params = CodecParams(width=48, height=32, gop_n=4, gop_m=2)
+    bits, recon, _ = encode_sequence(frames, params)
+    system, result = decode_on_instance(bits)
+    assert result.completed
+    disp = next(
+        row.kernel
+        for shell in system.shells.values()
+        for row in shell.task_table
+        if row.name == "disp"
+    )
+    for d, r in zip(disp.display_frames(), recon):
+        assert np.array_equal(d.y, r.y)

@@ -1,0 +1,118 @@
+"""Unit tests for DCT, quantization, zigzag and run-level coding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.media.dct import DCT_BASIS, fdct8x8, idct8x8
+from repro.media.quant import INTRA_MATRIX, LEVEL_MAX, dequantize, quantize
+from repro.media.scan import (
+    ZIGZAG,
+    inverse_zigzag,
+    run_level_decode,
+    run_level_encode,
+    zigzag,
+)
+
+
+def test_dct_basis_orthonormal():
+    assert np.allclose(DCT_BASIS @ DCT_BASIS.T, np.eye(8), atol=1e-12)
+
+
+def test_dct_idct_identity():
+    rng = np.random.default_rng(0)
+    block = rng.uniform(-255, 255, (8, 8))
+    assert np.allclose(idct8x8(fdct8x8(block)), block, atol=1e-9)
+
+
+def test_dct_dc_of_flat_block():
+    block = np.full((8, 8), 100.0)
+    coef = fdct8x8(block)
+    assert coef[0, 0] == pytest.approx(800.0)  # 8 * mean
+    assert np.allclose(coef.reshape(-1)[1:], 0, atol=1e-9)
+
+
+def test_dct_shape_check():
+    with pytest.raises(ValueError):
+        fdct8x8(np.zeros((4, 4)))
+    with pytest.raises(ValueError):
+        idct8x8(np.zeros((8, 9)))
+
+
+def test_quantize_roundtrip_error_bounded():
+    rng = np.random.default_rng(1)
+    coef = rng.uniform(-200, 200, (8, 8))
+    for intra in (True, False):
+        levels = quantize(coef, intra, qscale=8)
+        rec = dequantize(levels, intra, qscale=8)
+        step = (INTRA_MATRIX if intra else np.full((8, 8), 16.0)) * 8 / 8.0
+        assert np.all(np.abs(rec - coef) <= step / 2 + 1e-9)
+
+
+def test_quantize_clamps_levels():
+    coef = np.full((8, 8), 1e9)
+    levels = quantize(coef, False, 1)
+    assert np.all(levels == LEVEL_MAX)
+
+
+def test_quantize_bad_qscale():
+    with pytest.raises(ValueError):
+        quantize(np.zeros((8, 8)), True, 0)
+
+
+def test_zigzag_is_permutation():
+    assert sorted(ZIGZAG.tolist()) == list(range(64))
+
+
+def test_zigzag_starts_dc_then_first_antidiagonal():
+    # standard zigzag: (0,0), (0,1), (1,0), (2,0), (1,1), (0,2), ...
+    assert ZIGZAG[:6].tolist() == [0, 1, 8, 16, 9, 2]
+
+
+def test_zigzag_inverse_identity():
+    block = np.arange(64).reshape(8, 8)
+    assert np.array_equal(inverse_zigzag(zigzag(block)), block)
+
+
+def test_run_level_simple():
+    v = np.zeros(64, dtype=np.int16)
+    v[0] = 5
+    v[3] = -2
+    assert run_level_encode(v) == [(0, 5), (2, -2)]
+
+
+def test_run_level_empty_block():
+    assert run_level_encode(np.zeros(64, dtype=np.int16)) == []
+
+
+def test_run_level_trailing_zeros_dropped():
+    v = np.zeros(64, dtype=np.int16)
+    v[10] = 1
+    pairs = run_level_encode(v)
+    assert pairs == [(10, 1)]
+    assert np.array_equal(run_level_decode(pairs), v)
+
+
+def test_run_level_decode_rejects_overflow():
+    with pytest.raises(ValueError):
+        run_level_decode([(63, 1), (0, 1)])
+    with pytest.raises(ValueError):
+        run_level_decode([(0, 0)])
+
+
+@given(
+    arrays(
+        np.int16,
+        (64,),
+        elements=st.integers(min_value=-100, max_value=100),
+    )
+)
+def test_run_level_roundtrip_property(v):
+    assert np.array_equal(run_level_decode(run_level_encode(v)), v)
+
+
+@given(arrays(np.float64, (8, 8), elements=st.floats(-255, 255)))
+def test_zigzag_roundtrip_property(block):
+    assert np.array_equal(inverse_zigzag(zigzag(block)), block)

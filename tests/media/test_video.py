@@ -1,0 +1,63 @@
+"""Unit tests for the synthetic video source."""
+
+import numpy as np
+import pytest
+
+from repro.media import synthetic_sequence
+from repro.media.motion import estimate
+
+
+def test_shapes_and_dtypes():
+    frames = synthetic_sequence(64, 48, num_frames=3)
+    assert len(frames) == 3
+    for f in frames:
+        assert f.y.shape == (48, 64) and f.y.dtype == np.uint8
+        assert f.cb.shape == (24, 32) and f.cb.dtype == np.uint8
+        assert f.cr.shape == (24, 32) and f.cr.dtype == np.uint8
+
+
+def test_deterministic_per_seed():
+    a = synthetic_sequence(48, 32, num_frames=4, seed=1)
+    b = synthetic_sequence(48, 32, num_frames=4, seed=1)
+    c = synthetic_sequence(48, 32, num_frames=4, seed=2)
+    for fa, fb in zip(a, b):
+        assert np.array_equal(fa.y, fb.y)
+    assert any(not np.array_equal(fa.y, fc.y) for fa, fc in zip(a, c))
+
+
+def test_motion_is_findable():
+    """Consecutive frames are related by small motion that the ME can
+    lock onto — essential for P/B frames to predict well."""
+    frames = synthetic_sequence(64, 48, num_frames=3, noise=0.0)
+    vec, cost = estimate(frames[1].y, frames[0].y, 16, 16, search_range=4)
+    flat_cost = estimate(frames[1].y, frames[1].y, 16, 16, search_range=0)[1]
+    assert cost < 0.5 * 256 * 64  # far better than random
+
+
+def test_frames_change_over_time():
+    frames = synthetic_sequence(48, 32, num_frames=3)
+    assert not np.array_equal(frames[0].y, frames[1].y)
+
+
+def test_frame_copy_independent():
+    frames = synthetic_sequence(48, 32, num_frames=1)
+    c = frames[0].copy()
+    c.y[0, 0] = 255 - c.y[0, 0]
+    assert frames[0].y[0, 0] != c.y[0, 0]
+
+
+def test_bad_dimensions_rejected():
+    with pytest.raises(ValueError, match="multiples of 16"):
+        synthetic_sequence(50, 32, 1)
+    with pytest.raises(ValueError):
+        synthetic_sequence(48, 32, 0)
+
+
+def test_luma_has_detail():
+    """I frames must be coefficient-rich: the top detail band has real
+    high-frequency energy."""
+    frames = synthetic_sequence(64, 48, num_frames=1)
+    y = frames[0].y.astype(np.float64)
+    detail = np.abs(np.diff(y[: 48 // 3], axis=1)).mean()
+    smooth = np.abs(np.diff(y[48 // 3 :], axis=1)).mean()
+    assert detail > 1.5 * smooth

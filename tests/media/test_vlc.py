@@ -1,0 +1,100 @@
+"""Unit and property tests for the canonical-Huffman VLC."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.media.bitstream import BitReader, BitWriter
+from repro.media.vlc import COEFF_TABLE, VlcTable, decode_block_pairs, encode_block_pairs
+
+
+def test_codes_are_prefix_free():
+    codes = [(length, code) for code, length in COEFF_TABLE.codes]
+    for i, (l1, c1) in enumerate(codes):
+        for j, (l2, c2) in enumerate(codes):
+            if i == j:
+                continue
+            if l1 <= l2:
+                assert (c2 >> (l2 - l1)) != c1, f"code {i} is a prefix of {j}"
+
+
+def test_kraft_equality():
+    """A full Huffman code satisfies Kraft with equality."""
+    total = sum(2.0 ** -length for _c, length in COEFF_TABLE.codes)
+    assert total == pytest.approx(1.0)
+
+
+def test_common_pairs_get_short_codes():
+    short = COEFF_TABLE.codes[VlcTable.pair_symbol(0, 1)][1]
+    long = COEFF_TABLE.codes[VlcTable.pair_symbol(15, 8)][1]
+    assert short < long
+    eob_len = COEFF_TABLE.codes[VlcTable.EOB][1]
+    assert eob_len <= 6  # EOB is frequent, must be short
+
+
+def test_symbol_roundtrip_all():
+    w = BitWriter()
+    n = len(COEFF_TABLE.codes)
+    for sym in range(n):
+        COEFF_TABLE.write_symbol(w, sym)
+    r = BitReader(w.getvalue())
+    assert [COEFF_TABLE.read_symbol(r) for _ in range(n)] == list(range(n))
+
+
+def test_block_pairs_roundtrip_tabled_and_escape():
+    pairs = [(0, 1), (2, -3), (20, 5), (0, 500), (15, -8), (1, 9)]
+    w = BitWriter()
+    bits = encode_block_pairs(w, pairs)
+    assert bits > 0
+    r = BitReader(w.getvalue())
+    assert decode_block_pairs(r) == pairs
+
+
+def test_empty_block_is_just_eob():
+    w = BitWriter()
+    encode_block_pairs(w, [])
+    r = BitReader(w.getvalue())
+    assert decode_block_pairs(r) == []
+
+
+def test_encode_rejects_bad_pairs():
+    w = BitWriter()
+    with pytest.raises(ValueError):
+        encode_block_pairs(w, [(0, 0)])
+    with pytest.raises(ValueError):
+        encode_block_pairs(w, [(64, 1)])
+    with pytest.raises(ValueError):
+        encode_block_pairs(w, [(0, 5000)])
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=63),
+            st.integers(min_value=-2047, max_value=2047).filter(lambda v: v != 0),
+        ),
+        max_size=64,
+    )
+)
+def test_block_pairs_roundtrip_property(pairs):
+    # keep the total run+1 per pair within a 64-coefficient block
+    budget = 64
+    valid = []
+    for run, level in pairs:
+        if budget - (run + 1) < 0:
+            break
+        budget -= run + 1
+        valid.append((run, level))
+    w = BitWriter()
+    encode_block_pairs(w, valid)
+    r = BitReader(w.getvalue())
+    assert decode_block_pairs(r) == valid
+
+
+def test_data_dependent_bit_counts():
+    """More/larger coefficients -> more bits: the irregularity VLD/VLE
+    cycle models build on."""
+    w1, w2 = BitWriter(), BitWriter()
+    few = encode_block_pairs(w1, [(0, 1)])
+    many = encode_block_pairs(w2, [(i % 4, (-1) ** i * (i % 7 + 1)) for i in range(12)])
+    assert many > 3 * few

@@ -1,0 +1,124 @@
+"""The weakly-programmable DCT coprocessor (paper §3.2's task_info).
+
+One kernel class serves forward and inverse transforms; the direction
+arrives through the GetTask task_info word — "the task_info value
+provides parameter values for the function the selected task should
+perform, e.g. one bit to select whether a forward or inverse DCT is to
+be performed."
+"""
+
+import numpy as np
+import pytest
+
+from repro.kahn import ApplicationGraph, FunctionalExecutor, TaskNode
+from repro.media.codec import MbMode
+from repro.media.dct import fdct8x8, idct8x8
+from repro.media.gop import FrameType
+from repro.media.packets import MbHeader, pack_blocks, unpack_blocks
+from repro.media.tasks import DctKernel
+from repro.kahn.graph import Direction, PortSpec
+from repro.kahn.kernel import Kernel, StepOutcome
+
+
+class PacketSource(Kernel):
+    PORTS = (PortSpec("out", Direction.OUT),)
+
+    def __init__(self, packets):
+        super().__init__()
+        self.packets = list(packets)
+        self._i = 0
+
+    def step(self, ctx):
+        if self._i >= len(self.packets):
+            return StepOutcome.FINISHED
+        pkt = self.packets[self._i]
+        sp = yield ctx.get_space("out", len(pkt))
+        if not sp:
+            return StepOutcome.ABORTED
+        yield ctx.write("out", 0, pkt)
+        yield ctx.put_space("out", len(pkt))
+        self._i += 1
+        return StepOutcome.COMPLETED
+
+
+class PacketSink(Kernel):
+    PORTS = (PortSpec("in", Direction.IN),)
+
+    def __init__(self):
+        super().__init__()
+        self.packets = []
+
+    def step(self, ctx):
+        from repro.media.packets import HEADER_SIZE
+        from repro.media.tasks import read_packet
+
+        status, hdr, payload = yield from read_packet(ctx, "in")
+        if status == "eos":
+            return StepOutcome.FINISHED
+        if status == "abort":
+            return StepOutcome.ABORTED
+        yield ctx.put_space("in", HEADER_SIZE + hdr.payload_len)
+        self.packets.append((hdr, payload))
+        return StepOutcome.COMPLETED
+
+
+def run_dct(task_info, payload_blocks, cbp=0x3F):
+    hdr = MbHeader(0, FrameType.I, MbMode.INTRA, cbp, 8, None, None, 6 * 64 * 2)
+    pkt = hdr.pack() + pack_blocks(payload_blocks, np.int16)
+    sink = PacketSink()
+    g = ApplicationGraph()
+    g.add_task(TaskNode("src", lambda: PacketSource([pkt]), PacketSource.PORTS))
+    g.add_task(TaskNode("dct", DctKernel, DctKernel.PORTS, task_info=task_info))
+    g.add_task(TaskNode("sink", lambda: sink, PacketSink.PORTS))
+    g.connect("src.out", "dct.in", buffer_size=4096)
+    g.connect("dct.out", "sink.in", buffer_size=8192)
+    FunctionalExecutor(g).run()
+    return sink.packets[0]
+
+
+def test_task_info_selects_forward():
+    rng = np.random.default_rng(0)
+    blocks = [rng.integers(-255, 256, (8, 8)).astype(np.int16) for _ in range(6)]
+    hdr, payload = run_dct(DctKernel.FORWARD, blocks)
+    assert hdr.payload_len == 6 * 64 * 8  # float64 coefficients
+    out = unpack_blocks(payload, np.float64)
+    for got, src in zip(out, blocks):
+        assert np.allclose(got, fdct8x8(src.astype(np.float64)))
+
+
+def test_task_info_selects_inverse():
+    rng = np.random.default_rng(1)
+    blocks = [rng.integers(-500, 500, (8, 8)).astype(np.int16) for _ in range(6)]
+    hdr, payload = run_dct(0, blocks)
+    assert hdr.payload_len == 6 * 64 * 2  # int16 residual
+    out = unpack_blocks(payload, np.int16)
+    for got, src in zip(out, blocks):
+        assert np.array_equal(got, np.rint(idct8x8(src.astype(np.float64))).astype(np.int16))
+
+
+def test_inverse_skips_uncoded_blocks():
+    blocks = [np.full((8, 8), 100, dtype=np.int16) for _ in range(6)]
+    _hdr, payload = run_dct(0, blocks, cbp=0b000001)  # only block 0 coded
+    out = unpack_blocks(payload, np.int16)
+    assert out[0].any()
+    for b in out[1:]:
+        assert not b.any()
+
+
+def test_same_class_both_directions_in_one_shell():
+    """The encode graph runs fdct (task_info=1) and idct_r (task_info=0)
+    as two tasks of the same kernel class on the dct coprocessor."""
+    from repro.media import CodecParams, encode_sequence, synthetic_sequence
+    from repro.media.pipelines import encode_graph
+
+    params = CodecParams(width=48, height=32, gop_n=4, gop_m=2)
+    frames = synthetic_sequence(params.width, params.height, 4)
+    g = encode_graph(frames, params)
+    assert type(g.tasks["fdct"].kernel_factory()) is DctKernel
+    assert type(g.tasks["idct_r"].kernel_factory()) is DctKernel
+    assert g.tasks["fdct"].task_info == DctKernel.FORWARD
+    assert g.tasks["idct_r"].task_info == 0
+    ref_bits, _, _ = encode_sequence(frames, params)
+    ex = FunctionalExecutor(g)
+    ex.run()
+    assert ex._tasks["vle"].kernel.bitstream() == ref_bits

@@ -1,0 +1,212 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Resource, Simulator, SimulationError, Store
+
+
+def test_resource_immediate_grant():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def user(sim, res):
+        grant = res.request()
+        yield grant
+        log.append(sim.now)
+        res.release(grant)
+
+    sim.process(user(sim, res))
+    sim.run()
+    assert log == [0]
+
+
+def test_resource_serializes_two_users():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def user(sim, res, name, hold):
+        grant = res.request()
+        yield grant
+        log.append((name, "in", sim.now))
+        yield sim.timeout(hold)
+        log.append((name, "out", sim.now))
+        res.release(grant)
+
+    sim.process(user(sim, res, "a", 5))
+    sim.process(user(sim, res, "b", 3))
+    sim.run()
+    assert log == [("a", "in", 0), ("a", "out", 5), ("b", "in", 5), ("b", "out", 8)]
+
+
+def test_resource_capacity_two_overlaps():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    log = []
+
+    def user(sim, res, name):
+        grant = res.request()
+        yield grant
+        log.append((name, sim.now))
+        yield sim.timeout(5)
+        res.release(grant)
+
+    for name in ("a", "b", "c"):
+        sim.process(user(sim, res, name))
+    sim.run()
+    assert log == [("a", 0), ("b", 0), ("c", 5)]
+
+
+def test_resource_priority_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def holder(sim, res):
+        grant = res.request()
+        yield grant
+        yield sim.timeout(10)
+        res.release(grant)
+
+    def user(sim, res, name, prio, when):
+        yield sim.timeout(when)
+        grant = res.request(priority=prio)
+        yield grant
+        log.append(name)
+        res.release(grant)
+
+    sim.process(holder(sim, res))
+    sim.process(user(sim, res, "low", 5, 1))
+    sim.process(user(sim, res, "high", 0, 2))
+    sim.run()
+    assert log == ["high", "low"]
+
+
+def test_resource_release_unheld_rejected():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release(sim.event())
+
+
+def test_resource_cancel_pending_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    g1 = res.request()
+    g2 = res.request()
+    res.cancel(g2)
+    assert res.queue_length == 0
+    with pytest.raises(SimulationError):
+        res.cancel(g2)
+    res.release(g1)
+
+
+def test_resource_wait_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder(sim, res):
+        g = res.request()
+        yield g
+        yield sim.timeout(10)
+        res.release(g)
+
+    def waiter(sim, res):
+        g = res.request()
+        yield g
+        res.release(g)
+
+    sim.process(holder(sim, res))
+    sim.process(waiter(sim, res))
+    sim.run()
+    assert res.total_grants == 2
+    assert res.total_wait_cycles == 10
+
+
+def test_resource_bad_capacity():
+    with pytest.raises(ValueError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim, store):
+        got.append((yield store.get()))
+
+    store.put("msg")
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert got == ["msg"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim, store):
+        got.append(((yield store.get()), sim.now))
+
+    def producer(sim, store):
+        yield sim.timeout(7)
+        store.put("late")
+
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert got == [("late", 7)]
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(5):
+        store.put(i)
+    got = []
+
+    def consumer(sim, store):
+        for _ in range(5):
+            got.append((yield store.get()))
+
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer(sim, store):
+        yield store.put("a")
+        log.append(("a", sim.now))
+        yield store.put("b")
+        log.append(("b", sim.now))
+
+    def consumer(sim, store):
+        yield sim.timeout(5)
+        yield store.get()
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert log == [("a", 0), ("b", 5)]
+
+
+def test_store_items_snapshot():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert store.items == (1, 2)
+    assert len(store) == 2
+
+
+def test_store_bad_capacity():
+    with pytest.raises(ValueError):
+        Store(Simulator(), capacity=0)

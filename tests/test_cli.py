@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "Eclipse" in out
+    assert "vld" in out and "dsp" in out
+
+
+def test_quickstart(capsys):
+    assert main(["quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "matches reference: True" in out
+
+
+def test_estimate(capsys):
+    assert main(["estimate"]) == 0
+    out = capsys.readouterr().out
+    assert "Gops" in out
+    assert "all paper bounds hold: True" in out
+
+
+def test_decode_small(capsys):
+    rc = main(["decode", "--width", "48", "--height", "32", "--frames", "4",
+               "--gop-n", "4", "--gop-m", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "architecture view" in out
+    assert "bottleneck per frame type" in out
+
+
+def test_decode_half_pel(capsys):
+    rc = main(["decode", "--width", "48", "--height", "32", "--frames", "3",
+               "--gop-n", "3", "--gop-m", "1", "--half-pel"])
+    assert rc == 0
+
+
+def test_explore(capsys):
+    assert main(["explore", "--frames", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "prefetch sweep" in out
+    assert "buffer sweep" in out
+
+
+def test_parser_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_command_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["nonsense"])

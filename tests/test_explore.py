@@ -1,0 +1,73 @@
+"""Tests for the design-space exploration runner."""
+
+import pytest
+
+from repro.core import CoprocessorSpec, EclipseSystem
+from repro.explore import Axis, SweepPoint, render_sweep, shell_axis, sweep, system_axis
+from repro.kahn import ApplicationGraph, TaskNode
+from repro.kahn.library import ConsumerKernel, ProducerKernel
+
+PAYLOAD = bytes((i * 13) % 256 for i in range(4096))
+
+
+def build(shell, sys_params):
+    g = ApplicationGraph("sweep")
+    g.add_task(TaskNode("src", lambda: ProducerKernel(PAYLOAD, chunk=32), ProducerKernel.PORTS))
+    g.add_task(TaskNode("dst", lambda: ConsumerKernel(chunk=32), ConsumerKernel.PORTS))
+    g.connect("src.out", "dst.in", buffer_size=128)
+    system = EclipseSystem(
+        [CoprocessorSpec("p", shell=shell), CoprocessorSpec("c", shell=shell)],
+        sys_params,
+    )
+    return system, g
+
+
+def test_factorial_sweep_runs_all_points():
+    points = sweep(
+        build,
+        axes=[
+            shell_axis("prefetch_lines", [0, 2]),
+            system_axis("bus_width", [8, 16]),
+        ],
+    )
+    assert len(points) == 4
+    combos = {(p.settings["prefetch_lines"], p.settings["bus_width"]) for p in points}
+    assert combos == {(0, 8), (0, 16), (2, 8), (2, 16)}
+    for p in points:
+        assert p.cycles > 0
+        assert 0 <= p.utilization["p"] <= 1
+
+
+def test_oat_sweep_includes_base_point():
+    points = sweep(build, axes=[system_axis("msg_latency", [0, 16])], mode="oat")
+    assert len(points) == 3
+    assert points[0].settings == {}
+
+
+def test_sweep_metrics_respond_to_parameters():
+    points = sweep(build, axes=[system_axis("bus_width", [2, 16])])
+    narrow = next(p for p in points if p.settings["bus_width"] == 2)
+    wide = next(p for p in points if p.settings["bus_width"] == 16)
+    assert narrow.cycles > wide.cycles
+
+
+def test_results_not_kept_by_default():
+    points = sweep(build, axes=[shell_axis("prefetch_lines", [2])])
+    assert points[0].result is None
+    points = sweep(build, axes=[shell_axis("prefetch_lines", [2])], keep_results=True)
+    assert points[0].result is not None
+
+
+def test_render_sweep_table():
+    points = sweep(build, axes=[system_axis("bus_width", [8, 16])])
+    out = render_sweep(points)
+    lines = out.splitlines()
+    assert "bus_width" in lines[0]
+    assert len(lines) == 3
+    assert "1.000" in lines[1]  # first point is its own baseline
+    assert render_sweep([]) == "(no points)"
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="mode"):
+        sweep(build, axes=[], mode="bayesian")

@@ -1,0 +1,147 @@
+"""Tests for counters, sampler and viewer against a real decode run."""
+
+import numpy as np
+import pytest
+
+from repro.instance import build_mpeg_instance, DECODE_MAPPING
+from repro.media import CodecParams, encode_sequence, synthetic_sequence
+from repro.media.pipelines import decode_graph
+from repro.trace import (
+    Sampler,
+    collect_counters,
+    render_application_view,
+    render_architecture_view,
+    render_fill_traces,
+    series_to_csv,
+    sparkline,
+)
+from repro.trace.viewer import bar
+
+
+@pytest.fixture(scope="module")
+def decode_run():
+    params = CodecParams(width=48, height=32, gop_n=6, gop_m=3)
+    frames = synthetic_sequence(params.width, params.height, num_frames=6)
+    bitstream, _, _ = encode_sequence(frames, params)
+    system = build_mpeg_instance()
+    system.configure(decode_graph(bitstream, mapping=DECODE_MAPPING))
+    sampler = Sampler(system, interval=200)
+    result = system.run()
+    return system, sampler, result, params
+
+
+def test_sampler_records_fill_series(decode_run):
+    _system, sampler, _result, _params = decode_run
+    key = ("coef", "rlsq")
+    assert key in sampler.stream_fill
+    series = sampler.stream_fill[key]
+    assert len(series) > 10
+    assert series.max() > 0  # the buffer actually filled at some point
+
+
+def test_sampler_utilization_bounded(decode_run):
+    _system, sampler, _result, _params = decode_run
+    for name, series in sampler.utilization.items():
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in series.values), name
+
+
+def test_sampler_task_steps_monotonic(decode_run):
+    _system, sampler, _result, _params = decode_run
+    for name, series in sampler.task_steps.items():
+        vals = series.values
+        assert all(b >= a for a, b in zip(vals, vals[1:])), name
+
+
+def test_sampler_stops_with_system(decode_run):
+    system, sampler, _result, _params = decode_run
+    # run() returned, so the queue drained: the sampler terminated
+    assert system.sim.pending_events() == 0
+
+
+def test_frame_boundaries(decode_run):
+    _system, sampler, _result, params = decode_run
+    marks = sampler.frame_boundaries("vld", params.mbs_per_frame)
+    assert len(marks) == 6  # six frames completed
+    times = [marks[i] for i in sorted(marks)]
+    assert times == sorted(times)
+
+
+def test_collect_counters_shape(decode_run):
+    system, _sampler, _result, _params = decode_run
+    c = collect_counters(system)
+    assert set(c["shells"]) == {"vld", "rlsq", "dct", "mcme", "dsp"}
+    vld = c["shells"]["vld"]
+    assert vld["tasks"]["vld"]["finished"]
+    assert vld["ops"]["getspace"] > 0
+    assert c["read_bus"]["transactions"] > 0
+    assert c["fabric_messages"] > 0
+    assert c["dram"]["bytes_read"] > 0  # MC reference fetches
+
+
+def test_sampler_requires_configured_system():
+    with pytest.raises(RuntimeError, match="configure"):
+        Sampler(build_mpeg_instance(), interval=100)
+
+
+def test_sampler_rejects_bad_interval(decode_run):
+    system, _sampler, _result, _params = decode_run
+    with pytest.raises(ValueError):
+        Sampler(system, interval=0)
+
+
+# ---------------------------------------------------------------------------
+# viewer
+# ---------------------------------------------------------------------------
+def test_sparkline_levels():
+    assert sparkline([0, 0, 0]) == "   "
+    line = sparkline([0.0, 0.5, 1.0])
+    assert len(line) == 3
+    assert line[0] == " " and line[2] == "@"
+
+
+def test_sparkline_decimation_keeps_peaks():
+    values = [0.0] * 100
+    values[50] = 1.0
+    line = sparkline(values, width=10)
+    assert len(line) == 10
+    assert "@" in line
+
+
+def test_bar_rendering():
+    assert bar(0.0, width=10) == "[..........]   0.0%"
+    assert bar(1.0, width=10) == "[##########] 100.0%"
+    assert bar(0.5, width=10).startswith("[#####.....]")
+
+
+def test_render_views_contain_content(decode_run):
+    _system, sampler, result, params = decode_run
+    arch = render_architecture_view(result)
+    assert "read bus" in arch and "mcme" in arch
+    app = render_application_view(result)
+    assert "rlsq" in app and "coef" in app
+    fills = render_fill_traces(
+        sampler.stream_fill,
+        buffer_sizes={name: s.buffer_size for name, s in result.streams.items()},
+    )
+    assert "coef->rlsq" in fills
+
+
+def test_fill_traces_with_frame_marks(decode_run):
+    _system, sampler, result, params = decode_run
+    marks = sampler.frame_boundaries("vld", params.mbs_per_frame)
+    types = [p.frame_type.value for p in params.gop().coded_order(6)]
+    out = render_fill_traces(sampler.stream_fill, frame_marks=marks, frame_types=types)
+    assert out.splitlines()[0].startswith("frames")
+
+
+def test_series_to_csv(decode_run):
+    _system, sampler, _result, _params = decode_run
+    csv = series_to_csv(sampler.stream_fill)
+    lines = csv.splitlines()
+    assert lines[0] == "name,time,value"
+    assert len(lines) > 20
+    assert any(line.startswith("coef->rlsq,") for line in lines)
+
+
+def test_empty_fill_traces():
+    assert render_fill_traces({}) == "(no streams sampled)"
