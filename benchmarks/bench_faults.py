@@ -1,0 +1,66 @@
+"""EXP-R1 — robustness overhead: the fault-injection & recovery layer.
+
+Measures what the cumulative-credit protocol, watchdog and deadlock
+monitor cost when *no* faults are active (pure overhead), and how
+gracefully throughput degrades as the fault rate rises while histories
+stay byte-identical to the Kahn oracle.
+"""
+
+from conftest import run_once
+
+from repro import ApplicationGraph, CoprocessorSpec, EclipseSystem, FaultPlan, SystemParams, TaskNode
+from repro.kahn import FunctionalExecutor
+from repro.kahn.library import ConsumerKernel, ProducerKernel
+
+PAYLOAD = bytes((i * 7 + 1) % 256 for i in range(32 * 1024))
+CHUNK = 64
+
+
+def pipe():
+    g = ApplicationGraph("faulted-pipe")
+    g.add_task(TaskNode("src", lambda: ProducerKernel(PAYLOAD, chunk=CHUNK, compute_cycles=5), ProducerKernel.PORTS))
+    g.add_task(TaskNode("dst", lambda: ConsumerKernel(chunk=CHUNK, compute_cycles=5), ConsumerKernel.PORTS))
+    g.connect("src.out", "dst.in", buffer_size=512)
+    return g
+
+
+def run(plan=None, watchdog=None):
+    params = SystemParams(sram_size=128 * 1024, watchdog_timeout=watchdog)
+    system = EclipseSystem([CoprocessorSpec("p"), CoprocessorSpec("c")], params, faults=plan)
+    system.configure(pipe())
+    return system.run()
+
+
+def test_recovery_machinery_overhead(benchmark):
+    """Watchdog + monitors with zero faults: the no-fault run must cost
+    (nearly) nothing extra."""
+    base = run()
+    result = run_once(benchmark, lambda: run(watchdog=2000))
+    assert result.completed
+    assert result.histories["s_src_out"] == PAYLOAD
+    overhead = result.cycles / base.cycles - 1.0
+    print(f"\nEXP-R1 overhead: {base.cycles} -> {result.cycles} cycles "
+          f"({overhead * 100:+.2f}% with watchdog armed, no faults)")
+    assert result.cycles <= base.cycles * 1.05
+    benchmark.extra_info["watchdog_overhead_pct"] = overhead * 100
+
+
+def test_throughput_vs_fault_rate(benchmark):
+    """Graceful degradation: more drops cost cycles, never correctness."""
+    golden = FunctionalExecutor(pipe()).run().histories
+    print("\nEXP-R1 throughput vs drop rate (32 KiB payload, watchdog=1500):")
+    print(f"{'drop':>6} {'cycles':>9} {'B/cycle':>8} {'dropped':>8} {'retries':>8}")
+    prev = None
+    for drop in (0.0, 0.02, 0.05, 0.10):
+        plan = FaultPlan(seed=13, drop_prob=drop, drop_limit=256) if drop else None
+        r = run(plan=plan, watchdog=1500)
+        assert r.completed
+        for name, hist in golden.items():
+            assert r.histories[name] == hist, name
+        rob = r.robustness or {}
+        print(f"{drop:>6.2f} {r.cycles:>9} {len(PAYLOAD) / r.cycles:>8.2f} "
+              f"{rob.get('messages_dropped', 0):>8} {rob.get('retries_sent', 0):>8}")
+        prev = r
+    benchmark.pedantic(lambda: run(plan=FaultPlan(seed=13, drop_prob=0.05, drop_limit=256), watchdog=1500),
+                       rounds=1, iterations=1)
+    assert prev.cycles >= run(watchdog=1500).cycles  # drops cost cycles

@@ -45,9 +45,12 @@ True
 
 from repro.core import (
     CoprocessorSpec,
+    DeadlockError,
     EclipseSystem,
+    FaultPlan,
     ShellParams,
     StalledError,
+    StallSpec,
     SystemParams,
     SystemResult,
 )
@@ -92,10 +95,13 @@ __all__ = [
     "EclipseSystem",
     "FunctionalExecutor",
     "Kernel",
+    "DeadlockError",
+    "FaultPlan",
     "PortSpec",
     "Sampler",
     "ShellParams",
     "StalledError",
+    "StallSpec",
     "StepOutcome",
     "SystemParams",
     "SystemResult",

@@ -14,6 +14,16 @@ Commands
     the Section 6 area/power/Gops table.
 ``explore``
     the §7 design-space sweeps (cache, prefetch, bus, buffers).
+``conformance``
+    the differential conformance harness: run application graphs
+    through the functional Kahn executor and the fault-injected
+    cycle-level system across a seed sweep, asserting byte-identical
+    stream histories (Kahn determinism as the oracle).
+
+``quickstart``, ``decode`` and ``conformance`` accept ``--fault-plan``
+(a preset name or ``key=value`` list, see
+:meth:`repro.sim.faults.FaultPlan.parse`) and ``--watchdog-timeout``
+to exercise the robustness machinery.
 """
 
 from __future__ import annotations
@@ -25,6 +35,27 @@ from typing import List, Optional
 __all__ = ["main", "build_parser"]
 
 
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--fault-plan",
+        metavar="SPEC",
+        help="inject transport faults: a preset (chaos, drop, dup, delay, "
+        "stall, corrupt, blackout) or a key=value list, e.g. "
+        "'drop=0.2,delay=0.3,seed=7'",
+    )
+    p.add_argument(
+        "--fault-seed", type=int, default=None, help="override the fault plan's seed"
+    )
+    p.add_argument(
+        "--watchdog-timeout",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="enable the shell watchdog: re-send space credits after CYCLES "
+        "without progress (exponential backoff)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -34,7 +65,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="package and instance summary")
-    sub.add_parser("quickstart", help="Kahn-equivalence demo")
+    qs = sub.add_parser("quickstart", help="Kahn-equivalence demo")
+    _add_fault_args(qs)
     sub.add_parser("estimate", help="Section 6 area/power/Gops estimates")
 
     dec = sub.add_parser("decode", help="decode on the Figure 8 instance")
@@ -46,9 +78,25 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument("--interval", type=int, default=250, help="sampling interval (cycles)")
     dec.add_argument("--half-pel", action="store_true")
     dec.add_argument("--json", metavar="PATH", help="write the machine-readable result to PATH")
+    _add_fault_args(dec)
 
     exp = sub.add_parser("explore", help="design-space sweeps (paper §7)")
     exp.add_argument("--frames", type=int, default=6)
+
+    conf = sub.add_parser(
+        "conformance",
+        help="differential conformance harness: faulted cycle-level runs vs "
+        "the functional Kahn executor over a seed sweep",
+    )
+    conf.add_argument("--seeds", type=int, default=10, help="number of fault seeds to sweep")
+    conf.add_argument(
+        "--graph",
+        choices=["pipeline", "diamond", "all"],
+        default="all",
+        help="which application graphs to run",
+    )
+    conf.add_argument("--payload", type=int, default=2048, help="payload bytes per graph")
+    _add_fault_args(conf)
     return parser
 
 
@@ -60,7 +108,68 @@ def main(argv: Optional[List[str]] = None) -> int:
         "decode": _cmd_decode,
         "estimate": _cmd_estimate,
         "explore": _cmd_explore,
+        "conformance": _cmd_conformance,
     }[args.command](args)
+
+
+# ---------------------------------------------------------------------------
+def _fault_setup(args, params):
+    """(FaultPlan or None, params with watchdog applied) from CLI args."""
+    from repro import FaultPlan
+
+    plan = None
+    if getattr(args, "fault_plan", None):
+        try:
+            plan = FaultPlan.parse(args.fault_plan, seed=getattr(args, "fault_seed", None))
+        except ValueError as e:
+            print(f"error: invalid --fault-plan: {e}", file=sys.stderr)
+            raise SystemExit(2)
+        if not plan.any_faults():
+            plan = None
+    if getattr(args, "watchdog_timeout", None) is not None:
+        try:
+            params = params.with_(watchdog_timeout=args.watchdog_timeout)
+        except ValueError as e:
+            print(f"error: invalid --watchdog-timeout: {e}", file=sys.stderr)
+            raise SystemExit(2)
+    return plan, params
+
+
+def _run_or_diagnose(system, **run_kw):
+    """system.run(), but a stall/deadlock prints its diagnosis (which
+    tasks are blocked on which access points) instead of a traceback.
+    Returns None on deadlock."""
+    from repro import StalledError
+
+    try:
+        return system.run(**run_kw)
+    except StalledError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return None
+
+
+def _print_robustness(result) -> None:
+    rob = result.robustness
+    if not rob:
+        return
+    inj = rob.get("injected", {})
+    print(
+        "faults injected: "
+        f"{rob['messages_dropped']} dropped, "
+        f"{inj.get('messages_duplicated', 0)} duplicated, "
+        f"{inj.get('messages_delayed', 0)} delayed, "
+        f"{inj.get('messages_reordered', 0)} reordered, "
+        f"{inj.get('stalls_injected', 0)} stalls "
+        f"({inj.get('stall_cycles', 0)} cycles), "
+        f"{inj.get('corruptions_injected', 0)} corruptions"
+    )
+    print(
+        "recovery: "
+        f"{rob['watchdog_fires']} watchdog fires, "
+        f"{rob['retries_sent']} retries, "
+        f"{rob['recoveries']} recoveries, "
+        f"{rob['corruptions_detected']} corruptions caught by parity"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -77,7 +186,14 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_quickstart(args) -> int:
-    from repro import ApplicationGraph, CoprocessorSpec, EclipseSystem, FunctionalExecutor, TaskNode
+    from repro import (
+        ApplicationGraph,
+        CoprocessorSpec,
+        EclipseSystem,
+        FunctionalExecutor,
+        SystemParams,
+        TaskNode,
+    )
     from repro.kahn.library import ConsumerKernel, ProducerKernel
 
     payload = bytes((11 * i) % 256 for i in range(4096))
@@ -89,12 +205,18 @@ def _cmd_quickstart(args) -> int:
         g.connect("src.out", "dst.in", buffer_size=128)
         return g
 
+    plan, params = _fault_setup(args, SystemParams())
+    if plan is not None:
+        print(f"fault plan: {plan.describe()}")
     golden = FunctionalExecutor(graph()).run()
-    system = EclipseSystem([CoprocessorSpec("cp0"), CoprocessorSpec("cp1")])
+    system = EclipseSystem([CoprocessorSpec("cp0"), CoprocessorSpec("cp1")], params, faults=plan)
     system.configure(graph())
-    result = system.run()
+    result = _run_or_diagnose(system)
+    if result is None:
+        return 1
     ok = result.histories["s_src_out"] == golden.histories["s_src_out"]
     print(f"cycle-level run: {result.cycles} cycles; history matches reference: {ok}")
+    _print_robustness(result)
     return 0 if ok else 1
 
 
@@ -121,11 +243,20 @@ def _cmd_decode(args) -> int:
     frames = synthetic_sequence(params.width, params.height, args.frames, noise=1.0)
     bitstream, _golden, _stats = encode_sequence(frames, params)
     print(f"encoded {args.frames} frames -> {len(bitstream)} bytes")
-    system = build_mpeg_instance()
+    from repro import SystemParams
+
+    plan, sys_params = _fault_setup(args, SystemParams(dram_latency=60))
+    if plan is not None:
+        print(f"fault plan: {plan.describe()}")
+    system = build_mpeg_instance(sys_params, faults=plan)
     system.configure(decode_graph(bitstream, mapping=DECODE_MAPPING))
     sampler = Sampler(system, interval=args.interval)
-    result = system.run()
-    print(f"decoded in {result.cycles} cycles\n")
+    result = _run_or_diagnose(system)
+    if result is None:
+        return 1
+    print(f"decoded in {result.cycles} cycles")
+    _print_robustness(result)
+    print()
     print(render_architecture_view(result))
     print()
     print(render_application_view(result))
@@ -200,6 +331,96 @@ def _cmd_explore(args) -> int:
     for pkts in (1, 3, 8):
         print(f"  {pkts} packets/buffer: {run(buffer_packets=pkts)} cycles")
     return 0
+
+
+def _cmd_conformance(args) -> int:
+    """Differential conformance: faulted cycle-level runs must reproduce
+    the functional executor's stream histories byte-for-byte."""
+    from repro import (
+        ApplicationGraph,
+        CoprocessorSpec,
+        EclipseSystem,
+        FaultPlan,
+        FunctionalExecutor,
+        SystemParams,
+        TaskNode,
+    )
+    from repro.kahn.library import ConsumerKernel, ForkKernel, MapKernel, ProducerKernel
+
+    payload = bytes((i * 89 + 3) % 256 for i in range(args.payload))
+
+    def pipeline():
+        g = ApplicationGraph("pipeline")
+        g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=16), ProducerKernel.PORTS))
+        g.add_task(
+            TaskNode(
+                "xf",
+                lambda: MapKernel(lambda b: bytes((x + 1) % 256 for x in b), chunk=16),
+                MapKernel.PORTS,
+            )
+        )
+        g.add_task(TaskNode("dst", lambda: ConsumerKernel(chunk=16), ConsumerKernel.PORTS))
+        g.connect("src.out", "xf.in", buffer_size=64)
+        g.connect("xf.out", "dst.in", buffer_size=64)
+        return g
+
+    def diamond():
+        g = ApplicationGraph("diamond")
+        g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=16), ProducerKernel.PORTS))
+        g.add_task(TaskNode("fork", lambda: ForkKernel(chunk=16), ForkKernel.PORTS))
+        g.add_task(
+            TaskNode(
+                "ma",
+                lambda: MapKernel(lambda b: bytes(x ^ 0x3C for x in b), chunk=16),
+                MapKernel.PORTS,
+            )
+        )
+        g.add_task(TaskNode("da", lambda: ConsumerKernel(chunk=16), ConsumerKernel.PORTS))
+        g.add_task(TaskNode("db", lambda: ConsumerKernel(chunk=16), ConsumerKernel.PORTS))
+        g.connect("src.out", "fork.in", buffer_size=96)
+        g.connect("fork.out_a", "ma.in", buffer_size=96)
+        g.connect("ma.out", "da.in", buffer_size=96)
+        g.connect("fork.out_b", "db.in", buffer_size=96)
+        return g
+
+    builders = {"pipeline": pipeline, "diamond": diamond}
+    names = list(builders) if args.graph == "all" else [args.graph]
+    spec = args.fault_plan or "chaos"
+    timeout = args.watchdog_timeout if args.watchdog_timeout is not None else 2000
+    params = SystemParams(watchdog_timeout=timeout)
+    seed_base = args.fault_seed or 0
+
+    failures = 0
+    for gname in names:
+        golden = FunctionalExecutor(builders[gname]()).run().histories
+        for i in range(args.seeds):
+            plan = FaultPlan.parse(spec, seed=seed_base + i)
+            system = EclipseSystem(
+                [CoprocessorSpec(f"cp{i}") for i in range(3)], params, faults=plan
+            )
+            system.configure(builders[gname]())
+            result = _run_or_diagnose(system)
+            ok = (
+                result is not None
+                and result.completed
+                and all(result.histories[k] == v for k, v in golden.items())
+            )
+            failures += 0 if ok else 1
+            if result is None:
+                print(f"{gname:>8} seed={plan.seed:<4} FAIL  (deadlock, see diagnosis above)")
+                continue
+            rob = result.robustness or {}
+            print(
+                f"{gname:>8} seed={plan.seed:<4} "
+                f"{'PASS' if ok else 'FAIL'}  "
+                f"cycles={result.cycles:<7} "
+                f"dropped={rob.get('messages_dropped', 0):<3} "
+                f"retries={rob.get('retries_sent', 0):<4} "
+                f"recoveries={rob.get('recoveries', 0)}"
+            )
+    total = len(names) * args.seeds
+    print(f"\nconformance: {total - failures}/{total} runs byte-identical to the Kahn oracle")
+    return 0 if failures == 0 else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

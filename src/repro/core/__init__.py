@@ -20,8 +20,9 @@ from repro.core.messages import EosMsg, MessageFabric, PutSpaceMsg
 from repro.core.scheduler import WeightedRoundRobinScheduler
 from repro.core.shell import Shell
 from repro.core.stream_table import StreamRow, StreamTable
-from repro.core.system import EclipseSystem, StalledError, SystemResult
+from repro.core.system import DeadlockError, EclipseSystem, StalledError, SystemResult
 from repro.core.task_table import TaskRow, TaskTable
+from repro.sim import FaultInjector, FaultPlan, FaultStats, StallSpec
 
 __all__ = [
     "CacheStats",
@@ -30,9 +31,14 @@ __all__ = [
     "CoprocessorSpec",
     "QosController",
     "CyclicBuffer",
+    "DeadlockError",
     "EclipseSystem",
     "EosMsg",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
     "MessageFabric",
+    "StallSpec",
     "PutSpaceMsg",
     "ReadCache",
     "Shell",

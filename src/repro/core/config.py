@@ -9,7 +9,7 @@ These dataclasses are that setup file.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Literal
+from typing import Literal, Optional
 
 __all__ = ["ShellParams", "CoprocessorSpec", "SystemParams"]
 
@@ -113,6 +113,22 @@ class SystemParams:
     #: per-shell snoop-port occupancy added to every memory transaction
     #: in snooping mode
     snoop_cycles_per_shell: int = 1
+    #: shell watchdog: re-send cumulative space credits (and EOS for
+    #: finished tasks) after this many cycles without local progress;
+    #: None disables the watchdog (recovery off)
+    watchdog_timeout: Optional[int] = None
+    #: multiplicative backoff applied to the watchdog interval after
+    #: each fire without progress
+    watchdog_backoff: int = 2
+    #: cap on the backed-off interval, as a multiple of the timeout
+    watchdog_max_backoff: int = 16
+    #: deadlock detector: check global progress every this many cycles
+    deadlock_check_interval: int = 10_000
+    #: consecutive zero-progress checks before declaring deadlock
+    deadlock_patience: int = 5
+    #: run the deadlock detector; None = auto (on when faults are
+    #: injected or the watchdog is enabled)
+    deadlock_detection: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.sram_size < 1:
@@ -129,6 +145,18 @@ class SystemParams:
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
+        if self.watchdog_timeout is not None and self.watchdog_timeout < 1:
+            raise ValueError(f"watchdog_timeout must be >= 1, got {self.watchdog_timeout}")
+        if self.watchdog_backoff < 1:
+            raise ValueError(f"watchdog_backoff must be >= 1, got {self.watchdog_backoff}")
+        if self.watchdog_max_backoff < 1:
+            raise ValueError(f"watchdog_max_backoff must be >= 1, got {self.watchdog_max_backoff}")
+        if self.deadlock_check_interval < 1:
+            raise ValueError(
+                f"deadlock_check_interval must be >= 1, got {self.deadlock_check_interval}"
+            )
+        if self.deadlock_patience < 1:
+            raise ValueError(f"deadlock_patience must be >= 1, got {self.deadlock_patience}")
         if self.sync_mode not in ("distributed", "centralized"):
             raise ValueError(f"unknown sync_mode {self.sync_mode!r}")
         if self.coherency not in ("explicit", "snooping"):

@@ -60,6 +60,12 @@ class Coprocessor:
     def _run(self) -> Generator:
         elapsed = 0
         while True:
+            # fault injection: a transient stall at the step boundary
+            # (clock gating, voltage droop, debug halt...) — the
+            # protocol must only ever see it as latency
+            stall = self.system.fault_coproc_stall(self.name)
+            if stall:
+                yield self.sim.timeout(stall)
             row = yield from self.shell.get_task(elapsed)
             if row is None:
                 return  # all tasks finished; power down

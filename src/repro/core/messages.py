@@ -10,14 +10,24 @@ between a fixed (source, destination) pair is FIFO — constant latency
 plus the kernel's deterministic tie-breaking guarantee it — which is
 what makes flush-before-putspace ordering (coherency rule 3) and
 eos-after-final-putspace sound.
+
+Robustness: every message the shells emit carries the sender's
+*cumulative* stream position (a monotone absolute value) in addition
+to the classic delta.  Receivers apply the max of what they knew and
+what the message claims (see :meth:`repro.core.stream_table.StreamRow.
+apply_credit`), which makes delivery idempotent — duplicates and
+stale reorderings are no-ops, and any later message (including a
+watchdog retry) heals an earlier drop.  A :class:`~repro.sim.faults.
+FaultInjector` can be attached to the fabric to exercise exactly
+those failure modes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
-from repro.sim import Simulator
+from repro.sim import FaultInjector, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.shell import Shell
@@ -31,11 +41,23 @@ class PutSpaceMsg:
 
     ``row_id``/``arm`` address the destination shell's stream-table row
     (and, for producer rows, which consumer arm's room to credit).
+
+    ``cumulative`` is the sender's absolute committed position after
+    this commit.  When present, the receiver credits the *difference*
+    between it and its own accounting instead of trusting ``n_bytes``
+    — the idempotent/monotonic application that makes drops,
+    duplicates and reordering survivable.  ``None`` keeps the legacy
+    pure-delta semantics (used by low-level unit tests).
+
+    ``retry`` marks watchdog re-sends so receivers can count actual
+    recoveries (a retry whose credit lands is a healed loss).
     """
 
     row_id: int
     arm: int
     n_bytes: int
+    cumulative: Optional[int] = None
+    retry: bool = False
 
 
 @dataclass(frozen=True)
@@ -47,25 +69,37 @@ class EosMsg:
     the consumer only treats the stream as exhausted once its local
     accounting (`position + space`) has caught up with the final
     position, so an EOS that overtakes in-flight putspace messages can
-    never cause data loss.
+    never cause data loss.  Setting an absolute position is also
+    naturally idempotent, so duplicated (or watchdog re-sent) EOS
+    messages are harmless.
     """
 
     row_id: int
     arm: int = 0
     final_position: int = 0
+    retry: bool = False
 
 
 class MessageFabric:
     """Message delivery between shells: fixed latency, plus optional
-    seeded jitter for failure-injection testing.
+    seeded jitter and an optional fault injector.
 
-    With ``jitter=0`` (the hardware model) delivery order between a
-    fixed (source, destination) pair is FIFO.  With jitter, putspace
-    messages may overtake each other — which is safe, because space
-    increments commute and EOS finality is position-based (see
-    :class:`EosMsg`)."""
+    With ``jitter=0`` and no injector (the hardware model) delivery
+    order between a fixed (source, destination) pair is FIFO.  With
+    jitter, putspace messages may overtake each other — which is safe,
+    because space increments commute and EOS finality is position-based
+    (see :class:`EosMsg`).  With an injector, messages may additionally
+    be dropped or duplicated; the cumulative-credit protocol plus the
+    shell watchdog keep that survivable too."""
 
-    def __init__(self, sim: Simulator, latency: int = 4, jitter: int = 0, seed: int = 0):
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: int = 4,
+        jitter: int = 0,
+        seed: int = 0,
+        injector: Optional[FaultInjector] = None,
+    ):
         if latency < 0:
             raise ValueError(f"latency must be >= 0, got {latency}")
         if jitter < 0:
@@ -73,18 +107,33 @@ class MessageFabric:
         self.sim = sim
         self.latency = latency
         self.jitter = jitter
+        self.injector = injector
         self._rng = __import__("random").Random(seed)
         self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
         self.bytes_signalled = 0
 
     def send(self, dest: "Shell", msg) -> None:
-        """Schedule delivery of ``msg`` to ``dest``."""
+        """Schedule delivery of ``msg`` to ``dest`` (possibly dropped,
+        duplicated or delayed by the attached fault injector)."""
         self.messages_sent += 1
         if isinstance(msg, PutSpaceMsg):
             self.bytes_signalled += msg.n_bytes
         delay = self.latency
         if self.jitter:
             delay += self._rng.randrange(self.jitter + 1)
-        ev = self.sim.event()
-        ev.add_callback(lambda _ev: dest.deliver(msg))
-        ev.succeed(None, delay=delay)
+        extra_delays = [0]
+        if self.injector is not None:
+            extra_delays = self.injector.plan_message(msg)
+            if not extra_delays:
+                self.messages_dropped += 1
+                return
+        for extra in extra_delays:
+            ev = self.sim.event()
+            ev.add_callback(lambda _ev, m=msg: self._deliver(dest, m))
+            ev.succeed(None, delay=delay + extra)
+
+    def _deliver(self, dest: "Shell", msg) -> None:
+        self.messages_delivered += 1
+        dest.deliver(msg)

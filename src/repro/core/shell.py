@@ -68,6 +68,9 @@ class Shell:
         self.write_cache = WriteCache(params.write_cache_lines, params.cache_line)
         #: line_addr -> fill-completion event, for fetch deduplication
         self._inflight: Dict[int, Event] = {}
+        #: read-cache lines whose fill was corrupted in flight; the
+        #: parity check in :meth:`_ensure_line` catches them at use time
+        self._poisoned: set = set()
         self._wake = Event(sim)
         # ----- shell-level counters -----
         self.getspace_ops = 0
@@ -76,6 +79,13 @@ class Shell:
         self.read_hits = 0
         self.read_misses = 0
         self.idle_wait_cycles = 0
+        # ----- robustness counters (fault injection & recovery) -----
+        self.messages_delivered = 0
+        self.credits_applied = 0
+        self.watchdog_fires = 0
+        self.retries_sent = 0
+        self.recoveries = 0
+        self.corruptions_detected = 0
 
     # ------------------------------------------------------------------
     # configuration (the CPU programming the tables over the PI-bus)
@@ -145,6 +155,7 @@ class Shell:
                         self.params.cache_line,
                     )
                     self.read_cache.invalidate(ext)
+                    self._poisoned.difference_update(ext)
                 row.granted = n_bytes
             if not row.is_producer and self.params.prefetch_lines:
                 self._spawn_prefetch(row, row.position, row.granted)
@@ -199,6 +210,14 @@ class Shell:
         first_probe = True
         while True:
             data = self.read_cache.lookup(line_addr)
+            if data is not None and line_addr in self._poisoned:
+                # parity check catches the corrupted fill: drop the
+                # line and refetch — transient faults never reach the
+                # coprocessor
+                self.corruptions_detected += 1
+                self.read_cache.invalidate((line_addr,))
+                self._poisoned.discard(line_addr)
+                data = None
             if data is not None:
                 if first_probe:
                     self.read_hits += 1
@@ -224,6 +243,12 @@ class Shell:
                 priority=1 if prefetch else 0,
             )
             data = self.system.sram.read(line_addr, self.params.cache_line)
+            corrupted = self.system.fault_corrupt_line(data)
+            if corrupted is not None:
+                data = corrupted
+                self._poisoned.add(line_addr)
+            else:
+                self._poisoned.discard(line_addr)
             self.read_cache.fill(line_addr, data, prefetch=prefetch)
         finally:
             del self._inflight[line_addr]
@@ -311,7 +336,12 @@ class Shell:
         row.committed_bytes += n_bytes
         for remote in row.remotes:
             row.putspace_messages_sent += 1
-            self.system.fabric.send(remote.shell, PutSpaceMsg(remote.row_id, remote.arm, n_bytes))
+            # the cumulative position makes delivery idempotent: the
+            # receiver credits max(0, cumulative - already_applied)
+            self.system.fabric.send(
+                remote.shell,
+                PutSpaceMsg(remote.row_id, remote.arm, n_bytes, cumulative=row.position),
+            )
 
     # ------------------------------------------------------------------
     # task completion
@@ -328,26 +358,96 @@ class Shell:
                         remote.shell,
                         EosMsg(remote.row_id, remote.arm, final_position=row.position),
                     )
+        self.system.task_finished(task)
         self._notify()
 
     # ------------------------------------------------------------------
     # message delivery (called by the fabric at arrival time)
     # ------------------------------------------------------------------
     def deliver(self, msg) -> None:
+        self.messages_delivered += 1
         row = self.stream_table[msg.row_id]
         if isinstance(msg, PutSpaceMsg):
-            if row.is_producer:
-                row.arm_space[msg.arm] += msg.n_bytes
-            else:
-                row.space += msg.n_bytes
-                if row.fill_stat is not None:
-                    row.fill_stat.add(msg.n_bytes)
+            delta = row.apply_credit(msg.arm, msg.n_bytes, msg.cumulative)
+            self.credits_applied += delta
+            if delta and not row.is_producer and row.fill_stat is not None:
+                row.fill_stat.add(delta)
+            if delta and msg.retry:
+                self.recoveries += 1
         elif isinstance(msg, EosMsg):
+            if msg.retry and row.eos_position is None:
+                self.recoveries += 1
             row.eos_position = msg.final_position
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown message {msg!r}")
         self.task_table.unblock(msg.row_id)
         self._notify()
+
+    # ------------------------------------------------------------------
+    # watchdog (recovery machinery for lossy fabrics)
+    # ------------------------------------------------------------------
+    def _progress_snapshot(self) -> Tuple[int, int, int]:
+        """Monotone local-progress fingerprint: stream positions,
+        credits applied, tasks finished.  Deliberately excludes raw
+        message arrivals so idempotent retries with no effect do not
+        mask a stall."""
+        return (
+            sum(row.position for row in self.stream_table),
+            self.credits_applied,
+            sum(1 for t in self.task_table if t.finished),
+        )
+
+    def _resend_credits(self) -> None:
+        """Re-send every row's cumulative credit (and EOS for finished
+        producer tasks) to its remotes.  Idempotent on arrival, so
+        over-sending is merely wasted bandwidth."""
+        for row in self.stream_table:
+            for remote in row.remotes:
+                self.retries_sent += 1
+                self.system.fabric.send(
+                    remote.shell,
+                    PutSpaceMsg(
+                        remote.row_id, remote.arm, 0, cumulative=row.position, retry=True
+                    ),
+                )
+        for task in self.task_table:
+            if not task.finished:
+                continue
+            for row_id in task.port_rows.values():
+                row = self.stream_table[row_id]
+                if not row.is_producer:
+                    continue
+                for remote in row.remotes:
+                    self.retries_sent += 1
+                    self.system.fabric.send(
+                        remote.shell,
+                        EosMsg(
+                            remote.row_id,
+                            remote.arm,
+                            final_position=row.position,
+                            retry=True,
+                        ),
+                    )
+
+    def watchdog_run(self, timeout: int, backoff: int, max_backoff: int) -> Generator:
+        """Watchdog process: after ``timeout`` cycles without local
+        progress, re-send space credits with exponential backoff
+        (capped at ``timeout * max_backoff``).  Exits once the whole
+        system completed."""
+        interval = timeout
+        last = self._progress_snapshot()
+        while not self.system.all_finished():
+            yield self.sim.timeout(interval)
+            if self.system.all_finished():
+                return
+            cur = self._progress_snapshot()
+            if cur != last:
+                last = cur
+                interval = timeout
+                continue
+            self.watchdog_fires += 1
+            self._resend_credits()
+            interval = min(interval * backoff, timeout * max_backoff)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Shell {self.name!r}: {len(self.task_table)} tasks, {len(self.stream_table)} rows>"

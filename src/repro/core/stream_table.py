@@ -77,6 +77,37 @@ class StreamRow:
             return min(self.arm_space) if self.arm_space else 0
         return self.space
 
+    def applied_credit(self, arm: int = 0) -> int:
+        """The remote cumulative position this row has already
+        accounted for: the producer's committed bytes seen by a
+        consumer row, or a consumer arm's consumed bytes seen by a
+        producer row.  Monotone by construction."""
+        if self.is_producer:
+            # arm_space = buffer_size - committed + consumed[arm]
+            return self.arm_space[arm] - self.buffer.size + self.committed_bytes
+        return self.position + self.space
+
+    def apply_credit(self, arm: int, n_bytes: int, cumulative: Optional[int]) -> int:
+        """Apply one putspace credit; returns the bytes actually
+        credited.
+
+        With ``cumulative`` (the sender's absolute position) the
+        application is idempotent and monotonic: only the part beyond
+        :meth:`applied_credit` lands, so duplicated or reordered
+        messages are no-ops and any later message heals an earlier
+        drop.  ``cumulative=None`` is the legacy raw-delta path."""
+        if cumulative is None:
+            delta = n_bytes
+        else:
+            delta = cumulative - self.applied_credit(arm)
+        if delta <= 0:
+            return 0
+        if self.is_producer:
+            self.arm_space[arm] += delta
+        else:
+            self.space += delta
+        return delta
+
     def at_eos(self) -> bool:
         """True once the producer finished AND every committed byte has
         been accounted locally — robust to putspace/eos reordering."""

@@ -29,15 +29,27 @@ from repro.hw.dram import OffChipMemory
 from repro.hw.memory import OnChipMemory
 from repro.kahn.graph import ApplicationGraph, GraphError
 from repro.kahn.kernel import Kernel, KernelContext
-from repro.sim import Resource, Simulator
+from repro.sim import FaultInjector, FaultPlan, Resource, Simulator
 
-__all__ = ["EclipseSystem", "SystemResult", "StalledError"]
+__all__ = ["EclipseSystem", "SystemResult", "StalledError", "DeadlockError"]
 
 
 class StalledError(RuntimeError):
     """The simulation drained with unfinished tasks — a real deadlock
     (e.g. a buffer smaller than a packet, paper §2.2's coupling
     trade-off gone wrong)."""
+
+
+class DeadlockError(StalledError):
+    """The deadlock detector found unfinished tasks making zero
+    progress (e.g. a fault schedule the recovery machinery cannot
+    heal).  ``report`` names which tasks are blocked on which access
+    points, so the run terminates with a diagnosis instead of
+    hanging."""
+
+    def __init__(self, message: str, report: str):
+        super().__init__(message)
+        self.report = report
 
 
 @dataclass
@@ -84,6 +96,9 @@ class SystemResult:
     messages_sent: int
     cpu_sync_ops: int
     cpu_busy_cycles: int
+    #: fault-injection & recovery counters; None when no faults and no
+    #: watchdog were active
+    robustness: Optional[Dict[str, object]] = None
 
     def history(self, stream: str) -> bytes:
         return self.histories[stream]
@@ -126,6 +141,8 @@ class SystemResult:
             "cpu_sync_ops": self.cpu_sync_ops,
             "cpu_busy_cycles": self.cpu_busy_cycles,
         }
+        if self.robustness is not None:
+            out["robustness"] = dict(self.robustness)
         if include_histories:
             out["histories"] = {k: v.hex() for k, v in self.histories.items()}
         return out
@@ -138,6 +155,7 @@ class EclipseSystem:
         self,
         coprocessors: Sequence[CoprocessorSpec],
         params: Optional[SystemParams] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         if not coprocessors:
             raise ValueError("an Eclipse instance needs at least one coprocessor")
@@ -170,11 +188,15 @@ class EclipseSystem:
             width_bytes=self.params.dram_width,
             access_latency=self.params.dram_latency,
         )
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(faults) if faults is not None and faults.any_faults() else None
+        )
         self.fabric = MessageFabric(
             self.sim,
             latency=self.params.msg_latency,
             jitter=self.params.msg_jitter,
             seed=self.params.msg_seed,
+            injector=self.fault_injector,
         )
         self._central_cpu: Optional[Resource] = (
             Resource(self.sim, capacity=1) if self.params.sync_mode == "centralized" else None
@@ -189,6 +211,34 @@ class EclipseSystem:
         self._histories: Dict[str, bytearray] = {}
         self._row_stream: Dict[int, str] = {}
         self._configured = False
+        self._unfinished_tasks = 0
+        self._monitors_active = False
+
+    # ------------------------------------------------------------------
+    # fault-injection hooks (no-ops without an injector)
+    # ------------------------------------------------------------------
+    def fault_corrupt_line(self, data: bytes) -> Optional[bytes]:
+        """Maybe-corrupted copy of a cache-line fill, or None."""
+        if self.fault_injector is None:
+            return None
+        return self.fault_injector.corrupt_line(data)
+
+    def fault_coproc_stall(self, name: str) -> int:
+        """Cycles coprocessor ``name`` must stall at this step boundary."""
+        if self.fault_injector is None:
+            return 0
+        return self.fault_injector.coproc_stall(name, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # completion tracking (used by watchdogs and the run-loop stop)
+    # ------------------------------------------------------------------
+    def task_finished(self, task: TaskRow) -> None:
+        """A shell finished one task (called from Shell.finish_task)."""
+        self._unfinished_tasks -= 1
+
+    def all_finished(self) -> bool:
+        """True once every configured task reached end-of-stream."""
+        return self._configured and self._unfinished_tasks == 0
 
     # ------------------------------------------------------------------
     # centralized-sync baseline hook (no-op in distributed mode)
@@ -299,7 +349,93 @@ class EclipseSystem:
         # ---- start the machines ----
         for cname, spec in self.specs.items():
             self.coprocessors[cname] = Coprocessor(self.sim, spec, self.shells[cname], self)
+        self._unfinished_tasks = len(graph.tasks)
         self._configured = True
+
+        # ---- recovery & robustness monitors ----
+        p = self.params
+        if p.watchdog_timeout is not None:
+            for cname, shell in self.shells.items():
+                proc = self.sim.process(
+                    shell.watchdog_run(
+                        p.watchdog_timeout, p.watchdog_backoff, p.watchdog_max_backoff
+                    )
+                )
+                proc.name = f"watchdog:{cname}"
+        detect = p.deadlock_detection
+        if detect is None:  # auto: on whenever faults or recovery are in play
+            detect = self.fault_injector is not None or p.watchdog_timeout is not None
+        if detect:
+            proc = self.sim.process(self._deadlock_monitor())
+            proc.name = "deadlock-monitor"
+        self._monitors_active = detect or p.watchdog_timeout is not None
+
+    # ------------------------------------------------------------------
+    # deadlock detection
+    # ------------------------------------------------------------------
+    def _global_progress(self) -> Tuple[int, int, int]:
+        """Monotone system-wide progress fingerprint: total committed
+        positions, credits applied, tasks finished."""
+        positions = credits = 0
+        for shell in self.shells.values():
+            credits += shell.credits_applied
+            for row in shell.stream_table:
+                positions += row.position
+        return positions, credits, self._unfinished_tasks
+
+    def _deadlock_monitor(self) -> Generator:
+        """Declare deadlock after ``deadlock_patience`` consecutive
+        zero-progress checks with unfinished tasks; the raised
+        :class:`DeadlockError` carries the blocked-on report, so even a
+        livelocked run (watchdog retrying into a dead fabric forever)
+        terminates with a diagnosis."""
+        interval = self.params.deadlock_check_interval
+        patience = self.params.deadlock_patience
+        idle_checks = 0
+        last = self._global_progress()
+        while not self.all_finished():
+            yield self.sim.timeout(interval)
+            if self.all_finished():
+                return
+            cur = self._global_progress()
+            if cur != last:
+                last = cur
+                idle_checks = 0
+                continue
+            idle_checks += 1
+            if idle_checks >= patience:
+                report = self.blocked_report()
+                raise DeadlockError(
+                    f"deadlock detected at t={self.sim.now}: no progress for "
+                    f"{idle_checks * interval} cycles with "
+                    f"{self._unfinished_tasks} unfinished task(s)\n{report}",
+                    report,
+                )
+
+    def blocked_report(self) -> str:
+        """Human-readable map of every unfinished task to the access
+        points it is blocked on (the deadlock diagnosis)."""
+        lines: List[str] = []
+        for cname, shell in self.shells.items():
+            for task in shell.task_table:
+                if task.finished:
+                    continue
+                if not task.blocked_on:
+                    lines.append(
+                        f"  task {task.name!r} @ {cname}: unfinished, no denied "
+                        f"GetSpace on record (mid-step or never scheduled)"
+                    )
+                    continue
+                for row_id in sorted(task.blocked_on):
+                    row = shell.stream_table[row_id]
+                    kind = "producer" if row.is_producer else "consumer"
+                    eos = "yes" if row.eos_position is not None else "no"
+                    lines.append(
+                        f"  task {task.name!r} @ {cname}: blocked on access point "
+                        f"{row.stream}.{row.port} ({kind}, position={row.position}, "
+                        f"available={row.available()}, granted={row.granted}, eos={eos})"
+                    )
+        return "\n".join(lines) if lines else "  (no unfinished tasks)"
 
     # ------------------------------------------------------------------
     # history recording (monitoring hook used by Shell.put_space)
@@ -329,7 +465,16 @@ class EclipseSystem:
         """
         if not self._configured:
             raise RuntimeError("configure() must be called before run()")
-        self.sim.run(until=until)
+        try:
+            # with monitors active the queue never drains (watchdog /
+            # detector timeouts keep it populated): stop on completion
+            self.sim.run(
+                until=until,
+                stop=self.all_finished if self._monitors_active else None,
+            )
+        except DeadlockError:
+            if strict:
+                raise
         stalled = [
             t.name
             for shell in self.shells.values()
@@ -340,7 +485,7 @@ class EclipseSystem:
         if not completed and until is None and strict:
             raise StalledError(
                 f"application stalled after {self.sim.now} cycles; "
-                f"unfinished tasks: {stalled}"
+                f"unfinished tasks: {stalled}\n{self.blocked_report()}"
             )
         return self._result(completed, stalled)
 
@@ -374,6 +519,21 @@ class EclipseSystem:
                     rep.fill_mean = max(rep.fill_mean, row.fill_stat.mean())
                     rep.fill_max = max(rep.fill_max, row.fill_stat.maximum)
         elapsed = self.sim.now
+        robustness = None
+        if self.fault_injector is not None or self.params.watchdog_timeout is not None:
+            robustness = {
+                "injected": (
+                    self.fault_injector.stats.to_dict() if self.fault_injector else {}
+                ),
+                "messages_dropped": self.fabric.messages_dropped,
+                "messages_delivered": self.fabric.messages_delivered,
+                "watchdog_fires": sum(s.watchdog_fires for s in self.shells.values()),
+                "retries_sent": sum(s.retries_sent for s in self.shells.values()),
+                "recoveries": sum(s.recoveries for s in self.shells.values()),
+                "corruptions_detected": sum(
+                    s.corruptions_detected for s in self.shells.values()
+                ),
+            }
         return SystemResult(
             cycles=elapsed,
             completed=completed,
@@ -390,6 +550,7 @@ class EclipseSystem:
             messages_sent=self.fabric.messages_sent,
             cpu_sync_ops=self.cpu_sync_ops,
             cpu_busy_cycles=self.cpu_busy_cycles,
+            robustness=robustness,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

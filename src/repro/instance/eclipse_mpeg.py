@@ -18,6 +18,7 @@ from typing import Dict, Optional, Sequence
 
 from repro.core.config import CoprocessorSpec, ShellParams, SystemParams
 from repro.core.system import EclipseSystem
+from repro.sim.faults import FaultPlan
 from repro.media.codec import CodecParams
 from repro.media.pipelines import decode_graph, encode_graph, timeshift_graph
 from repro.media.tasks import CostModel
@@ -68,6 +69,7 @@ def build_mpeg_instance(
     params: Optional[SystemParams] = None,
     shell: Optional[ShellParams] = None,
     dsp_compute_factor: float = 4.0,
+    faults: Optional["FaultPlan"] = None,
 ) -> EclipseSystem:
     """Assemble the Figure 8 instance.
 
@@ -86,7 +88,7 @@ def build_mpeg_instance(
         CoprocessorSpec("mcme", shell=shell),
         CoprocessorSpec("dsp", is_software=True, compute_factor=dsp_compute_factor, shell=shell),
     ]
-    return EclipseSystem(specs, params)
+    return EclipseSystem(specs, params, faults=faults)
 
 
 def decode_on_instance(

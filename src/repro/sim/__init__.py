@@ -27,6 +27,7 @@ floating-point time drift.
 """
 
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.faults import FaultInjector, FaultPlan, FaultStats, StallSpec
 from repro.sim.kernel import SimulationError, Simulator
 from repro.sim.process import Process
 from repro.sim.probe import Series, TimeWeightedStat, UtilizationProbe
@@ -36,8 +37,12 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Event",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
     "Interrupt",
     "Process",
+    "StallSpec",
     "Resource",
     "Series",
     "SimulationError",

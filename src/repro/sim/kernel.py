@@ -116,13 +116,22 @@ class Simulator:
         """Time of the next scheduled event, or ``None`` if queue empty."""
         return self._queue[0][0] if self._queue else None
 
-    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        stop: Optional[Callable[[], bool]] = None,
+    ) -> None:
         """Run until the queue drains, ``until`` cycles, or ``max_events``.
 
         ``until`` is an absolute simulation time; events scheduled at
         exactly ``until`` are *not* executed (time stops at ``until``).
         ``max_events`` bounds total fired events — a safety net for
         models suspected of livelock.
+        ``stop`` is polled between events; returning True ends the run
+        at the current time.  Monitor processes (watchdogs, deadlock
+        detectors) keep the queue populated forever, so their users
+        need a model-level completion predicate instead of queue drain.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
@@ -130,6 +139,8 @@ class Simulator:
         fired = 0
         try:
             while self._queue:
+                if stop is not None and stop():
+                    return
                 when = self._queue[0][0]
                 if until is not None and when >= until:
                     self._now = until

@@ -69,6 +69,14 @@ def collect_counters(system: EclipseSystem) -> Dict[str, Any]:
                 "budget_exhaustions": shell.scheduler.budget_exhaustions,
                 "idle_wait_cycles": shell.idle_wait_cycles,
             },
+            "robustness": {
+                "messages_delivered": shell.messages_delivered,
+                "credits_applied": shell.credits_applied,
+                "watchdog_fires": shell.watchdog_fires,
+                "retries_sent": shell.retries_sent,
+                "recoveries": shell.recoveries,
+                "corruptions_detected": shell.corruptions_detected,
+            },
             "utilization": coproc.utilization.utilization() if coproc else 0.0,
         }
     return {
@@ -91,4 +99,15 @@ def collect_counters(system: EclipseSystem) -> Dict[str, Any]:
             "bytes_written": system.dram.bytes_written,
         },
         "fabric_messages": system.fabric.messages_sent,
+        "fabric": {
+            "messages_sent": system.fabric.messages_sent,
+            "messages_delivered": system.fabric.messages_delivered,
+            "messages_dropped": system.fabric.messages_dropped,
+            "bytes_signalled": system.fabric.bytes_signalled,
+        },
+        "faults_injected": (
+            system.fault_injector.stats.to_dict()
+            if system.fault_injector is not None
+            else None
+        ),
     }

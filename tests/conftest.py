@@ -1,0 +1,128 @@
+"""Shared fixtures and graph builders for the whole test suite.
+
+The differential tests all follow the same shape: build a small
+application graph, run it through the functional executor for golden
+histories, run it on a cycle-level system (possibly with faults), and
+compare byte-for-byte.  The builders live here so every test file
+stresses the *same* graphs and the corpus stays comparable.
+
+``tests`` is a package, so helpers are importable directly:
+``from tests.conftest import diamond_graph, payload_of``.
+"""
+
+import random
+
+import pytest
+
+from repro.core import CoprocessorSpec, EclipseSystem, ShellParams, SystemParams
+from repro.kahn import ApplicationGraph, FunctionalExecutor, TaskNode
+from repro.kahn.library import ConsumerKernel, ForkKernel, MapKernel, ProducerKernel
+
+
+# ---------------------------------------------------------------------------
+# deterministic payloads and example graphs
+# ---------------------------------------------------------------------------
+def payload_of(n, seed=3):
+    """n pseudo-random-looking but deterministic bytes."""
+    return bytes((i * 89 + seed) % 256 for i in range(n))
+
+
+def pipeline_graph(payload, chunk=16, buffer_size=64):
+    """src -> map -> dst: the minimal multi-hop stream."""
+    g = ApplicationGraph("pipeline")
+    g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=chunk), ProducerKernel.PORTS))
+    g.add_task(
+        TaskNode(
+            "xf",
+            lambda: MapKernel(lambda b: bytes((x + 1) % 256 for x in b), chunk=chunk),
+            MapKernel.PORTS,
+        )
+    )
+    g.add_task(TaskNode("dst", lambda: ConsumerKernel(chunk=chunk), ConsumerKernel.PORTS))
+    g.connect("src.out", "xf.in", buffer_size=buffer_size)
+    g.connect("xf.out", "dst.in", buffer_size=buffer_size)
+    return g
+
+
+def diamond_graph(payload, chunk=16, buffer_size=96):
+    """src -> fork -> (map -> da | db): multicast + asymmetric arms."""
+    g = ApplicationGraph("diamond")
+    g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=chunk), ProducerKernel.PORTS))
+    g.add_task(TaskNode("fork", lambda: ForkKernel(chunk=chunk), ForkKernel.PORTS))
+    g.add_task(
+        TaskNode(
+            "ma",
+            lambda: MapKernel(lambda b: bytes(x ^ 0x3C for x in b), chunk=chunk),
+            MapKernel.PORTS,
+        )
+    )
+    g.add_task(TaskNode("da", lambda: ConsumerKernel(chunk=chunk), ConsumerKernel.PORTS))
+    g.add_task(TaskNode("db", lambda: ConsumerKernel(chunk=chunk), ConsumerKernel.PORTS))
+    g.connect("src.out", "fork.in", buffer_size=buffer_size)
+    g.connect("fork.out_a", "ma.in", buffer_size=buffer_size)
+    g.connect("ma.out", "da.in", buffer_size=buffer_size)
+    g.connect("fork.out_b", "db.in", buffer_size=buffer_size)
+    return g
+
+
+GRAPH_BUILDERS = {"pipeline": pipeline_graph, "diamond": diamond_graph}
+
+
+def golden_histories(graph):
+    """Run ``graph`` on the functional Kahn executor: the oracle."""
+    return FunctionalExecutor(graph).run().histories
+
+
+def make_system(n_coprocs=3, params=None, shell=None, faults=None):
+    """A plain n-coprocessor cycle-level system."""
+    spec_shell = shell or ShellParams()
+    return EclipseSystem(
+        [CoprocessorSpec(f"cp{i}", shell=spec_shell) for i in range(n_coprocs)],
+        params or SystemParams(),
+        faults=faults,
+    )
+
+
+def run_on_system(graph, n_coprocs=3, params=None, shell=None, faults=None):
+    """configure + run in one call; returns the SystemResult."""
+    system = make_system(n_coprocs=n_coprocs, params=params, shell=shell, faults=faults)
+    system.configure(graph)
+    return system.run()
+
+
+def assert_histories_match(result, golden):
+    """Every stream's history byte-identical to the oracle's."""
+    assert result.completed, "cycle-level run did not complete"
+    for name, hist in golden.items():
+        assert result.histories[name] == hist, f"history mismatch on {name}"
+
+
+# ---------------------------------------------------------------------------
+# fixtures
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def default_shell_params():
+    """The paper-default ShellParams (one object per test)."""
+    return ShellParams()
+
+
+@pytest.fixture
+def seeded_rng():
+    """A deterministically-seeded RNG for property-style tests."""
+    return random.Random(0xEC1195E)
+
+
+@pytest.fixture
+def small_payload():
+    """400 deterministic bytes — enough for a few dozen chunks."""
+    return payload_of(400)
+
+
+@pytest.fixture
+def small_pipeline(small_payload):
+    return pipeline_graph(small_payload)
+
+
+@pytest.fixture
+def small_diamond(small_payload):
+    return diamond_graph(small_payload)

@@ -9,43 +9,25 @@ byte-identical to the reference executor in every case.
 
 import pytest
 
-from repro.core import CoprocessorSpec, EclipseSystem, ShellParams, SystemParams
-from repro.kahn import ApplicationGraph, FunctionalExecutor, TaskNode
-from repro.kahn.library import ConsumerKernel, ForkKernel, MapKernel, ProducerKernel
-
-
-def payload_of(n, seed=3):
-    return bytes((i * 89 + seed) % 256 for i in range(n))
+from repro.core import CoprocessorSpec, EclipseSystem, SystemParams
+from tests.conftest import diamond_graph, golden_histories, payload_of, run_on_system
 
 
 def diamond(payload, buffer_size=96):
-    g = ApplicationGraph("diamond")
-    g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=16), ProducerKernel.PORTS))
-    g.add_task(TaskNode("fork", lambda: ForkKernel(chunk=16), ForkKernel.PORTS))
-    g.add_task(
-        TaskNode("ma", lambda: MapKernel(lambda b: bytes(x ^ 0x3C for x in b), chunk=16), MapKernel.PORTS)
-    )
-    g.add_task(TaskNode("da", lambda: ConsumerKernel(chunk=16), ConsumerKernel.PORTS))
-    g.add_task(TaskNode("db", lambda: ConsumerKernel(chunk=16), ConsumerKernel.PORTS))
-    g.connect("src.out", "fork.in", buffer_size=buffer_size)
-    g.connect("fork.out_a", "ma.in", buffer_size=buffer_size)
-    g.connect("ma.out", "da.in", buffer_size=buffer_size)
-    g.connect("fork.out_b", "db.in", buffer_size=buffer_size)
-    return g
+    return diamond_graph(payload, buffer_size=buffer_size)
 
 
 def reference(payload):
-    return FunctionalExecutor(diamond(payload)).run().histories
+    return golden_histories(diamond(payload))
 
 
 def run_cycle(payload, params=None, shell=None, n_coprocs=3, buffer_size=96):
-    spec_shell = shell or ShellParams()
-    system = EclipseSystem(
-        [CoprocessorSpec(f"cp{i}", shell=spec_shell) for i in range(n_coprocs)],
-        params or SystemParams(),
+    return run_on_system(
+        diamond(payload, buffer_size=buffer_size),
+        n_coprocs=n_coprocs,
+        params=params,
+        shell=shell,
     )
-    system.configure(diamond(payload, buffer_size=buffer_size))
-    return system.run()
 
 
 @pytest.mark.parametrize("jitter,seed", [(7, 0), (7, 1), (25, 2), (25, 3), (60, 4)])

@@ -1,0 +1,159 @@
+"""Negative-path protocol tests: every task-level-interface violation
+must raise :class:`ShellProtocolError` naming the offending task and
+port, and must not corrupt already-committed buffer contents.
+
+These complement ``test_shell_unit.py``'s detection tests with the
+*diagnosability* and *containment* contracts: a kernel bug should be
+attributable from the exception text alone, and data the protocol
+already committed must survive the crash for post-mortem inspection.
+"""
+
+import pytest
+
+from repro.core import CoprocessorSpec, EclipseSystem, SystemParams
+from repro.core.shell import ShellProtocolError
+from repro.kahn import ApplicationGraph, Direction, Kernel, PortSpec, StepOutcome, TaskNode
+from repro.kahn.library import ConsumerKernel, ProducerKernel
+
+
+def run_system(producer_factory, consumer_factory=None, buffer_size=64):
+    g = ApplicationGraph("negpath")
+    g.add_task(TaskNode("bad", producer_factory, producer_factory().ports(), mapping="cp0"))
+    cons = consumer_factory or ConsumerKernel
+    g.add_task(TaskNode("sink", cons, cons().ports(), mapping="cp1"))
+    g.connect("bad.out", "sink.in", buffer_size=buffer_size)
+    system = EclipseSystem([CoprocessorSpec("cp0"), CoprocessorSpec("cp1")], SystemParams())
+    system.configure(g)
+    return system
+
+
+def producer_row(system, shell="cp0"):
+    return next(r for r in system.shells[shell].stream_table if r.is_producer)
+
+
+class CommitThenViolate(Kernel):
+    """Step 1 commits b'GOOD'; step 2 performs a violation chosen at
+    construction — the committed bytes must survive the crash."""
+
+    PORTS = (PortSpec("out", Direction.OUT),)
+
+    def __init__(self, violation):
+        super().__init__()
+        self.violation = violation
+        self.steps = 0
+
+    def step(self, ctx):
+        self.steps += 1
+        if self.steps == 1:
+            sp = yield ctx.get_space("out", 4)
+            assert sp
+            yield ctx.write("out", 0, b"GOOD")
+            yield ctx.put_space("out", 4)
+            return StepOutcome.COMPLETED
+        sp = yield ctx.get_space("out", 4)
+        if not sp:
+            return StepOutcome.ABORTED
+        if self.violation == "read":
+            from repro.kahn.kernel import ReadOp
+
+            yield ReadOp("out", 0, 4)
+        elif self.violation == "write":
+            yield ctx.write("out", 0, b"EVIL-OVERFLOW")  # 13 B > 4 granted
+        elif self.violation == "overcommit":
+            yield ctx.put_space("out", 9)
+        elif self.violation == "double-commit":
+            yield ctx.write("out", 0, b"2nd!")
+            yield ctx.put_space("out", 4)
+            yield ctx.put_space("out", 4)  # nothing granted any more
+        return StepOutcome.COMPLETED
+
+
+class ReadBeyondGrant(Kernel):
+    PORTS = (PortSpec("in", Direction.IN),)
+
+    def step(self, ctx):
+        sp = yield ctx.get_space("in", 4)
+        if not sp:
+            return StepOutcome.FINISHED if sp.eos else StepOutcome.ABORTED
+        yield ctx.read("in", 2, 6)  # [2:8) beyond the 4-byte grant
+        return StepOutcome.COMPLETED
+
+
+def committed_bytes(system):
+    """The first 4 committed bytes of the stream buffer, via SRAM."""
+    row = producer_row(system)
+    (addr, length), = row.buffer.segments(0, 4)
+    return system.sram.read(addr, length)
+
+
+# ---------------------------------------------------------------------------
+def test_read_outside_window_names_task_and_port():
+    system = run_system(lambda: ProducerKernel(b"x" * 32, chunk=8), ReadBeyondGrant)
+    with pytest.raises(ShellProtocolError) as exc:
+        system.run()
+    msg = str(exc.value)
+    assert "sink" in msg and "'in'" in msg
+    assert "[2:8)" in msg and "outside" in msg
+
+
+def test_write_outside_window_names_task_and_port():
+    system = run_system(lambda: CommitThenViolate("write"))
+    with pytest.raises(ShellProtocolError) as exc:
+        system.run()
+    msg = str(exc.value)
+    assert "bad" in msg and "'out'" in msg and "outside" in msg
+
+
+def test_putspace_beyond_grant_names_task_and_port():
+    system = run_system(lambda: CommitThenViolate("overcommit"))
+    with pytest.raises(ShellProtocolError) as exc:
+        system.run()
+    msg = str(exc.value)
+    assert "bad" in msg and "'out'" in msg
+    assert "PutSpace" in msg and "exceeds" in msg
+
+
+def test_double_commit_detected():
+    """PutSpace consumed the whole grant; committing again without a
+    fresh GetSpace is the classic double-commit kernel bug."""
+    system = run_system(lambda: CommitThenViolate("double-commit"))
+    with pytest.raises(ShellProtocolError) as exc:
+        system.run()
+    msg = str(exc.value)
+    assert "bad" in msg and "'out'" in msg
+    assert "exceeds" in msg and "granted window of 0" in msg
+
+
+def test_read_on_output_port_names_task_and_port():
+    system = run_system(lambda: CommitThenViolate("read"))
+    with pytest.raises(ShellProtocolError) as exc:
+        system.run()
+    msg = str(exc.value)
+    assert "bad" in msg and "output port 'out'" in msg
+
+
+@pytest.mark.parametrize("violation", ["write", "overcommit", "double-commit"])
+def test_violation_preserves_committed_data(violation):
+    """Containment: whatever the kernel did wrong, the bytes the
+    protocol already committed (and flushed) are still in SRAM, and the
+    producer row's accounting still reflects exactly one commit."""
+    system = run_system(lambda: CommitThenViolate(violation))
+    with pytest.raises(ShellProtocolError):
+        system.run()
+    assert committed_bytes(system) == b"GOOD"
+    row = producer_row(system)
+    kept = 8 if violation == "double-commit" else 4  # its 2nd commit was legal
+    assert row.position == kept
+    assert row.committed_bytes == kept
+
+
+def test_failed_oversized_write_stages_nothing():
+    """The over-large Write is rejected before any byte is staged: the
+    write cache holds no dirty line for the rejected range."""
+    system = run_system(lambda: CommitThenViolate("write"))
+    with pytest.raises(ShellProtocolError):
+        system.run()
+    # only step 1's legal 4-byte write ever reached the write cache
+    shell = system.shells["cp0"]
+    assert committed_bytes(system) == b"GOOD"
+    assert shell.write_cache.stats.hits + shell.write_cache.stats.misses <= 2
