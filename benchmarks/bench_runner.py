@@ -1,0 +1,63 @@
+"""EXP-R2 — parallel run engine: determinism + scalability.
+
+The §7 methodology is bulk design-space evaluation: many independent
+cycle-level runs.  ``repro.runner`` fans those out over a process pool;
+this bench pins the engine's two contracts:
+
+* the deterministic report is byte-identical at any job count, and
+* on a multi-core host the batch finishes measurably faster than the
+  serial path (asserted ≥1.5x on ≥4 cores, recorded in extra_info).
+"""
+
+import os
+
+import pytest
+from conftest import run_many
+
+from repro.runner import ParallelRunner, RunSpec
+from repro.workloads import conformance_run
+
+N_RUNS = 12
+
+
+def _specs():
+    return [
+        RunSpec(
+            factory=conformance_run,
+            kwargs={"graph": "pipeline" if i % 2 == 0 else "diamond",
+                    "payload_len": 4096, "fault_seed": i},
+            label=f"run{i}",
+        )
+        for i in range(N_RUNS)
+    ]
+
+
+def test_parallel_speedup(benchmark):
+    """Batch wall time vs the summed per-run times (the serial
+    estimate), on all cores."""
+    serial = ParallelRunner(jobs=1).run(_specs())
+    report = run_many(benchmark, _specs(), jobs=os.cpu_count())
+    assert [r.ok for r in report.results] == [True] * N_RUNS
+    # determinism: the parallel batch reproduces the serial batch bytes
+    assert report.to_json() == serial.to_json()
+    # measured wall-clock speedup, not the in-report estimate
+    speedup = serial.wall_time / report.wall_time
+    print(
+        f"\nEXP-R2 {N_RUNS} runs: serial {serial.wall_time:.2f}s, "
+        f"{report.jobs} jobs {report.wall_time:.2f}s -> {speedup:.2f}x measured "
+        f"({report.speedup:.2f}x estimated in-report)"
+    )
+    benchmark.extra_info["serial_wall_s"] = round(serial.wall_time, 3)
+    benchmark.extra_info["measured_speedup"] = round(speedup, 2)
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 1.5, (
+            f"expected >=1.5x on {os.cpu_count()} cores, got {speedup:.2f}x"
+        )
+
+
+def test_runner_overhead_serial(benchmark):
+    """jobs=1 must add no measurable machinery over a plain loop —
+    the engine is free when parallelism is off."""
+    report = run_many(benchmark, _specs()[:4], jobs=1)
+    assert all(r.ok for r in report.results)
+    assert report.speedup <= 1.05  # serial path: wall == sum of runs

@@ -33,3 +33,24 @@ def fig10_content():
 def run_once(benchmark, fn):
     """Benchmark a long-running experiment exactly once."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def run_many(benchmark, specs, jobs=None, timeout=None, retries=0):
+    """Run a batch of independent RunSpecs through the parallel engine
+    exactly once, stashing the speedup numbers in ``extra_info``.
+
+    This is the shared multi-run path for the scalability/sweep benches:
+    independent simulation points amortize across cores instead of
+    executing strictly sequentially.  Returns the RunReport (results in
+    spec order, deterministic regardless of ``jobs``).
+    """
+    from repro.runner import ParallelRunner
+
+    runner = ParallelRunner(jobs=jobs, timeout=timeout, retries=retries)
+    report = benchmark.pedantic(runner.run, args=(specs,), rounds=1, iterations=1)
+    benchmark.extra_info["jobs"] = report.jobs
+    benchmark.extra_info["runs"] = len(report.results)
+    benchmark.extra_info["wall_time_s"] = round(report.wall_time, 3)
+    benchmark.extra_info["serial_estimate_s"] = round(report.serial_time_estimate, 3)
+    benchmark.extra_info["speedup"] = round(report.speedup, 2)
+    return report

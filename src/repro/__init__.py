@@ -80,6 +80,7 @@ from repro.media import (
 )
 from repro.media.pipelines import decode_graph, encode_graph, timeshift_graph
 from repro.media.tasks import CostModel
+from repro.runner import ParallelRunner, RunReport, RunResult, RunSpec, run_specs
 from repro.trace import Sampler, collect_counters
 
 __version__ = "1.0.0"
@@ -97,7 +98,12 @@ __all__ = [
     "Kernel",
     "DeadlockError",
     "FaultPlan",
+    "ParallelRunner",
     "PortSpec",
+    "RunReport",
+    "RunResult",
+    "RunSpec",
+    "run_specs",
     "Sampler",
     "ShellParams",
     "StalledError",

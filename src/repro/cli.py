@@ -24,6 +24,14 @@ Commands
 (a preset name or ``key=value`` list, see
 :meth:`repro.sim.faults.FaultPlan.parse`) and ``--watchdog-timeout``
 to exercise the robustness machinery.
+
+``conformance`` and ``explore`` fan their independent simulation runs
+out over the :mod:`repro.runner` process pool: ``--jobs N`` picks the
+parallelism (default: all cores), ``--report PATH`` writes the
+machine-readable JSON report.  The report's deterministic sections are
+byte-identical at any ``--jobs`` count; ``--report-timing`` opts into
+embedding the wall-clock block (which naturally varies run to run).
+See docs/parallel-runs.md.
 """
 
 from __future__ import annotations
@@ -56,6 +64,28 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_runner_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel simulation processes (default: all cores; 1 = serial)",
+    )
+    p.add_argument(
+        "--report",
+        metavar="PATH",
+        help="write the machine-readable JSON run report to PATH "
+        "(deterministic: byte-identical at any --jobs count)",
+    )
+    p.add_argument(
+        "--report-timing",
+        action="store_true",
+        help="embed the wall-clock timing block in --report (breaks "
+        "byte-identity across runs)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -82,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("explore", help="design-space sweeps (paper §7)")
     exp.add_argument("--frames", type=int, default=6)
+    _add_runner_args(exp)
 
     conf = sub.add_parser(
         "conformance",
@@ -97,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     conf.add_argument("--payload", type=int, default=2048, help="payload bytes per graph")
     _add_fault_args(conf)
+    _add_runner_args(conf)
     return parser
 
 
@@ -133,6 +165,33 @@ def _fault_setup(args, params):
             print(f"error: invalid --watchdog-timeout: {e}", file=sys.stderr)
             raise SystemExit(2)
     return plan, params
+
+
+def _runner_jobs(args) -> int:
+    """Validated --jobs value (None = all cores)."""
+    import os
+
+    jobs = getattr(args, "jobs", None)
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
+        raise SystemExit(2)
+    return jobs
+
+
+def _write_report(report, args) -> None:
+    """Write the JSON run report if --report was given; unwritable
+    paths exit cleanly instead of dumping a traceback."""
+    path = getattr(args, "report", None)
+    if not path:
+        return
+    try:
+        report.write(path, include_timing=getattr(args, "report_timing", False))
+    except OSError as e:
+        print(f"error: cannot write --report {path!r}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    print(f"wrote {path}")
 
 
 def _run_or_diagnose(system, **run_kw):
@@ -186,24 +245,13 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_quickstart(args) -> int:
-    from repro import (
-        ApplicationGraph,
-        CoprocessorSpec,
-        EclipseSystem,
-        FunctionalExecutor,
-        SystemParams,
-        TaskNode,
-    )
-    from repro.kahn.library import ConsumerKernel, ProducerKernel
+    from repro import CoprocessorSpec, EclipseSystem, FunctionalExecutor, SystemParams
+    from repro.workloads import quickstart_graph
 
     payload = bytes((11 * i) % 256 for i in range(4096))
 
     def graph():
-        g = ApplicationGraph("cli-demo")
-        g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=32), ProducerKernel.PORTS))
-        g.add_task(TaskNode("dst", lambda: ConsumerKernel(chunk=32), ConsumerKernel.PORTS))
-        g.connect("src.out", "dst.in", buffer_size=128)
-        return g
+        return quickstart_graph(payload)
 
     plan, params = _fault_setup(args, SystemParams())
     if plan is not None:
@@ -301,125 +349,119 @@ def _cmd_estimate(args) -> int:
 
 
 def _cmd_explore(args) -> int:
-    from repro import (
-        CodecParams,
-        DECODE_MAPPING,
-        ShellParams,
-        build_mpeg_instance,
-        decode_graph,
-        encode_sequence,
-        synthetic_sequence,
-    )
+    from repro import CodecParams, encode_sequence, synthetic_sequence
+    from repro.runner import ParallelRunner, RunSpec
+    from repro.workloads import explore_decode_run
 
+    jobs = _runner_jobs(args)
     params = CodecParams(width=48, height=32, gop_n=6, gop_m=3)
     frames = synthetic_sequence(params.width, params.height, args.frames)
     bitstream, _, _ = encode_sequence(frames, params)
 
-    def run(shell=None, buffer_packets=3):
-        system = build_mpeg_instance(shell=shell)
-        system.configure(
-            decode_graph(bitstream, mapping=DECODE_MAPPING, buffer_packets=buffer_packets)
-        )
-        return system.run().cycles
+    prefetch_levels = (0, 2, 8)
+    buffer_levels = (1, 3, 8)
+    specs = [RunSpec(explore_decode_run, {"bitstream": bitstream}, label="baseline")]
+    specs += [
+        RunSpec(explore_decode_run, {"bitstream": bitstream, "prefetch_lines": pf},
+                label=f"prefetch={pf}")
+        for pf in prefetch_levels
+    ]
+    specs += [
+        RunSpec(explore_decode_run, {"bitstream": bitstream, "buffer_packets": pkts},
+                label=f"buffer_packets={pkts}")
+        for pkts in buffer_levels
+    ]
+    report = ParallelRunner(jobs=jobs).run(specs)
+    for res in report.failures:
+        print(f"error: {res.label} failed: {res.error}", file=sys.stderr)
+    if report.failures:
+        return 1
 
-    base = run()
-    print(f"baseline decode: {base} cycles")
+    by_label = {r.label: r for r in report.results}
+    print(f"baseline decode: {by_label['baseline'].cycles} cycles")
     print("prefetch sweep:")
-    for pf in (0, 2, 8):
-        print(f"  {pf} lines ahead: {run(shell=ShellParams(prefetch_lines=pf))} cycles")
+    for pf in prefetch_levels:
+        print(f"  {pf} lines ahead: {by_label[f'prefetch={pf}'].cycles} cycles")
     print("buffer sweep:")
-    for pkts in (1, 3, 8):
-        print(f"  {pkts} packets/buffer: {run(buffer_packets=pkts)} cycles")
+    for pkts in buffer_levels:
+        print(f"  {pkts} packets/buffer: {by_label[f'buffer_packets={pkts}'].cycles} cycles")
+    print(
+        f"\n{len(specs)} runs on {report.jobs} jobs: {report.wall_time:.2f}s wall, "
+        f"~{report.serial_time_estimate:.2f}s serial, {report.speedup:.2f}x"
+    )
+    _write_report(report, args)
     return 0
 
 
 def _cmd_conformance(args) -> int:
     """Differential conformance: faulted cycle-level runs must reproduce
-    the functional executor's stream histories byte-for-byte."""
-    from repro import (
-        ApplicationGraph,
-        CoprocessorSpec,
-        EclipseSystem,
-        FaultPlan,
-        FunctionalExecutor,
-        SystemParams,
-        TaskNode,
-    )
-    from repro.kahn.library import ConsumerKernel, ForkKernel, MapKernel, ProducerKernel
+    the functional executor's stream histories byte-for-byte.  The seed
+    sweep fans out over the repro.runner process pool (--jobs)."""
+    from repro import FaultPlan, FunctionalExecutor
+    from repro.runner import ParallelRunner, RunSpec, _histories_digest
+    from repro.workloads import GRAPH_BUILDERS, conformance_run, payload_of
 
-    payload = bytes((i * 89 + 3) % 256 for i in range(args.payload))
+    jobs = _runner_jobs(args)
+    names = list(GRAPH_BUILDERS) if args.graph == "all" else [args.graph]
+    spec_str = args.fault_plan or "chaos"
+    try:  # validate the plan up front, once, with a clean message
+        base_plan = FaultPlan.parse(spec_str)
+    except ValueError as e:
+        print(f"error: invalid --fault-plan: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    watchdog = args.watchdog_timeout if args.watchdog_timeout is not None else 2000
+    # an explicit --fault-seed (including 0) overrides the plan's
+    # inline seed; absent means "sweep from the plan's own seed"
+    seed_base = args.fault_seed if args.fault_seed is not None else base_plan.seed
 
-    def pipeline():
-        g = ApplicationGraph("pipeline")
-        g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=16), ProducerKernel.PORTS))
-        g.add_task(
-            TaskNode(
-                "xf",
-                lambda: MapKernel(lambda b: bytes((x + 1) % 256 for x in b), chunk=16),
-                MapKernel.PORTS,
-            )
+    golden = {
+        gname: _histories_digest(
+            FunctionalExecutor(GRAPH_BUILDERS[gname](payload_of(args.payload))).run().histories
         )
-        g.add_task(TaskNode("dst", lambda: ConsumerKernel(chunk=16), ConsumerKernel.PORTS))
-        g.connect("src.out", "xf.in", buffer_size=64)
-        g.connect("xf.out", "dst.in", buffer_size=64)
-        return g
-
-    def diamond():
-        g = ApplicationGraph("diamond")
-        g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=16), ProducerKernel.PORTS))
-        g.add_task(TaskNode("fork", lambda: ForkKernel(chunk=16), ForkKernel.PORTS))
-        g.add_task(
-            TaskNode(
-                "ma",
-                lambda: MapKernel(lambda b: bytes(x ^ 0x3C for x in b), chunk=16),
-                MapKernel.PORTS,
-            )
+        for gname in names
+    }
+    specs = [
+        RunSpec(
+            factory=conformance_run,
+            kwargs={
+                "graph": gname,
+                "payload_len": args.payload,
+                "fault_spec": spec_str,
+                "fault_seed": seed_base + i,
+                "watchdog_timeout": watchdog,
+            },
+            label=f"{gname}:seed={seed_base + i}",
         )
-        g.add_task(TaskNode("da", lambda: ConsumerKernel(chunk=16), ConsumerKernel.PORTS))
-        g.add_task(TaskNode("db", lambda: ConsumerKernel(chunk=16), ConsumerKernel.PORTS))
-        g.connect("src.out", "fork.in", buffer_size=96)
-        g.connect("fork.out_a", "ma.in", buffer_size=96)
-        g.connect("ma.out", "da.in", buffer_size=96)
-        g.connect("fork.out_b", "db.in", buffer_size=96)
-        return g
-
-    builders = {"pipeline": pipeline, "diamond": diamond}
-    names = list(builders) if args.graph == "all" else [args.graph]
-    spec = args.fault_plan or "chaos"
-    timeout = args.watchdog_timeout if args.watchdog_timeout is not None else 2000
-    params = SystemParams(watchdog_timeout=timeout)
-    seed_base = args.fault_seed or 0
+        for gname in names
+        for i in range(args.seeds)
+    ]
+    report = ParallelRunner(jobs=jobs).run(specs)
 
     failures = 0
-    for gname in names:
-        golden = FunctionalExecutor(builders[gname]()).run().histories
-        for i in range(args.seeds):
-            plan = FaultPlan.parse(spec, seed=seed_base + i)
-            system = EclipseSystem(
-                [CoprocessorSpec(f"cp{i}") for i in range(3)], params, faults=plan
-            )
-            system.configure(builders[gname]())
-            result = _run_or_diagnose(system)
-            ok = (
-                result is not None
-                and result.completed
-                and all(result.histories[k] == v for k, v in golden.items())
-            )
-            failures += 0 if ok else 1
-            if result is None:
-                print(f"{gname:>8} seed={plan.seed:<4} FAIL  (deadlock, see diagnosis above)")
-                continue
-            rob = result.robustness or {}
-            print(
-                f"{gname:>8} seed={plan.seed:<4} "
-                f"{'PASS' if ok else 'FAIL'}  "
-                f"cycles={result.cycles:<7} "
-                f"dropped={rob.get('messages_dropped', 0):<3} "
-                f"retries={rob.get('retries_sent', 0):<4} "
-                f"recoveries={rob.get('recoveries', 0)}"
-            )
-    total = len(names) * args.seeds
+    for res in report.results:
+        gname = res.label.split(":", 1)[0]
+        seed = seed_base + res.index % args.seeds
+        ok = res.ok and res.completed and res.histories_sha256 == golden[gname]
+        failures += 0 if ok else 1
+        if not res.ok:
+            print(f"{gname:>8} seed={seed:<4} FAIL  ({res.error})")
+            continue
+        rob = res.metrics.get("robustness") or {}
+        print(
+            f"{gname:>8} seed={seed:<4} "
+            f"{'PASS' if ok else 'FAIL'}  "
+            f"cycles={res.cycles:<7} "
+            f"dropped={rob.get('messages_dropped', 0):<3} "
+            f"retries={rob.get('retries_sent', 0):<4} "
+            f"recoveries={rob.get('recoveries', 0)}"
+        )
+    total = len(specs)
     print(f"\nconformance: {total - failures}/{total} runs byte-identical to the Kahn oracle")
+    print(
+        f"{total} runs on {report.jobs} jobs: {report.wall_time:.2f}s wall, "
+        f"~{report.serial_time_estimate:.2f}s serial, {report.speedup:.2f}x"
+    )
+    _write_report(report, args)
     return 0 if failures == 0 else 1
 
 

@@ -8,10 +8,20 @@ These dataclasses are that setup file.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Literal, Optional
 
 __all__ = ["ShellParams", "CoprocessorSpec", "SystemParams"]
+
+
+def _from_flat_dict(cls, data: dict):
+    """Rebuild a flat dataclass, rejecting unknown keys with a clear
+    message (the JSON run reports round-trip through this)."""
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown {cls.__name__} keys: {sorted(unknown)}")
+    return cls(**data)
 
 
 @dataclass
@@ -58,6 +68,14 @@ class ShellParams:
         """Copy with overrides (sweep helper)."""
         return replace(self, **kw)
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (run-report / RunSpec serialization)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShellParams":
+        return _from_flat_dict(cls, data)
+
 
 @dataclass
 class CoprocessorSpec:
@@ -76,6 +94,24 @@ class CoprocessorSpec:
     def __post_init__(self) -> None:
         if self.compute_factor <= 0:
             raise ValueError("compute_factor must be > 0")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (nested shell serialized too)."""
+        return {
+            "name": self.name,
+            "is_software": self.is_software,
+            "compute_factor": self.compute_factor,
+            "shell": self.shell.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoprocessorSpec":
+        data = dict(data)
+        shell = data.pop("shell", None)
+        spec = _from_flat_dict(cls, data)
+        if shell is not None:
+            spec.shell = ShellParams.from_dict(shell)
+        return spec
 
 
 @dataclass
@@ -165,3 +201,11 @@ class SystemParams:
     def with_(self, **kw) -> "SystemParams":
         """Copy with overrides (sweep helper)."""
         return replace(self, **kw)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (run-report / RunSpec serialization)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemParams":
+        return _from_flat_dict(cls, data)

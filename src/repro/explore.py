@@ -66,6 +66,25 @@ class SweepPoint:
     result: SystemResult = field(repr=False, default=None)
 
 
+def _build_point(build, shell, sys_params):
+    """Module-level RunSpec factory for one sweep point: the axis
+    ``apply`` closures already ran in the parent, so only ``build`` and
+    the two parameter dataclasses cross the process boundary."""
+    return build(shell, sys_params)
+
+
+def _point_from_metrics(combo: Dict[str, Any], metrics: Dict[str, Any]) -> SweepPoint:
+    """SweepPoint from a RunResult's deterministic metrics dict."""
+    return SweepPoint(
+        settings=dict(combo),
+        cycles=metrics["cycles"],
+        stall_cycles=sum(t["stall_cycles"] for t in metrics["tasks"].values()),
+        denied_getspace=sum(s["denied_getspace"] for s in metrics["streams"].values()),
+        messages=metrics["messages_sent"],
+        utilization=dict(metrics["utilization"]),
+    )
+
+
 def sweep(
     build: Callable[[ShellParams, SystemParams], "tuple[EclipseSystem, ApplicationGraph]"],
     axes: Sequence[Axis],
@@ -73,6 +92,10 @@ def sweep(
     base_system: Optional[SystemParams] = None,
     mode: str = "factorial",
     keep_results: bool = False,
+    parallel: bool = False,
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> List[SweepPoint]:
     """Run the exploration.
 
@@ -80,6 +103,12 @@ def sweep(
     (system, graph) pair for the given parameters.  ``mode`` is
     ``"factorial"`` (cross product of all axes) or ``"oat"``
     (one-at-a-time around the base point).
+
+    With ``parallel=True`` (or ``jobs`` set) the points are fanned out
+    over :class:`repro.runner.ParallelRunner`: ``build`` must then be a
+    module-level (picklable) callable, and points come back in the same
+    deterministic order as the serial path.  ``keep_results`` is a
+    serial-only feature (full SystemResults stay in-process).
     """
     base_shell = base_shell or ShellParams()
     base_system = base_system or SystemParams()
@@ -95,26 +124,49 @@ def sweep(
     else:
         raise ValueError(f"unknown mode {mode!r}")
 
-    out: List[SweepPoint] = []
+    # resolve each combo to concrete parameter sets up front — the axis
+    # apply() closures never cross a process boundary
+    resolved = []
     for combo in combos:
         shell, sys_params = base_shell, base_system
         for axis in axes:
             if axis.name in combo:
                 shell, sys_params = axis.apply(shell, sys_params, combo[axis.name])
+        resolved.append((combo, shell, sys_params))
+
+    if parallel or jobs is not None:
+        if keep_results:
+            raise ValueError("keep_results requires the serial path (jobs=1, parallel=False)")
+        from repro.runner import ParallelRunner, RunSpec
+
+        specs = [
+            RunSpec(
+                factory=_build_point,
+                kwargs={"build": build, "shell": shell, "sys_params": sys_params},
+                label=f"sweep[{i}] {combo}",
+            )
+            for i, (combo, shell, sys_params) in enumerate(resolved)
+        ]
+        report = ParallelRunner(jobs=jobs, timeout=timeout, retries=retries).run(specs)
+        failed = report.failures
+        if failed:
+            raise RuntimeError(
+                f"{len(failed)}/{len(specs)} sweep points failed; first: "
+                f"{failed[0].label}: {failed[0].error}"
+            )
+        return [
+            _point_from_metrics(combo, res.metrics)
+            for (combo, _sh, _sy), res in zip(resolved, report.results)
+        ]
+
+    out: List[SweepPoint] = []
+    for combo, shell, sys_params in resolved:
         system, graph = build(shell, sys_params)
         system.configure(graph)
         result = system.run()
-        out.append(
-            SweepPoint(
-                settings=dict(combo),
-                cycles=result.cycles,
-                stall_cycles=sum(t.stall_cycles for t in result.tasks.values()),
-                denied_getspace=sum(s.denied_getspace for s in result.streams.values()),
-                messages=result.messages_sent,
-                utilization=dict(result.utilization),
-                result=result if keep_results else None,
-            )
-        )
+        point = _point_from_metrics(combo, result.to_dict())
+        point.result = result if keep_results else None
+        out.append(point)
     return out
 
 

@@ -47,6 +47,14 @@ class StallSpec:
         if self.cycles < 1:
             raise ValueError(f"cycles must be >= 1, got {self.cycles}")
 
+    def to_dict(self) -> Dict[str, object]:
+        return {"coprocessor": self.coprocessor, "at_cycle": self.at_cycle,
+                "cycles": self.cycles}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StallSpec":
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -108,6 +116,26 @@ class FaultPlan:
     def with_(self, **kw) -> "FaultPlan":
         """Copy with overrides (seed-sweep helper)."""
         return replace(self, **kw)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form; round-trips through :meth:`from_dict` (the
+        run reports serialize the plan alongside the measurements)."""
+        out: Dict[str, object] = {
+            name: getattr(self, name)
+            for name in (
+                "seed", "drop_prob", "dup_prob", "delay_prob", "reorder_prob",
+                "max_delay", "stall_prob", "max_stall", "corrupt_prob",
+                "drop_limit",
+            )
+        }
+        out["stalls"] = [s.to_dict() for s in self.stalls]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        data = dict(data)
+        stalls = tuple(StallSpec.from_dict(s) for s in data.pop("stalls", ()))
+        return cls(stalls=stalls, **data)
 
     # ------------------------------------------------------------------
     @classmethod

@@ -1,0 +1,176 @@
+"""Module-level workload factories for the parallel run engine.
+
+:mod:`repro.runner` ships run *descriptions* — a factory reference plus
+keyword arguments — across process boundaries and rebuilds the actual
+system/graph inside the worker.  That requires the factories to live at
+module level (picklable by reference); the closures that used to be
+private to ``cli.py`` and ``tests/conftest.py`` now live here so the
+CLI, the exploration library, the benchmarks and the tests all stress
+the *same* canonical workloads.
+
+Every factory returns a ``(system, graph)`` pair with the system not
+yet configured — exactly what :func:`repro.runner._execute_spec`
+expects — and is a pure function of its arguments, so the same call is
+byte-reproducible anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.config import CoprocessorSpec, ShellParams, SystemParams
+from repro.core.system import EclipseSystem
+from repro.kahn.graph import ApplicationGraph, TaskNode
+from repro.kahn.library import ConsumerKernel, ForkKernel, MapKernel, ProducerKernel
+from repro.sim.faults import FaultPlan
+
+__all__ = [
+    "payload_of",
+    "pipeline_graph",
+    "diamond_graph",
+    "quickstart_graph",
+    "GRAPH_BUILDERS",
+    "conformance_run",
+    "quickstart_run",
+    "decode_run",
+    "explore_decode_run",
+]
+
+
+# ---------------------------------------------------------------------------
+# deterministic payloads and canonical graphs
+# ---------------------------------------------------------------------------
+def payload_of(n: int, seed: int = 3) -> bytes:
+    """n pseudo-random-looking but deterministic bytes."""
+    return bytes((i * 89 + seed) % 256 for i in range(n))
+
+
+def pipeline_graph(payload: bytes, chunk: int = 16, buffer_size: int = 64) -> ApplicationGraph:
+    """src -> map -> dst: the minimal multi-hop stream."""
+    g = ApplicationGraph("pipeline")
+    g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=chunk), ProducerKernel.PORTS))
+    g.add_task(
+        TaskNode(
+            "xf",
+            lambda: MapKernel(lambda b: bytes((x + 1) % 256 for x in b), chunk=chunk),
+            MapKernel.PORTS,
+        )
+    )
+    g.add_task(TaskNode("dst", lambda: ConsumerKernel(chunk=chunk), ConsumerKernel.PORTS))
+    g.connect("src.out", "xf.in", buffer_size=buffer_size)
+    g.connect("xf.out", "dst.in", buffer_size=buffer_size)
+    return g
+
+
+def diamond_graph(payload: bytes, chunk: int = 16, buffer_size: int = 96) -> ApplicationGraph:
+    """src -> fork -> (map -> da | db): multicast + asymmetric arms."""
+    g = ApplicationGraph("diamond")
+    g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=chunk), ProducerKernel.PORTS))
+    g.add_task(TaskNode("fork", lambda: ForkKernel(chunk=chunk), ForkKernel.PORTS))
+    g.add_task(
+        TaskNode(
+            "ma",
+            lambda: MapKernel(lambda b: bytes(x ^ 0x3C for x in b), chunk=chunk),
+            MapKernel.PORTS,
+        )
+    )
+    g.add_task(TaskNode("da", lambda: ConsumerKernel(chunk=chunk), ConsumerKernel.PORTS))
+    g.add_task(TaskNode("db", lambda: ConsumerKernel(chunk=chunk), ConsumerKernel.PORTS))
+    g.connect("src.out", "fork.in", buffer_size=buffer_size)
+    g.connect("fork.out_a", "ma.in", buffer_size=buffer_size)
+    g.connect("ma.out", "da.in", buffer_size=buffer_size)
+    g.connect("fork.out_b", "db.in", buffer_size=buffer_size)
+    return g
+
+
+def quickstart_graph(payload: bytes, chunk: int = 32, buffer_size: int = 128) -> ApplicationGraph:
+    """src -> dst: the CLI quickstart demo graph."""
+    g = ApplicationGraph("cli-demo")
+    g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=chunk), ProducerKernel.PORTS))
+    g.add_task(TaskNode("dst", lambda: ConsumerKernel(chunk=chunk), ConsumerKernel.PORTS))
+    g.connect("src.out", "dst.in", buffer_size=buffer_size)
+    return g
+
+
+GRAPH_BUILDERS = {"pipeline": pipeline_graph, "diamond": diamond_graph}
+
+
+# ---------------------------------------------------------------------------
+# run factories (RunSpec targets)
+# ---------------------------------------------------------------------------
+def conformance_run(
+    graph: str = "pipeline",
+    payload_len: int = 2048,
+    fault_spec: str = "chaos",
+    fault_seed: int = 0,
+    watchdog_timeout: Optional[int] = 2000,
+    n_coprocs: int = 3,
+    chunk: int = 16,
+) -> Tuple[EclipseSystem, ApplicationGraph]:
+    """One differential-conformance point: a small graph on a plain
+    n-coprocessor instance under a seeded fault plan."""
+    try:
+        builder = GRAPH_BUILDERS[graph]
+    except KeyError:
+        raise ValueError(f"unknown conformance graph {graph!r} "
+                         f"(want one of {sorted(GRAPH_BUILDERS)})")
+    plan = FaultPlan.parse(fault_spec, seed=fault_seed)
+    if not plan.any_faults():
+        plan = None
+    params = SystemParams(watchdog_timeout=watchdog_timeout)
+    system = EclipseSystem(
+        [CoprocessorSpec(f"cp{i}") for i in range(n_coprocs)], params, faults=plan
+    )
+    return system, builder(payload_of(payload_len), chunk=chunk)
+
+
+def quickstart_run(
+    payload_len: int = 4096,
+    watchdog_timeout: Optional[int] = None,
+) -> Tuple[EclipseSystem, ApplicationGraph]:
+    """The CLI quickstart: producer/consumer on two coprocessors."""
+    payload = bytes((11 * i) % 256 for i in range(payload_len))
+    params = SystemParams(watchdog_timeout=watchdog_timeout)
+    system = EclipseSystem([CoprocessorSpec("cp0"), CoprocessorSpec("cp1")], params)
+    return system, quickstart_graph(payload)
+
+
+def decode_run(
+    width: int = 48,
+    height: int = 32,
+    frames: int = 4,
+    gop_n: int = 4,
+    gop_m: int = 2,
+    dram_latency: int = 60,
+    buffer_packets: int = 3,
+    prefetch_lines: Optional[int] = None,
+) -> Tuple[EclipseSystem, ApplicationGraph]:
+    """A Figure-8 decode of a synthetic sequence (encode included, so
+    the factory is self-contained and picklable as a description)."""
+    from repro.instance.eclipse_mpeg import DECODE_MAPPING, build_mpeg_instance
+    from repro.media import CodecParams, encode_sequence, synthetic_sequence
+    from repro.media.pipelines import decode_graph
+
+    codec = CodecParams(width=width, height=height, gop_n=gop_n, gop_m=gop_m)
+    seq = synthetic_sequence(codec.width, codec.height, frames, noise=1.0)
+    bitstream, _, _ = encode_sequence(seq, codec)
+    shell = ShellParams(prefetch_lines=prefetch_lines) if prefetch_lines is not None else None
+    system = build_mpeg_instance(SystemParams(dram_latency=dram_latency), shell=shell)
+    graph = decode_graph(bitstream, mapping=DECODE_MAPPING, buffer_packets=buffer_packets)
+    return system, graph
+
+
+def explore_decode_run(
+    bitstream: bytes,
+    prefetch_lines: Optional[int] = None,
+    buffer_packets: int = 3,
+) -> Tuple[EclipseSystem, ApplicationGraph]:
+    """One point of the CLI ``explore`` sweep: decode a pre-encoded
+    bitstream on the Figure 8 instance with one knob turned."""
+    from repro.instance.eclipse_mpeg import DECODE_MAPPING, build_mpeg_instance
+    from repro.media.pipelines import decode_graph
+
+    shell = ShellParams(prefetch_lines=prefetch_lines) if prefetch_lines is not None else None
+    system = build_mpeg_instance(shell=shell)
+    graph = decode_graph(bitstream, mapping=DECODE_MAPPING, buffer_packets=buffer_packets)
+    return system, graph

@@ -15,57 +15,17 @@ import random
 import pytest
 
 from repro.core import CoprocessorSpec, EclipseSystem, ShellParams, SystemParams
-from repro.kahn import ApplicationGraph, FunctionalExecutor, TaskNode
-from repro.kahn.library import ConsumerKernel, ForkKernel, MapKernel, ProducerKernel
+from repro.kahn import FunctionalExecutor
 
-
-# ---------------------------------------------------------------------------
-# deterministic payloads and example graphs
-# ---------------------------------------------------------------------------
-def payload_of(n, seed=3):
-    """n pseudo-random-looking but deterministic bytes."""
-    return bytes((i * 89 + seed) % 256 for i in range(n))
-
-
-def pipeline_graph(payload, chunk=16, buffer_size=64):
-    """src -> map -> dst: the minimal multi-hop stream."""
-    g = ApplicationGraph("pipeline")
-    g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=chunk), ProducerKernel.PORTS))
-    g.add_task(
-        TaskNode(
-            "xf",
-            lambda: MapKernel(lambda b: bytes((x + 1) % 256 for x in b), chunk=chunk),
-            MapKernel.PORTS,
-        )
-    )
-    g.add_task(TaskNode("dst", lambda: ConsumerKernel(chunk=chunk), ConsumerKernel.PORTS))
-    g.connect("src.out", "xf.in", buffer_size=buffer_size)
-    g.connect("xf.out", "dst.in", buffer_size=buffer_size)
-    return g
-
-
-def diamond_graph(payload, chunk=16, buffer_size=96):
-    """src -> fork -> (map -> da | db): multicast + asymmetric arms."""
-    g = ApplicationGraph("diamond")
-    g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=chunk), ProducerKernel.PORTS))
-    g.add_task(TaskNode("fork", lambda: ForkKernel(chunk=chunk), ForkKernel.PORTS))
-    g.add_task(
-        TaskNode(
-            "ma",
-            lambda: MapKernel(lambda b: bytes(x ^ 0x3C for x in b), chunk=chunk),
-            MapKernel.PORTS,
-        )
-    )
-    g.add_task(TaskNode("da", lambda: ConsumerKernel(chunk=chunk), ConsumerKernel.PORTS))
-    g.add_task(TaskNode("db", lambda: ConsumerKernel(chunk=chunk), ConsumerKernel.PORTS))
-    g.connect("src.out", "fork.in", buffer_size=buffer_size)
-    g.connect("fork.out_a", "ma.in", buffer_size=buffer_size)
-    g.connect("ma.out", "da.in", buffer_size=buffer_size)
-    g.connect("fork.out_b", "db.in", buffer_size=buffer_size)
-    return g
-
-
-GRAPH_BUILDERS = {"pipeline": pipeline_graph, "diamond": diamond_graph}
+# The canonical graphs/payloads live in repro.workloads (module-level so
+# the parallel runner can pickle run descriptions); re-exported here so
+# the whole test corpus keeps stressing the same builders.
+from repro.workloads import (  # noqa: F401  (re-exports for the test suite)
+    GRAPH_BUILDERS,
+    diamond_graph,
+    payload_of,
+    pipeline_graph,
+)
 
 
 def golden_histories(graph):

@@ -85,3 +85,32 @@ def test_run_until_partial_then_resume():
     final = system.run()
     assert final.completed
     assert final.histories["s_src_out"] == b"q" * 512
+
+
+# ---------------------------------------------------------------------------
+# serialization (run-report / RunSpec round-trips)
+# ---------------------------------------------------------------------------
+def test_shell_params_round_trip():
+    import json
+
+    shell = ShellParams(prefetch_lines=8, best_guess_scheduling=False)
+    assert ShellParams.from_dict(json.loads(json.dumps(shell.to_dict()))) == shell
+
+
+def test_system_params_round_trip():
+    params = SystemParams(bus_width=8, watchdog_timeout=500, sync_mode="centralized")
+    assert SystemParams.from_dict(params.to_dict()) == params
+
+
+def test_coprocessor_spec_round_trip():
+    spec = CoprocessorSpec("dsp", is_software=True, compute_factor=4.0,
+                           shell=ShellParams(port_width=8))
+    back = CoprocessorSpec.from_dict(spec.to_dict())
+    assert back == spec and back.shell.port_width == 8
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown SystemParams keys"):
+        SystemParams.from_dict({"warp_factor": 9})
+    with pytest.raises(ValueError, match="unknown ShellParams keys"):
+        ShellParams.from_dict({"cache_lin": 32})

@@ -11,6 +11,8 @@ from repro.trace.analysis import bottleneck_by_frame_type, per_frame_type_servic
 
 TASK2COP = {"rlsq": "rlsq", "idct": "dct", "mc": "mcme"}
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.parametrize("seed", [7, 21, 1234])
 def test_bottleneck_attribution_across_seeds(seed):

@@ -9,6 +9,8 @@ import pytest
 from repro.instance import decode_on_instance
 from repro.media import CodecParams, encode_sequence, synthetic_sequence
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def two_gop_run():

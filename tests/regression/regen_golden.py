@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Regenerate the golden regression traces.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/regression/regen_golden.py
+
+The traces pin the observable behaviour of two canonical workloads —
+the quickstart pipeline and a small Figure-8 decode — at fixed
+parameters: total cycles, per-task busy cycles and step counts,
+counter totals, and the sha256 of the per-stream byte histories.
+``tests/regression/test_golden_traces.py`` fails with a readable diff
+when any of these drift.
+
+Regenerate (and commit the diff) only when a change is *supposed* to
+shift timing or histories — e.g. a scheduler or cache-model change —
+and say why in the commit message.  A drift you cannot explain is a
+regression, not a new golden.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+#: workload name -> (factory dotted path, kwargs).  Kwargs are part of
+#: the trace so a parameter change shows up as an explicit diff.
+WORKLOADS = {
+    "quickstart": ("repro.workloads:quickstart_run", {"payload_len": 4096}),
+    "figure8_decode": (
+        "repro.workloads:decode_run",
+        {"width": 48, "height": 32, "frames": 4, "gop_n": 4, "gop_m": 2},
+    ),
+}
+
+
+def build_trace(name: str) -> dict:
+    """Run one canonical workload and distill its golden trace."""
+    from repro.runner import _histories_digest, resolve_factory
+
+    factory_path, kwargs = WORKLOADS[name]
+    system, graph = resolve_factory(factory_path)(**kwargs)
+    system.configure(graph)
+    result = system.run()
+    return {
+        "workload": {"factory": factory_path, "kwargs": kwargs},
+        "cycles": result.cycles,
+        "completed": result.completed,
+        "tasks": {
+            tname: {
+                "coprocessor": t.coprocessor,
+                "steps_completed": t.steps_completed,
+                "busy_cycles": t.busy_cycles,
+                "compute_cycles": t.compute_cycles,
+            }
+            for tname, t in sorted(result.tasks.items())
+        },
+        "counters": {
+            "messages_sent": result.messages_sent,
+            "cpu_sync_ops": result.cpu_sync_ops,
+            "total_stream_bytes": sum(
+                s.bytes_transferred for s in result.streams.values()
+            ),
+            "denied_getspace": sum(s.denied_getspace for s in result.streams.values()),
+            "granted_getspace": sum(s.granted_getspace for s in result.streams.values()),
+            "putspace_messages": sum(s.putspace_messages for s in result.streams.values()),
+        },
+        "histories_sha256": _histories_digest(result.histories),
+    }
+
+
+def golden_path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"{name}.json")
+
+
+def main() -> int:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name in WORKLOADS:
+        trace = build_trace(name)
+        path = golden_path(name)
+        with open(path, "w") as fh:
+            json.dump(trace, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {os.path.relpath(path)}  (cycles={trace['cycles']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Golden-trace regression suite.
+
+Each canonical workload's checked-in trace (cycles, per-task busy
+cycles, counter totals, histories digest) must be reproduced exactly.
+A drift fails with a per-field diff naming every divergent path — not a
+bare assert — so the offending subsystem is obvious from the report.
+
+To intentionally re-baseline after a behaviour-changing commit::
+
+    PYTHONPATH=src python tests/regression/regen_golden.py
+"""
+
+import json
+
+import pytest
+
+from tests.regression.regen_golden import WORKLOADS, build_trace, golden_path
+
+
+def _flatten(prefix, value, out):
+    if isinstance(value, dict):
+        for k in sorted(value):
+            _flatten(f"{prefix}.{k}" if prefix else str(k), value[k], out)
+    else:
+        out[prefix] = value
+    return out
+
+
+def trace_diff(expected: dict, actual: dict) -> list:
+    """Readable per-path diff: ['path: expected X, got Y', ...]."""
+    exp, act = _flatten("", expected, {}), _flatten("", actual, {})
+    lines = []
+    for path in sorted(set(exp) | set(act)):
+        if path not in act:
+            lines.append(f"{path}: missing (expected {exp[path]!r})")
+        elif path not in exp:
+            lines.append(f"{path}: unexpected new field (got {act[path]!r})")
+        elif exp[path] != act[path]:
+            lines.append(f"{path}: expected {exp[path]!r}, got {act[path]!r}")
+    return lines
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_golden_trace(name):
+    with open(golden_path(name)) as fh:
+        expected = json.load(fh)
+    actual = build_trace(name)
+    diff = trace_diff(expected, actual)
+    assert not diff, (
+        f"behaviour drift on {name!r} ({len(diff)} fields):\n  "
+        + "\n  ".join(diff)
+        + "\nIf this change is intentional, re-baseline with "
+        "`PYTHONPATH=src python tests/regression/regen_golden.py` and "
+        "explain the drift in the commit message."
+    )
+
+
+def test_trace_diff_reports_each_divergent_path():
+    a = {"cycles": 10, "tasks": {"src": {"busy": 5}}, "extra": 1}
+    b = {"cycles": 11, "tasks": {"src": {"busy": 5}, "dst": {"busy": 2}}}
+    diff = trace_diff(a, b)
+    assert any(d.startswith("cycles: expected 10, got 11") for d in diff)
+    assert any("tasks.dst.busy" in d and "unexpected" in d for d in diff)
+    assert any(d.startswith("extra: missing") for d in diff)
+    assert len(diff) == 3
+
+
+def test_golden_traces_match_runner_digest():
+    """The digest pinned in the golden file is the same digest the
+    parallel runner reports — one source of truth for byte-identity."""
+    from repro.runner import ParallelRunner, RunSpec
+
+    spec = RunSpec(*WORKLOADS["quickstart"])
+    report = ParallelRunner(jobs=1).run([spec])
+    with open(golden_path("quickstart")) as fh:
+        expected = json.load(fh)
+    assert report.results[0].histories_sha256 == expected["histories_sha256"]
+    assert report.results[0].cycles == expected["cycles"]

@@ -176,3 +176,23 @@ def test_corrupt_line_flips_exactly_one_bit():
 def test_corrupt_line_leaves_empty_data_alone():
     inj = FaultInjector(FaultPlan(corrupt_prob=1.0))
     assert inj.corrupt_line(b"") is None
+
+
+# ---------------------------------------------------------------------------
+# serialization (run-report / RunSpec round-trips)
+# ---------------------------------------------------------------------------
+def test_plan_round_trips_through_dict():
+    plan = FaultPlan.chaos(seed=9).with_(
+        stalls=(StallSpec("vld", at_cycle=100, cycles=40),
+                StallSpec("dct", at_cycle=0, cycles=1)),
+    )
+    data = plan.to_dict()
+    assert data["seed"] == 9 and len(data["stalls"]) == 2
+    import json
+
+    assert FaultPlan.from_dict(json.loads(json.dumps(data))) == plan
+
+
+def test_plan_from_dict_validates():
+    with pytest.raises(ValueError, match="drop_prob"):
+        FaultPlan.from_dict({"drop_prob": 2.0})

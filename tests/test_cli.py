@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -55,3 +57,101 @@ def test_parser_requires_command(capsys):
 def test_unknown_command_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["nonsense"])
+
+
+# ---------------------------------------------------------------------------
+# parallel runner flags (--jobs / --report)
+# ---------------------------------------------------------------------------
+CONF_FAST = ["conformance", "--seeds", "2", "--graph", "pipeline",
+             "--payload", "256", "--fault-plan", "drop"]
+
+
+def test_conformance_serial(capsys):
+    assert main(CONF_FAST + ["--jobs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "2/2 runs byte-identical to the Kahn oracle" in out
+    assert "on 1 jobs" in out
+
+
+def test_conformance_report_identical_across_jobs(tmp_path, capsys):
+    """The acceptance contract: the JSON report at --jobs N is
+    byte-identical to --jobs 1."""
+    r1, r2 = tmp_path / "r1.json", tmp_path / "r2.json"
+    assert main(CONF_FAST + ["--jobs", "1", "--report", str(r1)]) == 0
+    assert main(CONF_FAST + ["--jobs", "2", "--report", str(r2)]) == 0
+    assert r1.read_bytes() == r2.read_bytes()
+    data = json.loads(r1.read_text())
+    assert data["summary"] == {"total": 2, "ok": 2, "failed": 2 - 2,
+                               "total_cycles": data["summary"]["total_cycles"]}
+    assert "timing" not in data  # deterministic by default
+
+
+def test_conformance_stdout_identical_across_jobs(tmp_path, capsys):
+    assert main(CONF_FAST + ["--jobs", "1"]) == 0
+    out1 = capsys.readouterr().out
+    assert main(CONF_FAST + ["--jobs", "2"]) == 0
+    out2 = capsys.readouterr().out
+    # per-run lines and the verdict are deterministic; only the final
+    # wall-clock line differs
+    strip = lambda s: [l for l in s.splitlines() if " jobs: " not in l]
+    assert strip(out1) == strip(out2)
+
+
+def test_report_timing_opt_in(tmp_path, capsys):
+    path = tmp_path / "timed.json"
+    assert main(CONF_FAST + ["--jobs", "1", "--report", str(path),
+                             "--report-timing"]) == 0
+    data = json.loads(path.read_text())
+    assert data["timing"]["jobs"] == 1
+    assert data["timing"]["wall_time"] > 0
+
+
+def test_jobs_zero_rejected_cleanly(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(CONF_FAST + ["--jobs", "0"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "error: --jobs must be >= 1" in err
+    assert "Traceback" not in err
+
+
+def test_unwritable_report_rejected_cleanly(tmp_path, capsys):
+    bad = tmp_path / "no" / "such" / "dir" / "report.json"
+    with pytest.raises(SystemExit) as exc:
+        main(CONF_FAST + ["--jobs", "1", "--report", str(bad)])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "cannot write --report" in err
+    assert "Traceback" not in err
+
+
+def test_invalid_fault_plan_rejected_cleanly(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["conformance", "--seeds", "1", "--fault-plan", "bogus=1"])
+    assert exc.value.code == 2
+    assert "invalid --fault-plan" in capsys.readouterr().err
+
+
+def test_explore_jobs_and_report(tmp_path, capsys):
+    path = tmp_path / "explore.json"
+    assert main(["explore", "--frames", "3", "--jobs", "2",
+                 "--report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "prefetch sweep" in out and "buffer sweep" in out
+    data = json.loads(path.read_text())
+    assert data["summary"]["total"] == 7  # baseline + 3 prefetch + 3 buffer
+    assert data["summary"]["ok"] == 7
+
+
+# ---------------------------------------------------------------------------
+# --fault-seed semantics (the `or 0` fix)
+# ---------------------------------------------------------------------------
+def test_fault_seed_zero_overrides_plan_seed(capsys):
+    """--fault-seed 0 must be an explicit override, not fall through to
+    the plan's inline seed (the old `args.fault_seed or 0` bug)."""
+    base = ["conformance", "--seeds", "1", "--graph", "pipeline",
+            "--payload", "256", "--fault-plan", "drop=0.3,seed=7"]
+    main(base + ["--fault-seed", "0", "--jobs", "1"])
+    assert "seed=0 " in capsys.readouterr().out
+    main(base + ["--jobs", "1"])  # no override: sweep from the plan's seed
+    assert "seed=7 " in capsys.readouterr().out

@@ -71,3 +71,42 @@ def test_render_sweep_table():
 def test_unknown_mode_rejected():
     with pytest.raises(ValueError, match="mode"):
         sweep(build, axes=[], mode="bayesian")
+
+
+# ---------------------------------------------------------------------------
+# parallel path
+# ---------------------------------------------------------------------------
+AXES = [shell_axis("prefetch_lines", [0, 2]), system_axis("bus_width", [8, 16])]
+
+
+def test_parallel_sweep_matches_serial():
+    serial = sweep(build, axes=AXES)
+    par = sweep(build, axes=AXES, jobs=2)
+    assert [(p.settings, p.cycles, p.stall_cycles, p.denied_getspace, p.messages)
+            for p in serial] == \
+           [(p.settings, p.cycles, p.stall_cycles, p.denied_getspace, p.messages)
+            for p in par]
+
+
+def test_parallel_flag_without_jobs_uses_all_cores():
+    points = sweep(build, axes=[system_axis("msg_latency", [0, 16])],
+                   mode="oat", parallel=True)
+    assert len(points) == 3 and points[0].settings == {}
+
+
+def test_parallel_keep_results_rejected():
+    with pytest.raises(ValueError, match="keep_results"):
+        sweep(build, axes=AXES, jobs=2, keep_results=True)
+
+
+def build_or_fail(shell, sys_params):
+    """Module-level (picklable) build that fails for one marker value —
+    exercises a worker-side failure, not a parent-side one."""
+    if shell.prefetch_lines == 7:
+        raise RuntimeError("marker point")
+    return build(shell, sys_params)
+
+
+def test_parallel_failure_surfaces_point_label():
+    with pytest.raises(RuntimeError, match="sweep points failed"):
+        sweep(build_or_fail, axes=[shell_axis("prefetch_lines", [0, 7])], jobs=2)
