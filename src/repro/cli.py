@@ -19,6 +19,12 @@ Commands
     through the functional Kahn executor and the fault-injected
     cycle-level system across a seed sweep, asserting byte-identical
     stream histories (Kahn determinism as the oracle).
+``verify``
+    static analysis before any simulation: KPN/SDF graph lints and
+    abstract-interpretation protocol checks over the named workloads
+    (``--workload``), the seeded mutation corpus (``--corpus``), or the
+    rule catalogue (``--list-rules``).  Exits non-zero iff an
+    error-severity diagnostic is present.  See docs/static-analysis.md.
 
 ``quickstart``, ``decode`` and ``conformance`` accept ``--fault-plan``
 (a preset name or ``key=value`` list, see
@@ -129,6 +135,46 @@ def build_parser() -> argparse.ArgumentParser:
     conf.add_argument("--payload", type=int, default=2048, help="payload bytes per graph")
     _add_fault_args(conf)
     _add_runner_args(conf)
+
+    ver = sub.add_parser(
+        "verify",
+        help="static analysis: KPN graph lints + kernel shell-protocol checks",
+    )
+    ver.add_argument(
+        "--workload",
+        metavar="NAME",
+        default="all",
+        help="verify one named workload factory (default: all)",
+    )
+    ver.add_argument(
+        "--corpus",
+        action="store_true",
+        help="run the seeded mutation corpus instead of the workloads "
+        "(every known-bad case must be flagged)",
+    )
+    ver.add_argument(
+        "--format", choices=["text", "json"], default="text", help="report format"
+    )
+    ver.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="suppress a rule by ID (repeatable), e.g. --ignore G009",
+    )
+    ver.add_argument(
+        "--max-steps",
+        type=int,
+        default=12,
+        metavar="N",
+        help="abstract-interpretation steps per kernel session",
+    )
+    ver.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    ver.add_argument(
+        "--verbose", action="store_true", help="also print checker notes (skipped kernels etc.)"
+    )
     return parser
 
 
@@ -141,6 +187,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "estimate": _cmd_estimate,
         "explore": _cmd_explore,
         "conformance": _cmd_conformance,
+        "verify": _cmd_verify,
     }[args.command](args)
 
 
@@ -463,6 +510,76 @@ def _cmd_conformance(args) -> int:
     )
     _write_report(report, args)
     return 0 if failures == 0 else 1
+
+
+def _cmd_verify(args) -> int:
+    """Static analysis: exits 0 when clean (warnings/infos allowed),
+    1 on any error-severity diagnostic, 2 on usage errors."""
+    import json
+
+    from repro.verify import RULES, run_corpus, verify_kernel_sources, verify_workload
+    from repro.verify.run import WORKLOADS
+
+    if args.list_rules:
+        for rid in sorted(RULES):
+            r = RULES[rid]
+            print(f"{r.id}  {str(r.severity):>7}  {r.title:<26} {r.summary}")
+        return 0
+
+    if args.corpus:
+        report, rows = run_corpus()
+        if args.format == "json":
+            print(json.dumps({"cases": rows, "counts": report.counts()},
+                             indent=2, sort_keys=True))
+        else:
+            for row in rows:
+                status = "PASS" if row["passed"] else "FAIL"
+                print(f"{status}  {row['case']:<28} expected {','.join(row['expected'])}"
+                      f" found {','.join(row['found']) or '-'}")
+            n_ok = sum(1 for r in rows if r["passed"])
+            print(f"\ncorpus: {n_ok}/{len(rows)} seeded violations flagged")
+            for d in report:
+                print(d.render())
+        return report.exit_code
+
+    names = sorted(WORKLOADS) if args.workload == "all" else [args.workload]
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        print(f"error: unknown workload {unknown[0]!r} "
+              f"(want one of {sorted(WORKLOADS)} or 'all')", file=sys.stderr)
+        return 2
+    if args.max_steps < 1:
+        print(f"error: --max-steps must be >= 1, got {args.max_steps}", file=sys.stderr)
+        return 2
+
+    reports = {}
+    try:
+        for name in names:
+            reports[name] = verify_workload(name, max_steps=args.max_steps).ignoring(args.ignore)
+        reports["kernel-sources"] = verify_kernel_sources().ignoring(args.ignore)
+    except KeyError as e:  # a typo'd --ignore rule ID
+        print(f"error: {e.args[0]}", file=sys.stderr)
+        return 2
+
+    exit_code = max(r.exit_code for r in reports.values())
+    if args.format == "json":
+        print(json.dumps({name: r.to_dict() for name, r in reports.items()},
+                         indent=2, sort_keys=True))
+        return exit_code
+    for name, rep in reports.items():
+        c = rep.counts()
+        verdict = "FAIL" if rep.has_errors else "ok"
+        print(f"== {name}: {verdict} ({c['error']} error(s), "
+              f"{c['warning']} warning(s), {c['info']} info(s))")
+        for d in rep:
+            print(f"   {d.render()}")
+        if args.verbose:
+            for n in rep.notes:
+                print(f"   note: {n}")
+    total = sum(len(r) for r in reports.values())
+    print(f"\nverify: {len(names)} workload(s) + kernel sources, "
+          f"{total} diagnostic(s), exit {exit_code}")
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

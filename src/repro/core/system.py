@@ -298,7 +298,7 @@ class EclipseSystem:
             kernel = node.kernel_factory()
             if not isinstance(kernel, Kernel):
                 raise GraphError(f"task {tname!r}: factory returned {type(kernel).__name__}")
-            ctx = KernelContext(kernel.ports(), task_info=node.task_info)
+            ctx = KernelContext(kernel.ports(), task_info=node.task_info, task=node.name)
             row = TaskRow(
                 task_id=len(shell.task_table),
                 name=tname,

@@ -186,7 +186,7 @@ class FunctionalExecutor:
             kernel = node.kernel_factory()
             if not isinstance(kernel, Kernel):
                 raise GraphError(f"task {tname!r}: factory returned {type(kernel).__name__}")
-            ctx = KernelContext(kernel.ports(), task_info=node.task_info)
+            ctx = KernelContext(kernel.ports(), task_info=node.task_info, task=node.name)
             task = _Task(tname, kernel, ctx)
             self._tasks[tname] = task
 

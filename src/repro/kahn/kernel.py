@@ -204,19 +204,35 @@ class KernelContext:
 
     Purely convenience: validates port names against the kernel's
     declaration and builds op records.  It also carries ``task_info``
-    (the GetTask parameter word, paper §3.2).
+    (the GetTask parameter word, paper §3.2) and the owning ``task``
+    name so every protocol error locates itself as ``task.port``.
     """
 
-    def __init__(self, ports: Tuple[PortSpec, ...], task_info: int = 0):
+    def __init__(
+        self,
+        ports: Tuple[PortSpec, ...],
+        task_info: int = 0,
+        task: Optional[str] = None,
+    ):
         self._ports = {p.name: p for p in ports}
         self.task_info = task_info
+        self.task = task
+
+    def _locate(self, port: str) -> str:
+        """Canonical ``task.port`` locator used by every error message."""
+        return f"{self.task}.{port}" if self.task else f"port {port!r}"
 
     def _check(self, port: str, direction: Optional[Direction] = None) -> PortSpec:
         spec = self._ports.get(port)
         if spec is None:
-            raise KeyError(f"unknown port {port!r}; declared: {sorted(self._ports)}")
+            raise KeyError(
+                f"{self._locate(port)}: unknown port {port!r}; "
+                f"declared: {sorted(self._ports)}"
+            )
         if direction is not None and spec.direction is not direction:
-            raise ValueError(f"port {port!r} is {spec.direction.value}, not {direction.value}")
+            raise ValueError(
+                f"{self._locate(port)} is {spec.direction.value}, not {direction.value}"
+            )
         return spec
 
     def get_space(self, port: str, n_bytes: int) -> GetSpaceOp:

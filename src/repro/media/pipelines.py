@@ -106,6 +106,7 @@ def decode_graph(
     g.connect("rlsq.out", "idct.in", name="dequant", buffer_size=sizes["coef_i16"])
     g.connect("idct.out", "mc.resid_in", name="resid", buffer_size=sizes["residual"])
     g.connect("mc.out", "disp.in", name="recon", buffer_size=sizes["pixels"])
+    g.validate()
     return g
 
 
@@ -157,6 +158,7 @@ def encode_graph(
     g.connect("iq.out", "idct_r.in", name="dequant_r", buffer_size=sizes["coef_i16"])
     g.connect("idct_r.out", "recon.resid_in", name="resid_r", buffer_size=sizes["residual"])
     g.connect("recon.recon_out", "me.recon_in", name="refs", buffer_size=sizes["pixels"] * 2)
+    g.validate()
     return g
 
 
@@ -178,4 +180,6 @@ def timeshift_graph(
     dec = decode_graph(
         playback_bitstream, mapping_decode, buffer_packets, cost, name="playback"
     )
-    return enc.merge(dec, prefix="play_")
+    merged = enc.merge(dec, prefix="play_")
+    merged.validate()
+    return merged

@@ -1,0 +1,53 @@
+"""Static analysis for Eclipse applications: ``repro verify``.
+
+The configuration-time correctness layer in front of simulation:
+
+* :mod:`repro.verify.graph_lint` — KPN/SDF graph lints (rates, buffer
+  bounds, granularity, multicast, SRAM budget);
+* :mod:`repro.verify.protocol` — abstract interpretation of kernels
+  against the shell's window protocol;
+* :mod:`repro.verify.astlint` — source-level lint for raw-primitive
+  misuse;
+* :mod:`repro.verify.diagnostics` — the rule registry and reporters;
+* :mod:`repro.verify.corpus` — the seeded known-bad regression corpus;
+* :mod:`repro.verify.run` — workload-level entry points.
+
+See ``docs/static-analysis.md`` for the rule catalogue.
+"""
+
+from repro.verify.astlint import lint_file, lint_module, lint_source
+from repro.verify.corpus import CORPUS, CorpusCase, run_corpus
+from repro.verify.diagnostics import RULES, Diagnostic, Report, Rule, Severity, rule
+from repro.verify.graph_lint import declared_rates, lint_graph
+from repro.verify.protocol import check_graph_protocol, check_kernel_protocol
+from repro.verify.run import (
+    WORKLOADS,
+    verify_all,
+    verify_graph,
+    verify_kernel_sources,
+    verify_workload,
+)
+
+__all__ = [
+    "Severity",
+    "Rule",
+    "RULES",
+    "rule",
+    "Diagnostic",
+    "Report",
+    "lint_graph",
+    "declared_rates",
+    "check_kernel_protocol",
+    "check_graph_protocol",
+    "lint_source",
+    "lint_file",
+    "lint_module",
+    "CorpusCase",
+    "CORPUS",
+    "run_corpus",
+    "verify_graph",
+    "verify_workload",
+    "verify_all",
+    "verify_kernel_sources",
+    "WORKLOADS",
+]

@@ -1,0 +1,131 @@
+"""``ast``-based lint for raw-primitive misuse in kernel source.
+
+The abstract interpreter in :mod:`repro.verify.protocol` only sees ops
+that kernels actually *yield*.  Two misuse patterns are invisible to it
+yet common when writing kernels by hand:
+
+* **A201** — calling a :class:`KernelContext` op factory and discarding
+  the result (``ctx.read(...)`` as a bare statement instead of
+  ``yield ctx.read(...)``): the op record is built and thrown away, so
+  the primitive never reaches the shell.
+* **A202** — constructing an op record directly (``ReadOp("in", 0, 8)``)
+  instead of going through the context factories, bypassing the
+  port/direction validation the factories perform.
+
+These are source-level properties, so we check them with :mod:`ast`
+over the kernel modules (``media/tasks.py`` and friends) without
+importing or executing anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.verify.diagnostics import Diagnostic, Report
+
+__all__ = ["lint_source", "lint_file", "lint_module", "CTX_OP_FACTORIES", "RAW_OP_CLASSES"]
+
+#: KernelContext methods that build op records and must be yielded
+CTX_OP_FACTORIES = frozenset({
+    "get_space", "read", "write", "put_space", "compute", "external_access",
+})
+
+#: op record classes kernels should never construct directly
+RAW_OP_CLASSES = frozenset({
+    "GetSpaceOp", "ReadOp", "WriteOp", "PutSpaceOp", "ComputeOp",
+    "ExternalAccessOp",
+})
+
+
+class _KernelSourceVisitor(ast.NodeVisitor):
+    def __init__(self, filename: str, report: Report):
+        self.filename = filename
+        self.report = report
+        self.class_stack: List[str] = []
+
+    def _task(self) -> Optional[str]:
+        return self.class_stack[-1] if self.class_stack else None
+
+    def _loc(self, node: ast.AST) -> str:
+        return f"{self.filename}:{node.lineno}"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        # a call used as a bare statement: its value is discarded
+        call = node.value
+        if isinstance(call, ast.Call):
+            name = _ctx_factory_name(call)
+            if name is not None:
+                self.report.add(Diagnostic(
+                    "A201",
+                    f"ctx.{name}(...) is called but its op is discarded — "
+                    f"did you mean 'yield ctx.{name}(...)'?",
+                    task=self._task(),
+                    source=self._loc(node),
+                ))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _callee_name(node)
+        if name in RAW_OP_CLASSES:
+            self.report.add(Diagnostic(
+                "A202",
+                f"{name}(...) constructed directly — use the KernelContext "
+                f"factory so the port and direction are validated",
+                task=self._task(),
+                source=self._loc(node),
+            ))
+        self.generic_visit(node)
+
+
+def _ctx_factory_name(call: ast.Call) -> Optional[str]:
+    """The factory name when ``call`` is ``ctx.<factory>(...)``."""
+    f = call.func
+    if (
+        isinstance(f, ast.Attribute)
+        and isinstance(f.value, ast.Name)
+        and f.value.id == "ctx"
+        and f.attr in CTX_OP_FACTORIES
+    ):
+        return f.attr
+    return None
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    f = call.func
+    if isinstance(f, ast.Name):
+        return f.id
+    if isinstance(f, ast.Attribute):
+        return f.attr
+    return None
+
+
+def lint_source(source: str, filename: str = "<string>") -> Report:
+    """Lint kernel source text; syntax errors surface as P106."""
+    report = Report()
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as e:
+        report.add(Diagnostic(
+            "P106", f"source does not parse: {e.msg}",
+            source=f"{filename}:{e.lineno or 0}",
+        ))
+        return report
+    _KernelSourceVisitor(filename, report).visit(tree)
+    return report
+
+
+def lint_file(path: Union[str, Path]) -> Report:
+    path = Path(path)
+    return lint_source(path.read_text(), filename=str(path))
+
+
+def lint_module(module) -> Report:
+    """Lint an imported module by its source file."""
+    return lint_file(module.__file__)

@@ -1,0 +1,372 @@
+"""Seeded mutation corpus: known-bad graphs and kernels.
+
+Each :class:`CorpusCase` plants one specific contract violation — a
+malformed graph, a protocol-breaking kernel, or misuse at the source
+level — and names the rule IDs the checker *must* raise for it.  The
+corpus is the checker's own regression oracle: ``repro verify
+--corpus`` (and the CI verify job) fail if any seeded violation goes
+unflagged, while the shipped workloads double as the zero-false-
+positive fixture.
+
+Only ``expected ⊆ found`` is asserted per case: a mutation is allowed
+to trip secondary rules too (an under-buffered cycle is usually also
+grain-misaligned), and pinning the exact set would make every new rule
+a corpus-wide churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.kahn.graph import (
+    ApplicationGraph,
+    Direction,
+    PortSpec,
+    TaskNode,
+)
+from repro.kahn.kernel import Kernel, KernelContext, ReadOp, StepOutcome
+
+from repro.verify.astlint import lint_source
+from repro.verify.diagnostics import Diagnostic, Report
+from repro.verify.graph_lint import lint_graph
+from repro.verify.protocol import check_kernel_protocol
+
+__all__ = ["CorpusCase", "CORPUS", "run_case", "run_corpus"]
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One seeded violation and the rules that must catch it."""
+
+    name: str
+    expected: FrozenSet[str]
+    #: returns the Report of checking this case
+    check: Callable[[], Report] = field(repr=False)
+
+    def found(self) -> FrozenSet[str]:
+        return frozenset(self.check().rule_ids())
+
+    def passed(self) -> bool:
+        return self.expected <= self.found()
+
+
+def _stub(*ports: PortSpec) -> Tuple[Callable[[], Kernel], Tuple[PortSpec, ...]]:
+    """A do-nothing kernel declaring ``ports`` (for graph-only cases)."""
+
+    class _Stub(Kernel):
+        PORTS = tuple(ports)
+
+        def step(self, ctx: KernelContext):
+            return StepOutcome.FINISHED
+            yield  # pragma: no cover
+
+    return _Stub, _Stub.PORTS
+
+
+def _graph_case(name, expected, build, **lint_kw):
+    return CorpusCase(
+        name=name,
+        expected=frozenset(expected),
+        check=lambda: lint_graph(build(), **lint_kw),
+    )
+
+
+def _kernel_case(name, expected, factory, buffer_of=None):
+    return CorpusCase(
+        name=name,
+        expected=frozenset(expected),
+        check=lambda: check_kernel_protocol(factory, name=name, buffer_of=buffer_of),
+    )
+
+
+def _source_case(name, expected, source):
+    return CorpusCase(
+        name=name,
+        expected=frozenset(expected),
+        check=lambda: lint_source(source, filename=f"<corpus:{name}>"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# graph mutations (G-rules)
+# ---------------------------------------------------------------------------
+def _g001_unbound_port() -> ApplicationGraph:
+    g = ApplicationGraph("g001")
+    k, ports = _stub(PortSpec("out", Direction.OUT), PortSpec("dbg", Direction.OUT))
+    g.add_task(TaskNode("src", k, ports))
+    ksink, psink = _stub(PortSpec("in", Direction.IN))
+    g.add_task(TaskNode("dst", ksink, psink))
+    g.connect("src.out", "dst.in")
+    return g  # src.dbg never connected
+
+
+def _g002_inconsistent_rates() -> ApplicationGraph:
+    # reconvergence: A emits 32 B on both arms, B consumes 32 on one
+    # input but 16 on the other — the balance equations force q[B] to
+    # be both q[A] and 2*q[A]
+    g = ApplicationGraph("g002")
+    ka, pa = _stub(
+        PortSpec("out_a", Direction.OUT, granularity=32),
+        PortSpec("out_b", Direction.OUT, granularity=32),
+    )
+    kb, pb = _stub(
+        PortSpec("in_a", Direction.IN, granularity=32),
+        PortSpec("in_b", Direction.IN, granularity=16),
+    )
+    g.add_task(TaskNode("A", ka, pa))
+    g.add_task(TaskNode("B", kb, pb))
+    g.connect("A.out_a", "B.in_a", buffer_size=64)
+    g.connect("A.out_b", "B.in_b", buffer_size=64)
+    return g
+
+
+def _g003_buffer_underflow() -> ApplicationGraph:
+    g = ApplicationGraph("g003")
+    kp, pp = _stub(PortSpec("out", Direction.OUT, granularity=16))
+    kc, pc = _stub(PortSpec("in", Direction.IN, granularity=16))
+    g.add_task(TaskNode("src", kp, pp))
+    g.add_task(TaskNode("dst", kc, pc))
+    g.connect("src.out", "dst.in", buffer_size=8)  # < the 16 B grain
+    return g
+
+
+def _g004_underbuffered_cycle() -> ApplicationGraph:
+    g = ApplicationGraph("g004")
+    ka, pa = _stub(
+        PortSpec("in", Direction.IN, granularity=16),
+        PortSpec("out", Direction.OUT, granularity=16),
+    )
+    kb, pb = _stub(
+        PortSpec("in", Direction.IN, granularity=16),
+        PortSpec("out", Direction.OUT, granularity=16),
+    )
+    g.add_task(TaskNode("A", ka, pa))
+    g.add_task(TaskNode("B", kb, pb))
+    g.connect("A.out", "B.in", buffer_size=32)
+    g.connect("B.out", "A.in", buffer_size=16)  # < 16 + 16 bound
+    return g
+
+
+def _g005_grain_misaligned() -> ApplicationGraph:
+    g = ApplicationGraph("g005")
+    kp, pp = _stub(PortSpec("out", Direction.OUT, granularity=32))
+    kc, pc = _stub(PortSpec("in", Direction.IN, granularity=32))
+    g.add_task(TaskNode("src", kp, pp))
+    g.add_task(TaskNode("dst", kc, pc))
+    g.connect("src.out", "dst.in", buffer_size=48)  # 48 % 32 != 0
+    return g
+
+
+def _g007_multicast_mismatch() -> ApplicationGraph:
+    g = ApplicationGraph("g007")
+    kp, pp = _stub(PortSpec("out", Direction.OUT, granularity=32))
+    ka, pa = _stub(PortSpec("in", Direction.IN, granularity=16))
+    kb, pb = _stub(PortSpec("in", Direction.IN, granularity=32))
+    g.add_task(TaskNode("src", kp, pp))
+    g.add_task(TaskNode("a", ka, pa))
+    g.add_task(TaskNode("b", kb, pb))
+    g.connect("src.out", "a.in", "b.in", buffer_size=64)
+    return g
+
+
+def _g008_sram_overflow() -> ApplicationGraph:
+    g = ApplicationGraph("g008")
+    kp, pp = _stub(PortSpec("out", Direction.OUT))
+    kc, pc = _stub(PortSpec("in", Direction.IN))
+    g.add_task(TaskNode("src", kp, pp))
+    g.add_task(TaskNode("dst", kc, pc))
+    g.connect("src.out", "dst.in", buffer_size=4096)
+    return g  # linted with sram_size=1024
+
+
+def _g009_disconnected() -> ApplicationGraph:
+    g = ApplicationGraph("g009")
+    for i in range(2):
+        kp, pp = _stub(PortSpec("out", Direction.OUT))
+        kc, pc = _stub(PortSpec("in", Direction.IN))
+        g.add_task(TaskNode(f"src{i}", kp, pp))
+        g.add_task(TaskNode(f"dst{i}", kc, pc))
+        g.connect(f"src{i}.out", f"dst{i}.in")
+    return g
+
+
+# ---------------------------------------------------------------------------
+# kernel mutations (P-rules)
+# ---------------------------------------------------------------------------
+class _ReadBeyondGrant(Kernel):
+    PORTS = (PortSpec("in", Direction.IN),)
+
+    def step(self, ctx: KernelContext):
+        space = yield ctx.get_space("in", 8)
+        if not space:
+            return StepOutcome.FINISHED
+        yield ctx.read("in", 0, 16)  # only 8 granted
+        yield ctx.put_space("in", 8)
+        return StepOutcome.COMPLETED
+
+
+class _WriteBeyondGrant(Kernel):
+    PORTS = (PortSpec("out", Direction.OUT),)
+
+    def step(self, ctx: KernelContext):
+        space = yield ctx.get_space("out", 8)
+        if not space:
+            return StepOutcome.ABORTED
+        yield ctx.write("out", 4, b"\xAA" * 8)  # [4:12) vs 8 granted
+        yield ctx.put_space("out", 8)
+        return StepOutcome.COMPLETED
+
+
+class _PutSpaceOvercommit(Kernel):
+    PORTS = (PortSpec("out", Direction.OUT),)
+
+    def step(self, ctx: KernelContext):
+        space = yield ctx.get_space("out", 8)
+        if not space:
+            return StepOutcome.ABORTED
+        yield ctx.write("out", 0, b"\x00" * 8)
+        yield ctx.put_space("out", 16)  # committed twice the window
+        return StepOutcome.COMPLETED
+
+
+class _CommitThenAbort(Kernel):
+    """Commits output A, then aborts when B is denied (paper §4.2
+    forbids exactly this: an ABORTED step must leave no trace)."""
+
+    PORTS = (PortSpec("a", Direction.OUT), PortSpec("b", Direction.OUT))
+
+    def step(self, ctx: KernelContext):
+        sa = yield ctx.get_space("a", 8)
+        if not sa:
+            return StepOutcome.ABORTED
+        yield ctx.write("a", 0, b"\x01" * 8)
+        yield ctx.put_space("a", 8)  # committed too early...
+        sb = yield ctx.get_space("b", 8)
+        if not sb:
+            return StepOutcome.ABORTED  # ...so this redo duplicates 'a'
+        yield ctx.write("b", 0, b"\x02" * 8)
+        yield ctx.put_space("b", 8)
+        return StepOutcome.COMPLETED
+
+
+class _WrongDirection(Kernel):
+    """Bypasses the KernelContext factories with a raw op record, so
+    the direction error only the static checker can see."""
+
+    PORTS = (PortSpec("out", Direction.OUT),)
+
+    def step(self, ctx: KernelContext):
+        space = yield ctx.get_space("out", 8)
+        if not space:
+            return StepOutcome.ABORTED
+        yield ReadOp("out", 0, 8)  # Read on an output port
+        yield ctx.put_space("out", 8)
+        return StepOutcome.COMPLETED
+
+
+class _NotAGenerator(Kernel):
+    PORTS = (PortSpec("out", Direction.OUT),)
+
+    def step(self, ctx: KernelContext):  # type: ignore[override]
+        return StepOutcome.COMPLETED  # plain return: no ops ever reach the shell
+
+
+class _GetSpaceTooLarge(Kernel):
+    PORTS = (PortSpec("out", Direction.OUT),)
+
+    def step(self, ctx: KernelContext):
+        space = yield ctx.get_space("out", 128)  # buffer is only 64 B
+        if not space:
+            return StepOutcome.ABORTED
+        yield ctx.write("out", 0, b"\x00" * 128)
+        yield ctx.put_space("out", 128)
+        return StepOutcome.COMPLETED
+
+
+# ---------------------------------------------------------------------------
+# source mutations (A-rules)
+# ---------------------------------------------------------------------------
+_A201_SOURCE = '''
+class LeakyKernel(Kernel):
+    PORTS = (PortSpec("out", Direction.OUT),)
+
+    def step(self, ctx):
+        space = yield ctx.get_space("out", 8)
+        if not space:
+            return StepOutcome.ABORTED
+        yield ctx.write("out", 0, b"x" * 8)
+        ctx.put_space("out", 8)  # op built but never yielded
+        return StepOutcome.COMPLETED
+'''
+
+_A202_SOURCE = '''
+class RawOpKernel(Kernel):
+    PORTS = (PortSpec("in", Direction.IN),)
+
+    def step(self, ctx):
+        space = yield ctx.get_space("in", 8)
+        if not space:
+            return StepOutcome.ABORTED
+        data = yield ReadOp("in", 0, 8)  # bypasses the ctx factories
+        yield ctx.put_space("in", 8)
+        return StepOutcome.COMPLETED
+'''
+
+
+CORPUS: Tuple[CorpusCase, ...] = (
+    _graph_case("g001-unbound-port", {"G001"}, _g001_unbound_port),
+    _graph_case("g002-rate-inconsistent", {"G002"}, _g002_inconsistent_rates),
+    _graph_case("g003-buffer-underflow", {"G003"}, _g003_buffer_underflow),
+    _graph_case("g004-underbuffered-cycle", {"G004"}, _g004_underbuffered_cycle),
+    _graph_case("g005-grain-misaligned", {"G005"}, _g005_grain_misaligned),
+    _graph_case("g007-multicast-mismatch", {"G007"}, _g007_multicast_mismatch),
+    _graph_case("g008-sram-overflow", {"G008"}, _g008_sram_overflow, sram_size=1024),
+    _graph_case("g009-disconnected", {"G009"}, _g009_disconnected),
+    _kernel_case("p101-read-beyond-grant", {"P101"}, _ReadBeyondGrant),
+    _kernel_case("p102-write-beyond-grant", {"P102"}, _WriteBeyondGrant),
+    _kernel_case("p103-putspace-overcommit", {"P103"}, _PutSpaceOvercommit),
+    _kernel_case("p104-commit-then-abort", {"P104"}, _CommitThenAbort),
+    _kernel_case("p105-wrong-direction", {"P105"}, _WrongDirection),
+    _kernel_case("p106-not-a-generator", {"P106"}, _NotAGenerator),
+    _kernel_case("p107-getspace-exceeds-buffer", {"P107"}, _GetSpaceTooLarge,
+                 buffer_of={"out": 64}),
+    _source_case("a201-unyielded-op", {"A201"}, _A201_SOURCE),
+    _source_case("a202-raw-op-construction", {"A202"}, _A202_SOURCE),
+)
+
+
+def run_case(case: CorpusCase) -> Tuple[bool, FrozenSet[str]]:
+    """(passed, rules found) for one corpus case."""
+    found = case.found()
+    return case.expected <= found, found
+
+
+def run_corpus(cases: Optional[Tuple[CorpusCase, ...]] = None) -> Tuple[Report, List[dict]]:
+    """Check every corpus case; misses become V001 diagnostics.
+
+    Returns ``(report, rows)``; ``rows`` has one dict per case for the
+    CLI/CI table.  ``report.exit_code`` is non-zero iff any seeded
+    violation went unflagged.
+    """
+    report = Report()
+    rows: List[dict] = []
+    for case in cases or CORPUS:
+        ok, found = run_case(case)
+        missed = sorted(case.expected - found)
+        rows.append({
+            "case": case.name,
+            "expected": sorted(case.expected),
+            "found": sorted(found),
+            "passed": ok,
+        })
+        if ok:
+            report.note(f"corpus case {case.name}: flagged {sorted(case.expected)}")
+        else:
+            report.add(Diagnostic(
+                "V001",
+                f"seeded violation not flagged: expected {missed}, "
+                f"checker found {sorted(found) or 'nothing'}",
+                source=case.name,
+            ))
+    return report, rows

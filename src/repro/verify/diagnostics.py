@@ -1,0 +1,286 @@
+"""The diagnostic engine: rules, diagnostics, reports, reporters.
+
+Every check in :mod:`repro.verify` emits :class:`Diagnostic` records
+tagged with a rule from the central :data:`RULES` registry, so the CLI,
+CI and the tests all consume one uniform shape.  A rule has a stable ID
+(``G…`` graph lints, ``P…`` protocol checks, ``A…`` AST lints, ``V…``
+verifier-internal), a default severity, and a one-line contract; the
+full catalogue with examples lives in ``docs/static-analysis.md``.
+
+Severity semantics follow the acceptance contract of the subsystem:
+``ERROR`` means the configuration *will* misbehave (never-grantable
+request, protocol violation, unsolvable balance equations) and makes
+``repro verify`` exit non-zero; ``WARNING`` flags likely trouble
+(under-buffered cycles, grain misalignment); ``INFO`` is advisory
+(cache-line padding the system will apply anyway).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+__all__ = [
+    "Severity",
+    "Rule",
+    "RULES",
+    "Diagnostic",
+    "Report",
+    "rule",
+]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so comparisons read naturally."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One entry of the rule catalogue."""
+
+    id: str
+    title: str
+    severity: Severity
+    summary: str
+
+
+#: the central rule registry; stable IDs — never renumber, only add
+RULES: Dict[str, Rule] = {}
+
+
+def _register(id: str, title: str, severity: Severity, summary: str) -> Rule:
+    if id in RULES:
+        raise ValueError(f"duplicate rule id {id!r}")
+    r = Rule(id, title, severity, summary)
+    RULES[id] = r
+    return r
+
+
+def rule(id: str) -> Rule:
+    """Look up a rule by ID (KeyError with the known IDs on miss)."""
+    try:
+        return RULES[id]
+    except KeyError:
+        raise KeyError(f"unknown rule {id!r}; known: {sorted(RULES)}") from None
+
+
+# ---------------------------------------------------------------------------
+# graph lints (configuration-time, paper §2/§5)
+# ---------------------------------------------------------------------------
+_register("G001", "graph-structure", Severity.ERROR,
+          "structural validation failed (unbound port, direction mismatch, "
+          "unknown task, double-bound port)")
+_register("G002", "rate-inconsistency", Severity.ERROR,
+          "the SDF balance equations over the declared port rates have no "
+          "non-trivial solution — the graph needs unbounded buffering or starves")
+_register("G003", "buffer-underflow", Severity.ERROR,
+          "a stream buffer is smaller than the largest sync grain of its "
+          "endpoints — that GetSpace can never be granted (paper §2.2)")
+_register("G004", "cycle-underbuffered", Severity.WARNING,
+          "a buffer on a dependency cycle cannot hold one producer grain plus "
+          "one consumer grain — the feedback loop risks artificial deadlock")
+_register("G005", "grain-misaligned", Severity.WARNING,
+          "buffer size is not a multiple of an endpoint's sync granularity — "
+          "sync units wrap mid-buffer and full occupancy is unreachable")
+_register("G006", "line-misaligned", Severity.INFO,
+          "buffer size is not a multiple of the cache-line/transport "
+          "granularity — configure() will pad the allocation")
+_register("G007", "multicast-grain-mismatch", Severity.WARNING,
+          "consumers of one multicast stream declare different sync "
+          "granularities — their commit patterns cannot interleave cleanly")
+_register("G008", "sram-overflow", Severity.ERROR,
+          "the buffer allocation plan does not fit the instance SRAM")
+_register("G009", "disconnected-graph", Severity.WARNING,
+          "the graph has more than one weakly-connected component — likely a "
+          "forgotten stream (legal for deliberate ∥ composition; suppress "
+          "with --ignore G009)")
+
+# ---------------------------------------------------------------------------
+# kernel shell-protocol checks (abstract interpretation, paper §3.2/§4.2)
+# ---------------------------------------------------------------------------
+_register("P101", "read-outside-window", Severity.ERROR,
+          "Read beyond the window granted by GetSpace")
+_register("P102", "write-outside-window", Severity.ERROR,
+          "Write beyond the window granted by GetSpace")
+_register("P103", "putspace-overcommit", Severity.ERROR,
+          "PutSpace commits more bytes than the acquired window holds")
+_register("P104", "commit-on-abort", Severity.ERROR,
+          "a step committed via PutSpace and then returned ABORTED — the "
+          "scheduler's redo would duplicate the committed data (paper §4.2)")
+_register("P105", "port-misuse", Severity.ERROR,
+          "an op names an undeclared port or the wrong direction "
+          "(Read on an output, Write on an input)")
+_register("P106", "step-contract", Severity.ERROR,
+          "Kernel.step is not a generator of ops returning a StepOutcome")
+_register("P107", "getspace-exceeds-buffer", Severity.ERROR,
+          "a GetSpace request is larger than the attached stream buffer — "
+          "the shell can never grant it")
+
+# ---------------------------------------------------------------------------
+# AST lints over kernel source
+# ---------------------------------------------------------------------------
+_register("A201", "unyielded-op", Severity.ERROR,
+          "a KernelContext op factory result is discarded instead of yielded "
+          "— the primitive is never issued to the shell")
+_register("A202", "raw-op-construction", Severity.WARNING,
+          "an op record is constructed directly instead of through the "
+          "KernelContext factories, bypassing port/direction validation")
+
+# ---------------------------------------------------------------------------
+# verifier-internal
+# ---------------------------------------------------------------------------
+_register("V001", "corpus-miss", Severity.ERROR,
+          "a seeded mutation-corpus violation was not flagged by the checker")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violation at a task/port/stream location."""
+
+    rule_id: str
+    message: str
+    task: Optional[str] = None
+    port: Optional[str] = None
+    stream: Optional[str] = None
+    #: e.g. ``path/to/file.py:123`` for AST lints, or a workload name
+    source: Optional[str] = None
+    #: override of the rule's default severity (rarely needed)
+    severity_override: Optional[Severity] = None
+
+    @property
+    def severity(self) -> Severity:
+        if self.severity_override is not None:
+            return self.severity_override
+        return rule(self.rule_id).severity
+
+    @property
+    def location(self) -> str:
+        """Canonical ``task.port`` locator (the message-format contract)."""
+        parts = []
+        if self.task is not None:
+            parts.append(f"{self.task}.{self.port}" if self.port else self.task)
+        elif self.port is not None:
+            parts.append(f"?.{self.port}")
+        if self.stream is not None:
+            parts.append(f"stream {self.stream!r}")
+        if self.source is not None:
+            parts.append(self.source)
+        return ", ".join(parts) or "<graph>"
+
+    def render(self) -> str:
+        return f"{self.rule_id} {self.severity}: {self.location}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "title": rule(self.rule_id).title,
+            "severity": str(self.severity),
+            "task": self.task,
+            "port": self.port,
+            "stream": self.stream,
+            "source": self.source,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Report:
+    """An ordered collection of diagnostics plus checker notes.
+
+    ``notes`` records non-findings (e.g. a kernel whose data-dependent
+    step could not be driven further on synthetic input) so "no
+    diagnostics" is distinguishable from "nothing was checked".
+    """
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def extend(self, other: "Report") -> "Report":
+        self.diagnostics.extend(other.diagnostics)
+        self.notes.extend(other.notes)
+        return self
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # -- selection ------------------------------------------------------
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    def rule_ids(self) -> set:
+        return {d.rule_id for d in self.diagnostics}
+
+    def ignoring(self, rule_ids: Iterable[str]) -> "Report":
+        """Copy with the given rules suppressed (the CLI ``--ignore``)."""
+        drop = set(rule_ids)
+        for rid in drop:
+            rule(rid)  # reject typos loudly
+        return Report(
+            diagnostics=[d for d in self.diagnostics if d.rule_id not in drop],
+            notes=list(self.notes),
+        )
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI contract: non-zero iff an error-severity finding."""
+        return 1 if self.has_errors else 0
+
+    # -- reporters ------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        return {
+            "error": len(self.errors),
+            "warning": len(self.warnings),
+            "info": len(self.by_severity(Severity.INFO)),
+        }
+
+    def render_text(self, verbose: bool = False) -> str:
+        lines = [d.render() for d in sorted(
+            self.diagnostics, key=lambda d: (-int(d.severity), d.rule_id, d.location)
+        )]
+        if verbose:
+            lines += [f"note: {n}" for n in self.notes]
+        c = self.counts()
+        lines.append(
+            f"{c['error']} error(s), {c['warning']} warning(s), {c['info']} info(s)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "notes": list(self.notes),
+            "counts": self.counts(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -1,0 +1,206 @@
+"""Configuration-time graph lints: structure, rates, buffers, SRAM.
+
+The rule-based companion to :meth:`ApplicationGraph.validate` and
+:mod:`repro.kahn.analysis`: instead of raising on the first structural
+problem, :func:`lint_graph` collects every finding as a
+:class:`~repro.verify.diagnostics.Diagnostic` so an application
+architect sees the whole picture before any simulation.
+
+Checks implemented (rule IDs in :mod:`repro.verify.diagnostics`):
+
+* **G001** — structural validity (delegates to ``graph.validate()``).
+* **G002** — SDF rate consistency via the repetition vector, using the
+  declared port granularities as bytes-per-firing rates (engaged only
+  when *every* connected port declares a grain > 1, or when an explicit
+  ``rates`` mapping is passed).
+* **G003** — every stream buffer must hold the largest sync grain of
+  its endpoints, or that GetSpace can never be granted (paper §2.2).
+* **G004** — buffers on dependency cycles must hold one producer grain
+  plus one consumer grain, the classic sufficient-buffer bound for
+  deadlock freedom of feedback loops under finite buffering.
+* **G005/G006** — sync-grain and cache-line divisibility of buffers.
+* **G007** — multicast consumers should agree on the sync grain.
+* **G008** — the whole allocation must fit the instance SRAM
+  (delegates to :func:`repro.core.sizing.plan_buffers`).
+* **G009** — more than one weakly-connected component.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.kahn.analysis import RateInconsistencyError, repetition_vector
+from repro.kahn.graph import ApplicationGraph, GraphError, PortRef, StreamEdge
+
+from repro.verify.diagnostics import Diagnostic, Report
+
+__all__ = ["lint_graph", "declared_rates"]
+
+RatesArg = Union[str, None, Mapping[Tuple[str, str], int]]
+
+
+def declared_rates(graph: ApplicationGraph) -> Optional[Dict[Tuple[str, str], int]]:
+    """Port granularities as SDF rates, or None when undeclared.
+
+    A graph "declares rates" when every connected port carries a sync
+    granularity > 1 (the default of 1 means "unspecified" — engaging
+    the balance equations on defaults would only ever prove the
+    trivial all-ones vector).
+    """
+    rates: Dict[Tuple[str, str], int] = {}
+    for task in graph.tasks.values():
+        for p in task.ports:
+            rates[(task.name, p.name)] = p.granularity
+    if not rates or any(r <= 1 for r in rates.values()):
+        return None
+    return rates
+
+
+def _grain(graph: ApplicationGraph, ref: PortRef) -> int:
+    return graph.tasks[ref.task].port(ref.port).granularity
+
+
+def _endpoint_grains(graph: ApplicationGraph, edge: StreamEdge):
+    yield edge.producer, _grain(graph, edge.producer)
+    for c in edge.consumers:
+        yield c, _grain(graph, c)
+
+
+def lint_graph(
+    graph: ApplicationGraph,
+    rates: RatesArg = "auto",
+    cache_line: int = 32,
+    sram_size: Optional[int] = None,
+) -> Report:
+    """Run every configuration-time check on ``graph``.
+
+    ``rates`` is ``"auto"`` (derive from port granularities), ``None``
+    (skip the rate check) or an explicit ``(task, port) -> bytes``
+    mapping.  ``sram_size`` enables the G008 budget check; pass the
+    instance's :attr:`SystemParams.sram_size`.
+    """
+    report = Report()
+
+    # ---- G001: structure; everything else needs a valid graph --------
+    try:
+        graph.validate()
+    except GraphError as e:
+        report.add(Diagnostic("G001", str(e), source=graph.name))
+        return report
+
+    # ---- G002: SDF balance equations ---------------------------------
+    resolved = declared_rates(graph) if rates == "auto" else rates
+    if resolved:
+        try:
+            repetition_vector(graph, resolved)
+        except RateInconsistencyError as e:
+            report.add(Diagnostic("G002", str(e), source=graph.name))
+        except GraphError as e:
+            # missing/zero rate in an explicit mapping
+            report.add(Diagnostic("G002", str(e), source=graph.name))
+    else:
+        report.note(f"{graph.name}: rate check skipped (no rates declared)")
+
+    # ---- per-stream buffer/grain checks ------------------------------
+    for name, edge in graph.streams.items():
+        grains = list(_endpoint_grains(graph, edge))
+        worst_ref, worst = max(grains, key=lambda pair: pair[1])
+        if edge.buffer_size < worst:
+            report.add(Diagnostic(
+                "G003",
+                f"buffer of {edge.buffer_size} B cannot hold the "
+                f"{worst} B sync grain of {worst_ref} — GetSpace({worst}) "
+                f"can never be granted",
+                task=worst_ref.task, port=worst_ref.port, stream=name,
+            ))
+        for ref, grain in grains:
+            if grain > 1 and edge.buffer_size % grain != 0:
+                report.add(Diagnostic(
+                    "G005",
+                    f"buffer of {edge.buffer_size} B is not a multiple of "
+                    f"the {grain} B sync grain",
+                    task=ref.task, port=ref.port, stream=name,
+                ))
+        if cache_line > 1 and edge.buffer_size % cache_line != 0:
+            padded = -(-edge.buffer_size // cache_line) * cache_line
+            report.add(Diagnostic(
+                "G006",
+                f"buffer of {edge.buffer_size} B is not cache-line aligned; "
+                f"configure() will pad it to {padded} B",
+                task=edge.producer.task, port=edge.producer.port, stream=name,
+            ))
+        if edge.is_multicast:
+            cons_grains = {_grain(graph, c) for c in edge.consumers}
+            if len(cons_grains) > 1:
+                report.add(Diagnostic(
+                    "G007",
+                    f"multicast consumers declare differing sync grains "
+                    f"{sorted(cons_grains)}",
+                    task=edge.producer.task, port=edge.producer.port, stream=name,
+                ))
+
+    # ---- G004: sufficient buffering on cycles ------------------------
+    _lint_cycles(graph, report)
+
+    # ---- G008: SRAM budget -------------------------------------------
+    if sram_size is not None and graph.streams:
+        from repro.core.sizing import plan_buffers
+
+        plan = plan_buffers(
+            graph,
+            {name: e.buffer_size for name, e in graph.streams.items()},
+            elasticity=1,
+            line_pad=max(1, cache_line),
+            sram_size=sram_size,
+        )
+        if not plan.fits:
+            report.add(Diagnostic(
+                "G008",
+                f"buffers need {plan.total_bytes} B but the instance SRAM "
+                f"holds {plan.sram_size} B (over by {-plan.headroom()} B)",
+                source=graph.name,
+            ))
+
+    # ---- G009: connectivity ------------------------------------------
+    import networkx as nx
+
+    nxg = graph.to_networkx()
+    if len(nxg) > 1:
+        n_components = nx.number_weakly_connected_components(nxg)
+        if n_components > 1:
+            report.add(Diagnostic(
+                "G009",
+                f"graph splits into {n_components} disconnected components",
+                source=graph.name,
+            ))
+    return report
+
+
+def _lint_cycles(graph: ApplicationGraph, report: Report, max_cycles: int = 64) -> None:
+    """G004: each cycle edge must buffer producer + consumer grains."""
+    import networkx as nx
+
+    nxg = graph.to_networkx()
+    flagged = set()
+    for cycle in islice(nx.simple_cycles(nxg), max_cycles):
+        n = len(cycle)
+        for i, u in enumerate(cycle):
+            v = cycle[(i + 1) % n]
+            for name, edge in graph.streams.items():
+                if name in flagged or edge.producer.task != u:
+                    continue
+                for cons in edge.consumers:
+                    if cons.task != v:
+                        continue
+                    need = _grain(graph, edge.producer) + _grain(graph, cons)
+                    if edge.buffer_size < need:
+                        flagged.add(name)
+                        report.add(Diagnostic(
+                            "G004",
+                            f"buffer of {edge.buffer_size} B on cycle "
+                            f"{' -> '.join(cycle + [cycle[0]])} is below the "
+                            f"deadlock-freedom bound of {need} B "
+                            f"(producer grain + consumer grain)",
+                            task=cons.task, port=cons.port, stream=name,
+                        ))

@@ -1,0 +1,291 @@
+"""Static shell-protocol checking: abstract interpretation of kernels.
+
+A :class:`~repro.kahn.kernel.Kernel` is a generator of primitive ops,
+which makes it *statically checkable without running the system*: we
+drive ``Kernel.step`` against a **window oracle** that answers GetSpace
+inquiries under a chosen policy and audits every op against the
+task-level-interface contract of paper §3.2/§4.2:
+
+* Read/Write must stay inside the currently granted window (P101/P102);
+* PutSpace must never commit more than the acquired window (P103);
+* a step that returns ``ABORTED`` must not have committed anything —
+  the scheduler's redo would duplicate the data (P104);
+* ops must name declared ports with the right direction (P105);
+* ``step`` must be a generator of ops returning a StepOutcome (P106);
+* no GetSpace may exceed the attached stream buffer, which the shell
+  could never grant (P107).
+
+Policies mirror the paper's execution modes: a *grant-all* pass walks
+the happy path, an *EOS* pass drives the wind-down path, and one
+*deny-k* pass per observed inquiry forces each abort path in turn —
+exactly the discard-and-redo branches §4.2 asks kernels to implement.
+Kernels whose behaviour depends on real stream content may raise on
+the oracle's synthetic (all-zero) input; that aborts the pass with a
+:attr:`Report.notes` entry, never a diagnostic, so data-dependent
+kernels cannot produce false positives.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections import defaultdict
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+
+from repro.kahn.graph import ApplicationGraph, Direction, PortRef, PortSpec
+from repro.kahn.kernel import (
+    ComputeOp,
+    ExternalAccessOp,
+    GetSpaceOp,
+    Kernel,
+    KernelContext,
+    PutSpaceOp,
+    ReadOp,
+    Space,
+    StepOutcome,
+    WriteOp,
+)
+
+from repro.verify.diagnostics import Diagnostic, Report
+
+__all__ = ["check_kernel_protocol", "check_graph_protocol"]
+
+
+class _Oracle:
+    """Answers GetSpace under a policy.
+
+    ``deny_at`` denies the i-th inquiry of the session (0-based);
+    with ``eos`` the denial carries end-of-stream for input ports —
+    output-port denials are always plain "no room yet".
+    """
+
+    def __init__(self, deny_at: Optional[int] = None, eos: bool = False):
+        self.deny_at = deny_at
+        self.eos = eos
+        self.count = 0
+
+    def answer(self, op: GetSpaceOp, direction: Optional[Direction]) -> Space:
+        i = self.count
+        self.count += 1
+        if self.deny_at is not None and i == self.deny_at:
+            is_input = direction is Direction.IN
+            return Space(granted=False, eos=self.eos and is_input, available=0)
+        return Space(granted=True, available=op.n_bytes)
+
+
+class _Auditor:
+    """One checking session: persistent windows + violation dedup."""
+
+    def __init__(
+        self,
+        name: str,
+        ports: Dict[str, PortSpec],
+        buffer_of: Dict[str, int],
+        report: Report,
+        seen: set,
+    ):
+        self.name = name
+        self.ports = ports
+        self.buffer_of = buffer_of
+        self.report = report
+        self.seen = seen
+        #: granted-window bytes per port; persists across steps exactly
+        #: like the shell's stream-table ``granted`` field
+        self.windows: Dict[str, int] = defaultdict(int)
+
+    def flag(self, rule_id: str, port: Optional[str], message: str) -> None:
+        key = (rule_id, self.name, port)
+        if key in self.seen:
+            return
+        self.seen.add(key)
+        self.report.add(Diagnostic(rule_id, message, task=self.name, port=port))
+
+    def _spec(self, op: Any, port: str) -> Optional[PortSpec]:
+        spec = self.ports.get(port)
+        if spec is None:
+            self.flag("P105", port,
+                      f"{type(op).__name__} on undeclared port "
+                      f"(declared: {sorted(self.ports)})")
+        return spec
+
+    # -- one op ---------------------------------------------------------
+    def audit(self, op: Any, oracle: _Oracle) -> Tuple[Any, bool]:
+        """Audit one yielded op.  Returns (value to send, denied?)."""
+        if isinstance(op, GetSpaceOp):
+            spec = self._spec(op, op.port)
+            space = oracle.answer(op, spec.direction if spec else None)
+            if space.granted:
+                limit = self.buffer_of.get(op.port)
+                if limit is not None and op.n_bytes > limit:
+                    self.flag("P107", op.port,
+                              f"GetSpace({op.n_bytes}) exceeds the "
+                              f"{limit} B stream buffer — never grantable")
+                self.windows[op.port] = max(self.windows[op.port], op.n_bytes)
+            return space, not space.granted
+        if isinstance(op, ReadOp):
+            spec = self._spec(op, op.port)
+            if spec is not None and spec.direction is not Direction.IN:
+                self.flag("P105", op.port, "Read on an output port")
+            elif op.offset + op.n_bytes > self.windows[op.port]:
+                self.flag("P101", op.port,
+                          f"Read [{op.offset}:{op.offset + op.n_bytes}) outside "
+                          f"the granted window of {self.windows[op.port]} B")
+            return b"\x00" * op.n_bytes, False
+        if isinstance(op, WriteOp):
+            spec = self._spec(op, op.port)
+            if spec is not None and spec.direction is not Direction.OUT:
+                self.flag("P105", op.port, "Write on an input port")
+            elif op.offset + len(op.data) > self.windows[op.port]:
+                self.flag("P102", op.port,
+                          f"Write [{op.offset}:{op.offset + len(op.data)}) outside "
+                          f"the granted window of {self.windows[op.port]} B")
+            return None, False
+        if isinstance(op, PutSpaceOp):
+            self._spec(op, op.port)
+            if op.n_bytes > self.windows[op.port]:
+                self.flag("P103", op.port,
+                          f"PutSpace({op.n_bytes}) exceeds the acquired "
+                          f"window of {self.windows[op.port]} B")
+                self.windows[op.port] = 0
+            else:
+                self.windows[op.port] -= op.n_bytes
+            return None, False
+        if isinstance(op, (ComputeOp, ExternalAccessOp)):
+            return None, False
+        self.flag("P106", None,
+                  f"step yielded {type(op).__name__}, which is not a "
+                  f"task-level-interface op")
+        return None, False
+
+
+def _run_session(
+    factory: Callable[[], Kernel],
+    name: str,
+    task_info: int,
+    buffer_of: Dict[str, int],
+    oracle: _Oracle,
+    report: Report,
+    seen: set,
+    max_steps: int,
+) -> None:
+    """Drive one kernel instance for up to ``max_steps`` steps."""
+    try:
+        kernel = factory()
+    except Exception as e:  # construction needs live data — inconclusive
+        report.note(f"{name}: kernel factory raised {type(e).__name__}: {e}")
+        return
+    ports = {p.name: p for p in kernel.ports()}
+    ctx = KernelContext(kernel.ports(), task_info=task_info, task=name)
+    auditor = _Auditor(name, ports, buffer_of, report, seen)
+
+    for _ in range(max_steps):
+        try:
+            gen = kernel.step(ctx)
+        except Exception as e:
+            report.note(f"{name}: step() raised {type(e).__name__}: {e}")
+            return
+        if not inspect.isgenerator(gen):
+            auditor.flag("P106", None,
+                         f"step() returned {type(gen).__name__} instead of "
+                         f"a generator of ops")
+            return
+        commits = 0
+        denied = False
+        to_send: Any = None
+        while True:
+            try:
+                op = gen.send(to_send)
+            except StopIteration as stop:
+                outcome = stop.value
+                break
+            except Exception as e:
+                # data-dependent kernel meeting synthetic input: inconclusive
+                report.note(f"{name}: step raised {type(e).__name__}: {e}")
+                return
+            if isinstance(op, PutSpaceOp):
+                commits += 1
+            to_send, was_denied = auditor.audit(op, oracle)
+            denied = denied or was_denied
+        if outcome is None:
+            outcome = StepOutcome.COMPLETED
+        if not isinstance(outcome, StepOutcome):
+            auditor.flag("P106", None,
+                         f"step returned {outcome!r} instead of a StepOutcome")
+            return
+        if outcome is StepOutcome.ABORTED:
+            if commits:
+                auditor.flag(
+                    "P104", None,
+                    f"step committed {commits} PutSpace op(s) and then "
+                    f"returned ABORTED — the redo would re-commit them")
+            return  # this session's purpose (the abort path) is done
+        if outcome is StepOutcome.FINISHED:
+            return
+        if denied:
+            # granted=False answered but the kernel completed anyway —
+            # legal (e.g. partial-EOS drains); keep stepping
+            continue
+
+
+def check_kernel_protocol(
+    factory: Callable[[], Kernel],
+    name: str = "kernel",
+    task_info: int = 0,
+    buffer_of: Optional[Dict[str, int]] = None,
+    max_steps: int = 12,
+    max_deny_sessions: int = 8,
+) -> Report:
+    """Statically check one kernel against the shell protocol.
+
+    ``factory`` must build a *fresh* kernel per call (the checker runs
+    several abstract executions).  ``buffer_of`` maps port name to the
+    attached stream's buffer size and enables the P107 check.
+    """
+    report = Report()
+    buffer_of = buffer_of or {}
+    seen: set = set()
+
+    # pass 1 — grant-all: the happy path, window/commit accounting
+    grant_all = _Oracle()
+    _run_session(factory, name, task_info, buffer_of, grant_all, report, seen, max_steps)
+    n_inquiries = grant_all.count
+
+    # pass 2 — EOS on the first inquiry: the wind-down path
+    _run_session(factory, name, task_info, buffer_of,
+                 _Oracle(deny_at=0, eos=True), report, seen, max_steps)
+
+    # pass 3 — deny each observed inquiry in turn: every §4.2 abort path
+    for k in range(min(n_inquiries, max_deny_sessions)):
+        _run_session(factory, name, task_info, buffer_of,
+                     _Oracle(deny_at=k), report, seen, max_steps)
+    return report
+
+
+def check_graph_protocol(
+    graph: ApplicationGraph,
+    max_steps: int = 12,
+    tasks: Optional[Iterable[str]] = None,
+) -> Report:
+    """Protocol-check every kernel of a (validated) application graph.
+
+    Buffer sizes come from the graph's streams, so P107 catches
+    configuration-time "request larger than buffer" mistakes that the
+    cycle-level shell would only hit mid-simulation.
+    """
+    report = Report()
+    for tname, node in graph.tasks.items():
+        if tasks is not None and tname not in tasks:
+            continue
+        buffer_of = {}
+        for p in node.ports:
+            try:
+                buffer_of[p.name] = graph.stream_of(PortRef(tname, p.name)).buffer_size
+            except Exception:
+                pass  # unbound port: G001 territory, not ours
+        report.extend(check_kernel_protocol(
+            node.kernel_factory,
+            name=tname,
+            task_info=node.task_info,
+            buffer_of=buffer_of,
+            max_steps=max_steps,
+        ))
+    return report

@@ -20,9 +20,11 @@ from typing import Optional, Tuple
 
 from repro.core.config import CoprocessorSpec, ShellParams, SystemParams
 from repro.core.system import EclipseSystem
-from repro.kahn.graph import ApplicationGraph, TaskNode
+from repro.kahn.analysis import repetition_vector
+from repro.kahn.graph import ApplicationGraph, PortSpec, TaskNode
 from repro.kahn.library import ConsumerKernel, ForkKernel, MapKernel, ProducerKernel
 from repro.sim.faults import FaultPlan
+from repro.verify.graph_lint import declared_rates
 
 __all__ = [
     "payload_of",
@@ -45,51 +47,73 @@ def payload_of(n: int, seed: int = 3) -> bytes:
     return bytes((i * 89 + seed) % 256 for i in range(n))
 
 
+def _grained(kernel_cls, grain: int):
+    """The kernel's ports re-declared with the actual sync grain, so
+    the SDF rate check and the buffer lints have real numbers."""
+    return tuple(PortSpec(p.name, p.direction, grain) for p in kernel_cls.PORTS)
+
+
+def _checked(g: ApplicationGraph) -> ApplicationGraph:
+    """Fail fast on a malformed spec: structural validation always,
+    SDF rate consistency whenever every port declares its grain."""
+    g.validate()
+    rates = declared_rates(g)
+    if rates:
+        repetition_vector(g, rates)
+    return g
+
+
 def pipeline_graph(payload: bytes, chunk: int = 16, buffer_size: int = 64) -> ApplicationGraph:
     """src -> map -> dst: the minimal multi-hop stream."""
     g = ApplicationGraph("pipeline")
-    g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=chunk), ProducerKernel.PORTS))
+    g.add_task(
+        TaskNode("src", lambda: ProducerKernel(payload, chunk=chunk), _grained(ProducerKernel, chunk))
+    )
     g.add_task(
         TaskNode(
             "xf",
             lambda: MapKernel(lambda b: bytes((x + 1) % 256 for x in b), chunk=chunk),
-            MapKernel.PORTS,
+            _grained(MapKernel, chunk),
         )
     )
-    g.add_task(TaskNode("dst", lambda: ConsumerKernel(chunk=chunk), ConsumerKernel.PORTS))
+    g.add_task(TaskNode("dst", lambda: ConsumerKernel(chunk=chunk), _grained(ConsumerKernel, chunk)))
     g.connect("src.out", "xf.in", buffer_size=buffer_size)
     g.connect("xf.out", "dst.in", buffer_size=buffer_size)
-    return g
+    return _checked(g)
 
 
 def diamond_graph(payload: bytes, chunk: int = 16, buffer_size: int = 96) -> ApplicationGraph:
     """src -> fork -> (map -> da | db): multicast + asymmetric arms."""
     g = ApplicationGraph("diamond")
-    g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=chunk), ProducerKernel.PORTS))
-    g.add_task(TaskNode("fork", lambda: ForkKernel(chunk=chunk), ForkKernel.PORTS))
+    g.add_task(
+        TaskNode("src", lambda: ProducerKernel(payload, chunk=chunk), _grained(ProducerKernel, chunk))
+    )
+    g.add_task(TaskNode("fork", lambda: ForkKernel(chunk=chunk), _grained(ForkKernel, chunk)))
     g.add_task(
         TaskNode(
             "ma",
             lambda: MapKernel(lambda b: bytes(x ^ 0x3C for x in b), chunk=chunk),
-            MapKernel.PORTS,
+            _grained(MapKernel, chunk),
         )
     )
-    g.add_task(TaskNode("da", lambda: ConsumerKernel(chunk=chunk), ConsumerKernel.PORTS))
-    g.add_task(TaskNode("db", lambda: ConsumerKernel(chunk=chunk), ConsumerKernel.PORTS))
+    g.add_task(TaskNode("da", lambda: ConsumerKernel(chunk=chunk), _grained(ConsumerKernel, chunk)))
+    g.add_task(TaskNode("db", lambda: ConsumerKernel(chunk=chunk), _grained(ConsumerKernel, chunk)))
     g.connect("src.out", "fork.in", buffer_size=buffer_size)
     g.connect("fork.out_a", "ma.in", buffer_size=buffer_size)
     g.connect("ma.out", "da.in", buffer_size=buffer_size)
     g.connect("fork.out_b", "db.in", buffer_size=buffer_size)
-    return g
+    return _checked(g)
 
 
 def quickstart_graph(payload: bytes, chunk: int = 32, buffer_size: int = 128) -> ApplicationGraph:
     """src -> dst: the CLI quickstart demo graph."""
     g = ApplicationGraph("cli-demo")
-    g.add_task(TaskNode("src", lambda: ProducerKernel(payload, chunk=chunk), ProducerKernel.PORTS))
-    g.add_task(TaskNode("dst", lambda: ConsumerKernel(chunk=chunk), ConsumerKernel.PORTS))
+    g.add_task(
+        TaskNode("src", lambda: ProducerKernel(payload, chunk=chunk), _grained(ProducerKernel, chunk))
+    )
+    g.add_task(TaskNode("dst", lambda: ConsumerKernel(chunk=chunk), _grained(ConsumerKernel, chunk)))
     g.connect("src.out", "dst.in", buffer_size=buffer_size)
-    return g
+    return _checked(g)
 
 
 GRAPH_BUILDERS = {"pipeline": pipeline_graph, "diamond": diamond_graph}

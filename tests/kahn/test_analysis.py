@@ -131,3 +131,75 @@ def test_filter_chain_rates():
     assert set(q.values()) == {1}
     per_iter = stream_rates_per_iteration(g, rates)
     assert per_iter["s_ds_out"] == w // 2
+
+
+# ---------------------------------------------------------------------------
+# edge cases: multicast, disconnected subgraphs, zero-rate ports
+# ---------------------------------------------------------------------------
+def _stub_task(g, name, *ports):
+    from repro.kahn import Direction, PortSpec
+    from repro.kahn.kernel import Kernel
+
+    specs = tuple(
+        PortSpec(p, Direction.OUT if p.startswith("out") else Direction.IN) for p in ports
+    )
+    g.add_task(TaskNode(name, Kernel, specs))
+    return specs
+
+
+def test_multicast_balances_every_consumer():
+    """One producer port feeding two consumers constrains both arms."""
+    g = ApplicationGraph("mcast")
+    _stub_task(g, "src", "out")
+    _stub_task(g, "a", "in")
+    _stub_task(g, "b", "in")
+    g.connect("src.out", "a.in", "b.in")
+    q = repetition_vector(
+        g, {("src", "out"): 32, ("a", "in"): 16, ("b", "in"): 32}
+    )
+    assert q == {"src": 1, "a": 2, "b": 1}
+
+
+def test_reconvergent_pair_inconsistent_arm_detected():
+    """Two parallel edges between the same tasks must agree once the
+    rates are fixed — a 32/32 arm next to a 32/16 arm cannot balance."""
+    g = ApplicationGraph("reconverge-bad")
+    _stub_task(g, "src", "out_a", "out_b")
+    _stub_task(g, "dst", "in_a", "in_b")
+    g.connect("src.out_a", "dst.in_a")
+    g.connect("src.out_b", "dst.in_b")
+    with pytest.raises(RateInconsistencyError):
+        repetition_vector(
+            g,
+            {("src", "out_a"): 32, ("src", "out_b"): 32,
+             ("dst", "in_a"): 32, ("dst", "in_b"): 16},
+        )
+
+
+def test_disconnected_subgraphs_each_get_a_vector():
+    """Two independent pipelines solve independently in one call."""
+    g = ApplicationGraph("two-islands")
+    _stub_task(g, "p0", "out")
+    _stub_task(g, "c0", "in")
+    _stub_task(g, "p1", "out")
+    _stub_task(g, "c1", "in")
+    g.connect("p0.out", "c0.in")
+    g.connect("p1.out", "c1.in")
+    rates = {
+        ("p0", "out"): 32, ("c0", "in"): 16,
+        ("p1", "out"): 8, ("c1", "in"): 8,
+    }
+    q = repetition_vector(g, rates)
+    assert q["p0"] * 32 == q["c0"] * 16
+    assert q["p1"] == q["c1"]
+    assert min(q.values()) == 1
+
+
+def test_zero_rate_port_rejected_with_port_context():
+    """A zero rate names the offending task.port in the error."""
+    g = ApplicationGraph("zero")
+    _stub_task(g, "src", "out")
+    _stub_task(g, "dst", "in")
+    g.connect("src.out", "dst.in")
+    with pytest.raises(GraphError, match=r"dst\.in"):
+        repetition_vector(g, {("src", "out"): 32, ("dst", "in"): 0})

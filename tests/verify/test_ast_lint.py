@@ -1,0 +1,60 @@
+"""Source-level lint: unyielded ops and raw op construction."""
+
+from repro.kahn import library
+from repro.media import tasks
+from repro.verify import lint_module, lint_source
+
+
+def test_unyielded_ctx_op_is_a201():
+    src = """
+class K(Kernel):
+    def step(self, ctx):
+        space = yield ctx.get_space("out", 8)
+        ctx.write("out", 0, b"x")      # discarded
+        ctx.put_space("out", 8)        # discarded
+        return StepOutcome.COMPLETED
+"""
+    rep = lint_source(src, filename="k.py")
+    hits = [d for d in rep if d.rule_id == "A201"]
+    assert len(hits) == 2
+    assert hits[0].task == "K"
+    assert hits[0].source.startswith("k.py:")
+    assert "yield ctx.write" in hits[0].message
+
+
+def test_raw_op_construction_is_a202():
+    src = """
+class K(Kernel):
+    def step(self, ctx):
+        yield ReadOp("in", 0, 8)
+        yield kernel.PutSpaceOp("in", 8)
+        return StepOutcome.COMPLETED
+"""
+    rep = lint_source(src, filename="k.py")
+    assert len([d for d in rep if d.rule_id == "A202"]) == 2
+
+
+def test_clean_kernel_source_has_no_findings():
+    src = """
+class K(Kernel):
+    def step(self, ctx):
+        space = yield ctx.get_space("in", 8)
+        if not space:
+            return StepOutcome.ABORTED
+        data = yield ctx.read("in", 0, 8)
+        yield ctx.put_space("in", 8)
+        return StepOutcome.COMPLETED
+"""
+    assert len(lint_source(src)) == 0
+
+
+def test_syntax_error_reports_not_crashes():
+    rep = lint_source("def broken(:\n    pass", filename="bad.py")
+    assert rep.rule_ids() == {"P106"}
+    assert rep.diagnostics[0].source.startswith("bad.py:")
+
+
+def test_shipped_kernel_modules_are_clean():
+    for mod in (library, tasks):
+        rep = lint_module(mod)
+        assert len(rep) == 0, rep.render_text()

@@ -1,0 +1,79 @@
+"""Diagnostic engine: rules, severities, reports, reporters."""
+
+import json
+
+import pytest
+
+from repro.verify import RULES, Diagnostic, Report, Severity, rule
+
+
+def test_registry_has_stable_ids_and_categories():
+    assert {"G001", "G003", "P101", "P104", "A201", "V001"} <= set(RULES)
+    for rid, r in RULES.items():
+        assert r.id == rid
+        assert r.title and r.summary
+        assert isinstance(r.severity, Severity)
+
+
+def test_rule_lookup_rejects_unknown_ids():
+    with pytest.raises(KeyError, match="unknown rule"):
+        rule("G999")
+
+
+def test_severity_orders_and_prints_lowercase():
+    assert Severity.ERROR > Severity.WARNING > Severity.INFO
+    assert str(Severity.ERROR) == "error"
+
+
+def test_diagnostic_severity_comes_from_rule_unless_overridden():
+    d = Diagnostic("G003", "too small", task="src", port="out")
+    assert d.severity is Severity.ERROR
+    soft = Diagnostic("G003", "too small", severity_override=Severity.INFO)
+    assert soft.severity is Severity.INFO
+
+
+def test_location_uses_task_dot_port_format():
+    d = Diagnostic("P101", "boom", task="vld", port="coef_out")
+    assert d.location.startswith("vld.coef_out")
+    assert "vld.coef_out" in d.render()
+    assert Diagnostic("G008", "over", source="decode").location == "decode"
+
+
+def test_report_exit_code_is_nonzero_iff_errors():
+    rep = Report()
+    assert rep.exit_code == 0
+    rep.add(Diagnostic("G004", "warn only", stream="s"))
+    assert rep.exit_code == 0 and rep.warnings
+    rep.add(Diagnostic("P103", "overcommit", task="t", port="p"))
+    assert rep.exit_code == 1 and rep.has_errors
+
+
+def test_ignoring_suppresses_and_validates():
+    rep = Report()
+    rep.add(Diagnostic("G009", "two islands"))
+    rep.add(Diagnostic("G003", "tiny", task="a", port="b"))
+    kept = rep.ignoring(["G009"])
+    assert kept.rule_ids() == {"G003"}
+    assert len(rep) == 2  # original untouched
+    with pytest.raises(KeyError, match="unknown rule"):
+        rep.ignoring(["G09"])
+
+
+def test_render_text_sorts_errors_first_and_counts():
+    rep = Report()
+    rep.add(Diagnostic("G006", "info", stream="s"))
+    rep.add(Diagnostic("P101", "error", task="t", port="p"))
+    text = rep.render_text()
+    assert text.index("P101") < text.index("G006")
+    assert "1 error(s), 0 warning(s), 1 info(s)" in text
+
+
+def test_json_reporter_round_trips():
+    rep = Report()
+    rep.add(Diagnostic("P102", "oob", task="t", port="out", stream="s"))
+    rep.note("skipped one kernel")
+    data = json.loads(rep.to_json())
+    (d,) = data["diagnostics"]
+    assert d["rule"] == "P102" and d["task"] == "t" and d["severity"] == "error"
+    assert data["notes"] == ["skipped one kernel"]
+    assert data["counts"]["error"] == 1

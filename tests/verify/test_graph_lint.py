@@ -1,0 +1,113 @@
+"""Graph linter rules G001-G009 on purpose-built graphs."""
+
+import pytest
+
+from repro.kahn import ApplicationGraph, Direction, PortSpec, TaskNode
+from repro.kahn.kernel import Kernel
+from repro.verify import declared_rates, lint_graph
+
+
+def stub(g, name, *specs):
+    g.add_task(TaskNode(name, Kernel, tuple(specs)))
+
+
+def pipe(grain=16, buffer_size=64):
+    g = ApplicationGraph("pipe")
+    stub(g, "src", PortSpec("out", Direction.OUT, grain))
+    stub(g, "dst", PortSpec("in", Direction.IN, grain))
+    g.connect("src.out", "dst.in", buffer_size=buffer_size)
+    return g
+
+
+def test_clean_graph_yields_no_diagnostics():
+    rep = lint_graph(pipe())
+    assert len(rep) == 0 and rep.exit_code == 0
+
+
+def test_g001_structural_failure_short_circuits():
+    g = pipe()
+    stub(g, "orphan", PortSpec("in", Direction.IN))
+    rep = lint_graph(g)
+    assert rep.rule_ids() == {"G001"}
+    assert "orphan.in" in rep.diagnostics[0].message
+
+
+def test_g002_needs_declared_rates():
+    g = ApplicationGraph("incons")
+    stub(g, "src", PortSpec("out_a", Direction.OUT, 32), PortSpec("out_b", Direction.OUT, 32))
+    stub(g, "dst", PortSpec("in_a", Direction.IN, 32), PortSpec("in_b", Direction.IN, 16))
+    g.connect("src.out_a", "dst.in_a", buffer_size=64)
+    g.connect("src.out_b", "dst.in_b", buffer_size=64)
+    assert "G002" in lint_graph(g).rule_ids()
+    # default granularity of 1 anywhere means "rates undeclared": skip
+    g_undeclared = ApplicationGraph("undeclared")
+    stub(g_undeclared, "src", PortSpec("out", Direction.OUT))
+    stub(g_undeclared, "dst", PortSpec("in", Direction.IN))
+    g_undeclared.connect("src.out", "dst.in", buffer_size=64)
+    assert declared_rates(g_undeclared) is None
+    rep = lint_graph(g_undeclared)
+    assert "G002" not in rep.rule_ids()
+    assert any("rate check skipped" in n for n in rep.notes)
+
+
+def test_g003_buffer_below_grain_names_the_port():
+    rep = lint_graph(pipe(grain=16, buffer_size=8))
+    (d,) = [d for d in rep if d.rule_id == "G003"]
+    assert d.task == "src" and d.port == "out"
+    assert "can never be granted" in d.message
+
+
+def test_g004_cycle_below_deadlock_bound():
+    g = ApplicationGraph("loop")
+    stub(g, "A", PortSpec("in", Direction.IN, 16), PortSpec("out", Direction.OUT, 16))
+    stub(g, "B", PortSpec("in", Direction.IN, 16), PortSpec("out", Direction.OUT, 16))
+    g.connect("A.out", "B.in", buffer_size=32)
+    g.connect("B.out", "A.in", buffer_size=16)  # < 16+16
+    ids = lint_graph(g).rule_ids()
+    assert "G004" in ids
+    # widening the back edge to the bound clears it
+    g.streams["s_B_out"].buffer_size = 32
+    assert "G004" not in lint_graph(g).rule_ids()
+
+
+def test_g005_and_g006_divisibility():
+    rep = lint_graph(pipe(grain=32, buffer_size=48), cache_line=32)
+    ids = rep.rule_ids()
+    assert {"G005", "G006"} <= ids
+    g006 = [d for d in rep if d.rule_id == "G006"][0]
+    assert "pad" in g006.message
+
+
+def test_g007_multicast_grain_mismatch():
+    g = ApplicationGraph("mcast")
+    stub(g, "src", PortSpec("out", Direction.OUT, 32))
+    stub(g, "a", PortSpec("in", Direction.IN, 16))
+    stub(g, "b", PortSpec("in", Direction.IN, 32))
+    g.connect("src.out", "a.in", "b.in", buffer_size=64)
+    assert "G007" in lint_graph(g).rule_ids()
+
+
+def test_g008_sram_budget():
+    g = pipe(buffer_size=4096)
+    assert "G008" in lint_graph(g, sram_size=1024).rule_ids()
+    assert "G008" not in lint_graph(g, sram_size=64 * 1024).rule_ids()
+
+
+def test_g009_disconnected_components_warn_only():
+    g = ApplicationGraph("islands")
+    for i in range(2):
+        stub(g, f"p{i}", PortSpec("out", Direction.OUT))
+        stub(g, f"c{i}", PortSpec("in", Direction.IN))
+        g.connect(f"p{i}.out", f"c{i}.in", buffer_size=64)
+    rep = lint_graph(g)
+    assert rep.rule_ids() == {"G009"}
+    assert rep.exit_code == 0  # warning, not error
+    assert len(rep.ignoring(["G009"])) == 0
+
+
+def test_explicit_rates_mapping_overrides_auto():
+    g = pipe(grain=1, buffer_size=64)  # undeclared by default
+    rep = lint_graph(g, rates={("src", "out"): 32, ("dst", "in"): 16})
+    assert "G002" not in rep.rule_ids()  # 32 -> 16 is consistent (q doubles)
+    bad = lint_graph(g, rates={("src", "out"): 32})  # dst.in missing
+    assert "G002" in bad.rule_ids()

@@ -1,0 +1,183 @@
+"""Abstract interpretation of kernels against the window oracle."""
+
+from repro.kahn import Direction, PortSpec
+from repro.kahn.kernel import Kernel, KernelContext, StepOutcome, WriteOp
+from repro.kahn.library import (
+    ConsumerKernel,
+    ForkKernel,
+    MapKernel,
+    ProducerKernel,
+    RoundRobinMergeKernel,
+)
+from repro.verify import check_graph_protocol, check_kernel_protocol
+from repro.workloads import diamond_graph, payload_of, pipeline_graph
+
+
+def ids_of(factory, **kw):
+    return check_kernel_protocol(factory, name="k", **kw).rule_ids()
+
+
+# ---------------------------------------------------------------------------
+# the shipped library kernels are protocol-clean under every policy
+# ---------------------------------------------------------------------------
+def test_library_kernels_are_clean():
+    factories = [
+        lambda: ProducerKernel(payload_of(64), chunk=16),
+        lambda: ConsumerKernel(chunk=16),
+        lambda: MapKernel(lambda b: b, chunk=16),
+        lambda: ForkKernel(chunk=16),
+        lambda: RoundRobinMergeKernel(chunk=16),
+    ]
+    for f in factories:
+        rep = check_kernel_protocol(f, name=type(f()).__name__)
+        assert len(rep) == 0, rep.render_text()
+
+
+def test_graph_level_check_uses_stream_buffers():
+    g = pipeline_graph(payload_of(128), chunk=16, buffer_size=64)
+    rep = check_graph_protocol(g)
+    assert len(rep) == 0, rep.render_text()
+    # shrink a buffer below the chunk: the kernel's GetSpace(16) now
+    # exceeds it and the graph-level pass sees P107
+    g2 = diamond_graph(payload_of(128), chunk=16, buffer_size=96)
+    g2.streams["s_src_out"].buffer_size = 8
+    assert "P107" in check_graph_protocol(g2).rule_ids()
+
+
+# ---------------------------------------------------------------------------
+# violations
+# ---------------------------------------------------------------------------
+class ReadTooFar(Kernel):
+    PORTS = (PortSpec("in", Direction.IN),)
+
+    def step(self, ctx):
+        s = yield ctx.get_space("in", 4)
+        if not s:
+            return StepOutcome.FINISHED
+        yield ctx.read("in", 2, 4)  # [2:6) vs 4 granted
+        yield ctx.put_space("in", 4)
+        return StepOutcome.COMPLETED
+
+
+class CommitWithoutGrant(Kernel):
+    PORTS = (PortSpec("out", Direction.OUT),)
+
+    def step(self, ctx):
+        yield ctx.write("out", 0, b"hi")  # no GetSpace at all
+        yield ctx.put_space("out", 2)
+        return StepOutcome.COMPLETED
+
+
+class CommitThenAbort(Kernel):
+    PORTS = (PortSpec("a", Direction.OUT), PortSpec("b", Direction.OUT))
+
+    def step(self, ctx):
+        sa = yield ctx.get_space("a", 4)
+        if not sa:
+            return StepOutcome.ABORTED
+        yield ctx.write("a", 0, b"\x00" * 4)
+        yield ctx.put_space("a", 4)
+        sb = yield ctx.get_space("b", 4)
+        if not sb:
+            return StepOutcome.ABORTED
+        yield ctx.put_space("b", 4)
+        return StepOutcome.COMPLETED
+
+
+class RawOpWrongPort(Kernel):
+    PORTS = (PortSpec("out", Direction.OUT),)
+
+    def step(self, ctx):
+        s = yield ctx.get_space("out", 4)
+        if not s:
+            return StepOutcome.ABORTED
+        yield WriteOp("mystery", 0, b"??")  # undeclared port
+        yield ctx.put_space("out", 4)
+        return StepOutcome.COMPLETED
+
+
+class YieldsGarbage(Kernel):
+    PORTS = ()
+
+    def step(self, ctx):
+        yield "not an op"
+        return StepOutcome.COMPLETED
+
+
+def test_read_outside_window_is_p101():
+    rep = check_kernel_protocol(ReadTooFar, name="reader")
+    (d,) = [d for d in rep if d.rule_id == "P101"]
+    assert d.task == "reader" and d.port == "in"
+    assert "outside" in d.message
+
+
+def test_write_and_commit_without_grant():
+    ids = ids_of(CommitWithoutGrant)
+    assert "P102" in ids and "P103" in ids
+
+
+def test_commit_on_aborted_path_is_p104():
+    # only the deny-the-second-inquiry session exposes it
+    assert "P104" in ids_of(CommitThenAbort)
+
+
+def test_undeclared_port_is_p105():
+    assert "P105" in ids_of(RawOpWrongPort)
+
+
+def test_non_op_yield_is_p106():
+    assert "P106" in ids_of(YieldsGarbage)
+
+
+def test_getspace_beyond_buffer_is_p107():
+    assert "P107" in ids_of(
+        lambda: ProducerKernel(payload_of(256), chunk=128), buffer_of={"out": 64}
+    )
+
+
+# ---------------------------------------------------------------------------
+# inconclusive kernels produce notes, never diagnostics
+# ---------------------------------------------------------------------------
+class NeedsRealData(Kernel):
+    PORTS = (PortSpec("in", Direction.IN),)
+
+    def step(self, ctx):
+        s = yield ctx.get_space("in", 4)
+        if not s:
+            return StepOutcome.FINISHED
+        data = yield ctx.read("in", 0, 4)
+        int.from_bytes(data, "big") // 0  # blows up on synthetic zeros
+        yield ctx.put_space("in", 4)
+        return StepOutcome.COMPLETED
+
+
+def test_data_dependent_crash_is_a_note_not_a_finding():
+    rep = check_kernel_protocol(NeedsRealData, name="fragile")
+    assert len(rep) == 0
+    assert any("fragile" in n and "raised" in n for n in rep.notes)
+
+
+def test_windows_persist_across_steps_like_the_shell():
+    """A second step may reuse a window granted (and not committed)
+    earlier — matching shell.py's persistent stream-table state."""
+
+    class TwoStepWindow(Kernel):
+        PORTS = (PortSpec("out", Direction.OUT),)
+
+        def __init__(self, task_info: int = 0):
+            super().__init__(task_info)
+            self.phase = 0
+
+        def step(self, ctx):
+            if self.phase == 0:
+                self.phase = 1
+                s = yield ctx.get_space("out", 8)
+                if not s:
+                    return StepOutcome.ABORTED
+                return StepOutcome.COMPLETED  # window kept, nothing committed
+            yield ctx.write("out", 0, b"\x00" * 8)  # still inside the window
+            yield ctx.put_space("out", 8)
+            return StepOutcome.FINISHED
+
+    rep = check_kernel_protocol(TwoStepWindow, name="twostep")
+    assert len(rep) == 0, rep.render_text()
