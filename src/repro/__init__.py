@@ -80,6 +80,15 @@ from repro.media import (
 )
 from repro.media.pipelines import decode_graph, encode_graph, timeshift_graph
 from repro.media.tasks import CostModel
+from repro.resilience import (
+    InvariantViolation,
+    MonitorSuite,
+    SnapshotError,
+    Supervisor,
+    SystemSnapshot,
+    capture,
+    restore,
+)
 from repro.runner import ParallelRunner, RunReport, RunResult, RunSpec, run_specs
 from repro.trace import Sampler, collect_counters
 
@@ -95,9 +104,11 @@ __all__ = [
     "ENCODE_MAPPING",
     "EclipseSystem",
     "FunctionalExecutor",
+    "InvariantViolation",
     "Kernel",
     "DeadlockError",
     "FaultPlan",
+    "MonitorSuite",
     "ParallelRunner",
     "PortSpec",
     "RunReport",
@@ -106,15 +117,20 @@ __all__ = [
     "run_specs",
     "Sampler",
     "ShellParams",
+    "SnapshotError",
     "StalledError",
     "StallSpec",
     "StepOutcome",
+    "Supervisor",
     "SystemParams",
     "SystemResult",
+    "SystemSnapshot",
     "TaskNode",
     "build_mpeg_instance",
+    "capture",
     "check_determinism",
     "collect_counters",
+    "restore",
     "decode_graph",
     "decode_on_instance",
     "decode_sequence",

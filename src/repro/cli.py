@@ -38,6 +38,11 @@ machine-readable JSON report.  The report's deterministic sections are
 byte-identical at any ``--jobs`` count; ``--report-timing`` opts into
 embedding the wall-clock block (which naturally varies run to run).
 See docs/parallel-runs.md.
+
+``--checkpoint-dir DIR`` runs the same sweeps under the crash-tolerant
+supervisor (checkpointed workers, heartbeat crash/hang detection,
+bounded restarts); ``--resume DIR`` continues an interrupted sweep
+from its checkpoint directory.  See docs/resilience.md.
 """
 
 from __future__ import annotations
@@ -89,6 +94,26 @@ def _add_runner_args(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="embed the wall-clock timing block in --report (breaks "
         "byte-identity across runs)",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="run the sweep under the crash-tolerant supervisor, writing "
+        "checkpoints and per-run results to DIR (see docs/resilience.md)",
+    )
+    p.add_argument(
+        "--resume",
+        metavar="DIR",
+        help="resume an interrupted supervised sweep from its checkpoint "
+        "directory: completed runs are skipped, interrupted ones continue "
+        "from their last checkpoint",
+    )
+    p.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="simulated cycles between checkpoints (default: 4096)",
     )
 
 
@@ -225,6 +250,44 @@ def _runner_jobs(args) -> int:
         print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
         raise SystemExit(2)
     return jobs
+
+
+def _run_sweep(specs, args, jobs):
+    """Run a spec list through the plain pool, or — when
+    --checkpoint-dir / --resume is given — through the crash-tolerant
+    :class:`repro.resilience.Supervisor`.  Either way the deterministic
+    report payload is identical (docs/resilience.md)."""
+    from repro.runner import ParallelRunner
+
+    ckpt_dir = getattr(args, "checkpoint_dir", None)
+    resume_dir = getattr(args, "resume", None)
+    if ckpt_dir and resume_dir and ckpt_dir != resume_dir:
+        print("error: --checkpoint-dir and --resume name different "
+              "directories; pass just --resume to continue a sweep",
+              file=sys.stderr)
+        raise SystemExit(2)
+    directory = resume_dir or ckpt_dir
+    if directory is None:
+        if getattr(args, "checkpoint_interval", None) is not None:
+            print("error: --checkpoint-interval requires --checkpoint-dir "
+                  "or --resume", file=sys.stderr)
+            raise SystemExit(2)
+        return ParallelRunner(jobs=jobs).run(specs)
+
+    from repro.resilience import Supervisor, SupervisorError
+    from repro.resilience.supervisor import DEFAULT_INTERVAL
+
+    interval = args.checkpoint_interval or DEFAULT_INTERVAL
+    try:
+        supervisor = Supervisor(checkpoint_dir=directory, interval=interval,
+                                jobs=jobs)
+        report = supervisor.run(specs, resume=resume_dir is not None)
+    except (SupervisorError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    for note in report.notes:
+        print(f"note: {note}")
+    return report
 
 
 def _write_report(report, args) -> None:
@@ -397,7 +460,7 @@ def _cmd_estimate(args) -> int:
 
 def _cmd_explore(args) -> int:
     from repro import CodecParams, encode_sequence, synthetic_sequence
-    from repro.runner import ParallelRunner, RunSpec
+    from repro.runner import RunSpec
     from repro.workloads import explore_decode_run
 
     jobs = _runner_jobs(args)
@@ -418,7 +481,7 @@ def _cmd_explore(args) -> int:
                 label=f"buffer_packets={pkts}")
         for pkts in buffer_levels
     ]
-    report = ParallelRunner(jobs=jobs).run(specs)
+    report = _run_sweep(specs, args, jobs)
     for res in report.failures:
         print(f"error: {res.label} failed: {res.error}", file=sys.stderr)
     if report.failures:
@@ -445,7 +508,7 @@ def _cmd_conformance(args) -> int:
     the functional executor's stream histories byte-for-byte.  The seed
     sweep fans out over the repro.runner process pool (--jobs)."""
     from repro import FaultPlan, FunctionalExecutor
-    from repro.runner import ParallelRunner, RunSpec, _histories_digest
+    from repro.runner import RunSpec, _histories_digest
     from repro.workloads import GRAPH_BUILDERS, conformance_run, payload_of
 
     jobs = _runner_jobs(args)
@@ -482,7 +545,7 @@ def _cmd_conformance(args) -> int:
         for gname in names
         for i in range(args.seeds)
     ]
-    report = ParallelRunner(jobs=jobs).run(specs)
+    report = _run_sweep(specs, args, jobs)
 
     failures = 0
     for res in report.results:

@@ -86,6 +86,28 @@ class ReadCache:
         self.stats.invalidations += dropped
         return dropped
 
+    def line_addrs(self) -> List[int]:
+        """Cached line addresses in LRU→MRU order (no promotion)."""
+        return list(self._lines)
+
+    def export_state(self) -> dict:
+        """JSON-safe view: LRU order, contents, and counters."""
+        return {
+            "capacity": self.capacity,
+            "line_size": self.line_size,
+            "lines": [
+                {"addr": addr, "data": data.hex()}
+                for addr, data in self._lines.items()
+            ],
+            "stats": {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "invalidations": self.stats.invalidations,
+                "evictions": self.stats.evictions,
+                "prefetch_fills": self.stats.prefetch_fills,
+            },
+        }
+
     def __len__(self) -> int:
         return len(self._lines)
 
@@ -174,6 +196,32 @@ class WriteCache:
 
     def dirty_lines(self) -> int:
         return len(self._lines)
+
+    def dirty_items(self) -> List[Tuple[int, bytes, bytes]]:
+        """Non-destructive view of cached lines as ``(line_addr, data,
+        mask)`` in LRU→MRU order — for monitors and snapshots."""
+        return [
+            (addr, bytes(buf), bytes(mask))
+            for addr, (buf, mask) in self._lines.items()
+        ]
+
+    def export_state(self) -> dict:
+        """JSON-safe view: LRU order, contents, masks, and counters."""
+        return {
+            "capacity": self.capacity,
+            "line_size": self.line_size,
+            "lines": [
+                {"addr": addr, "data": bytes(buf).hex(), "mask": bytes(mask).hex()}
+                for addr, (buf, mask) in self._lines.items()
+            ],
+            "stats": {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "invalidations": self.stats.invalidations,
+                "evictions": self.stats.evictions,
+                "prefetch_fills": self.stats.prefetch_fills,
+            },
+        }
 
     def __len__(self) -> int:
         return len(self._lines)

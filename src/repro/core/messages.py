@@ -24,8 +24,8 @@ those failure modes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, TYPE_CHECKING
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from repro.sim import FaultInjector, Simulator
 
@@ -113,6 +113,8 @@ class MessageFabric:
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.bytes_signalled = 0
+        self._next_send_id = 0
+        self._inflight: Dict[int, Dict[str, Any]] = {}
 
     def send(self, dest: "Shell", msg) -> None:
         """Schedule delivery of ``msg`` to ``dest`` (possibly dropped,
@@ -130,10 +132,36 @@ class MessageFabric:
                 self.messages_dropped += 1
                 return
         for extra in extra_delays:
+            self._next_send_id += 1
+            send_id = self._next_send_id
+            self._inflight[send_id] = {
+                "due": self.sim.now + delay + extra,
+                "dest": dest.name,
+                "kind": type(msg).__name__,
+                "fields": asdict(msg),
+            }
             ev = self.sim.event()
-            ev.add_callback(lambda _ev, m=msg: self._deliver(dest, m))
+            ev.add_callback(lambda _ev, m=msg, i=send_id: self._deliver(dest, m, i))
             ev.succeed(None, delay=delay + extra)
 
-    def _deliver(self, dest: "Shell", msg) -> None:
+    def _deliver(self, dest: "Shell", msg, send_id: Optional[int] = None) -> None:
+        if send_id is not None:
+            self._inflight.pop(send_id, None)
         self.messages_delivered += 1
         dest.deliver(msg)
+
+    def inflight(self) -> List[Dict[str, Any]]:
+        """Messages sent but not yet delivered, in send order."""
+        return [dict(self._inflight[i], send_id=i) for i in sorted(self._inflight)]
+
+    def export_state(self) -> Dict[str, Any]:
+        """JSON-safe view of fabric state for snapshots and monitors."""
+        return {
+            "latency": self.latency,
+            "jitter": self.jitter,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "bytes_signalled": self.bytes_signalled,
+            "inflight": self.inflight(),
+        }

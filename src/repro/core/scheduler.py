@@ -88,3 +88,12 @@ class WeightedRoundRobinScheduler:
         # Nothing runnable; current keeps its slot so an unblock resumes
         # it with a fresh budget via the scan above.
         return ScheduleVerdict.WAIT, None
+
+    def export_state(self) -> dict:
+        """JSON-safe view of the scheduling position and counters."""
+        return {
+            "best_guess": self.best_guess,
+            "current": self._current,
+            "task_switches": self.task_switches,
+            "budget_exhaustions": self.budget_exhaustions,
+        }

@@ -449,5 +449,35 @@ class Shell:
             self._resend_credits()
             interval = min(interval * backoff, timeout * max_backoff)
 
+    # ------------------------------------------------------------------
+    # state export (snapshots, invariant monitors)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """JSON-safe view of the shell's full synchronization state."""
+        return {
+            "name": self.name,
+            "streams": self.stream_table.export_state(),
+            "tasks": self.task_table.export_state(),
+            "scheduler": self.scheduler.export_state(),
+            "read_cache": self.read_cache.export_state(),
+            "write_cache": self.write_cache.export_state(),
+            "poisoned": sorted(self._poisoned),
+            "inflight_lines": sorted(self._inflight),
+            "counters": {
+                "getspace_ops": self.getspace_ops,
+                "putspace_ops": self.putspace_ops,
+                "gettask_ops": self.gettask_ops,
+                "read_hits": self.read_hits,
+                "read_misses": self.read_misses,
+                "idle_wait_cycles": self.idle_wait_cycles,
+                "messages_delivered": self.messages_delivered,
+                "credits_applied": self.credits_applied,
+                "watchdog_fires": self.watchdog_fires,
+                "retries_sent": self.retries_sent,
+                "recoveries": self.recoveries,
+                "corruptions_detected": self.corruptions_detected,
+            },
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Shell {self.name!r}: {len(self.task_table)} tasks, {len(self.stream_table)} rows>"

@@ -116,6 +116,33 @@ class StreamRow:
             and self.position + self.space >= self.eos_position
         )
 
+    def export_state(self) -> dict:
+        """JSON-safe view of the row for snapshots and monitors."""
+        fill = None
+        if self.fill_stat is not None:
+            fill = {
+                "value": self.fill_stat.value,
+                "minimum": self.fill_stat.minimum,
+                "maximum": self.fill_stat.maximum,
+            }
+        return {
+            "stream": self.stream,
+            "task": self.task,
+            "port": self.port,
+            "is_producer": self.is_producer,
+            "buffer": {"base": self.buffer.base, "size": self.buffer.size},
+            "position": self.position,
+            "granted": self.granted,
+            "space": self.space,
+            "arm_space": list(self.arm_space),
+            "eos_position": self.eos_position,
+            "denied_getspace": self.denied_getspace,
+            "granted_getspace": self.granted_getspace,
+            "putspace_messages_sent": self.putspace_messages_sent,
+            "committed_bytes": self.committed_bytes,
+            "fill": fill,
+        }
+
     def __str__(self) -> str:
         kind = "prod" if self.is_producer else "cons"
         return f"{self.stream}:{self.task}.{self.port}({kind})"
@@ -139,3 +166,6 @@ class StreamTable:
 
     def __iter__(self):
         return iter(self.rows)
+
+    def export_state(self) -> List[dict]:
+        return [row.export_state() for row in self.rows]

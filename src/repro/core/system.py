@@ -213,6 +213,17 @@ class EclipseSystem:
         self._configured = False
         self._unfinished_tasks = 0
         self._monitors_active = False
+        #: observability counters for the resilience layer (checkpoint
+        #: and monitor activity).  Deliberately NOT part of
+        #: :meth:`export_state`: exporting state must not change the
+        #: state digest, or interrupted and uninterrupted runs would
+        #: diverge byte-wise.
+        self.resilience: Dict[str, int] = {
+            "state_exports": 0,
+            "invariant_checks": 0,
+            "invariant_violations": 0,
+            "checkpoints_written": 0,
+        }
 
     # ------------------------------------------------------------------
     # fault-injection hooks (no-ops without an injector)
@@ -488,6 +499,106 @@ class EclipseSystem:
                 f"unfinished tasks: {stalled}\n{self.blocked_report()}"
             )
         return self._result(completed, stalled)
+
+    def advance(self, until: int) -> bool:
+        """Simulate forward to absolute cycle ``until`` and pause.
+
+        Unlike :meth:`run` this neither finalizes the run nor bumps the
+        clock past the last event when the queue drains early
+        (``advance_time=False``), so a checkpointed
+        ``advance(); advance(); ...; run()`` sequence ends at exactly
+        the same final cycle — and hence the same :class:`SystemResult`
+        — as one uninterrupted :meth:`run`.  Returns True once every
+        task finished.  :class:`DeadlockError` propagates (a supervisor
+        records it as the run's failure).
+        """
+        if not self._configured:
+            raise RuntimeError("configure() must be called before advance()")
+        if until < self.sim.now:
+            raise ValueError(f"advance({until}) is in the past (now={self.sim.now})")
+        self.sim.run(
+            until=until,
+            stop=self.all_finished if self._monitors_active else None,
+            advance_time=False,
+        )
+        return self.all_finished()
+
+    # ------------------------------------------------------------------
+    # state export (checkpoint/restore and invariant monitors)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Deterministic, JSON-safe view of the complete system state.
+
+        Everything an invariant monitor needs to check the shell
+        protocol's bookkeeping, and everything a snapshot digests to
+        cross-validate a replayed restore: stream/task tables, caches,
+        scheduler positions, SRAM buffer contents, in-flight fabric
+        messages, fault-injector progress, and the monotone counters.
+        """
+        import hashlib
+
+        self.resilience["state_exports"] += 1
+        return {
+            "now": self.sim.now,
+            "configured": self._configured,
+            "unfinished_tasks": self._unfinished_tasks,
+            "monitors_active": self._monitors_active,
+            "mapping": dict(sorted(self.mapping.items())) if self._configured else {},
+            "shells": {
+                name: shell.export_state()
+                for name, shell in sorted(self.shells.items())
+            },
+            "coprocessors": {
+                name: {
+                    "steps_total": c.steps_total,
+                    "busy_cycles": c.utilization.busy_cycles(),
+                }
+                for name, c in sorted(self.coprocessors.items())
+            },
+            "sram": self.sram.export_state(),
+            "fabric": self.fabric.export_state(),
+            "fault_injector": (
+                self.fault_injector.export_state() if self.fault_injector else None
+            ),
+            "histories": {
+                name: {
+                    "sha256": hashlib.sha256(bytes(data)).hexdigest(),
+                    "length": len(data),
+                }
+                for name, data in sorted(self._histories.items())
+            },
+            "buses": {
+                "read": {
+                    "transactions": self.read_bus.stats.transactions,
+                    "bytes_transferred": self.read_bus.stats.bytes_transferred,
+                    "busy_cycles": self.read_bus.stats.busy_cycles,
+                    "wait_cycles": self.read_bus.stats.wait_cycles,
+                },
+                "write": {
+                    "transactions": self.write_bus.stats.transactions,
+                    "bytes_transferred": self.write_bus.stats.bytes_transferred,
+                    "busy_cycles": self.write_bus.stats.busy_cycles,
+                    "wait_cycles": self.write_bus.stats.wait_cycles,
+                },
+            },
+            "dram": {
+                "bytes_read": self.dram.bytes_read,
+                "bytes_written": self.dram.bytes_written,
+            },
+            "cpu_sync_ops": self.cpu_sync_ops,
+            "cpu_busy_cycles": self.cpu_busy_cycles,
+        }
+
+    def state_digest(self) -> str:
+        """SHA-256 over the canonical JSON form of :meth:`export_state`
+        — the identity a restored snapshot must reproduce exactly."""
+        import hashlib
+        import json
+
+        blob = json.dumps(
+            self.export_state(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
 
     def _result(self, completed: bool, stalled: List[str]) -> SystemResult:
         tasks: Dict[str, TaskReport] = {}

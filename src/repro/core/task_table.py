@@ -50,6 +50,26 @@ class TaskRow:
         "previously denied data access")."""
         return self.enabled and not self.finished and not self.blocked_on
 
+    def export_state(self) -> dict:
+        """JSON-safe view of the row for snapshots and monitors."""
+        return {
+            "task_id": self.task_id,
+            "name": self.name,
+            "kernel": type(self.kernel).__name__,
+            "kernel_state": self.kernel.export_state(),
+            "budget": self.budget,
+            "remaining": self.remaining,
+            "enabled": self.enabled,
+            "finished": self.finished,
+            "blocked_on": sorted(self.blocked_on),
+            "port_rows": dict(sorted(self.port_rows.items())),
+            "steps_completed": self.steps_completed,
+            "steps_aborted": self.steps_aborted,
+            "busy_cycles": self.busy_cycles,
+            "compute_cycles": self.compute_cycles,
+            "stall_cycles": self.stall_cycles,
+        }
+
 
 class TaskTable:
     """The per-shell table of task rows."""
@@ -76,6 +96,9 @@ class TaskTable:
         NOT count as finished — a pause (run-time control, §5.4) must
         not power the coprocessor down permanently."""
         return all(r.finished for r in self.rows)
+
+    def export_state(self) -> List[dict]:
+        return [row.export_state() for row in self.rows]
 
     def unblock(self, row_id: int) -> bool:
         """Clear blocked-on marks for stream row ``row_id``; True if any

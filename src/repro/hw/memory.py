@@ -108,6 +108,29 @@ class OnChipMemory:
                 written += 1
         self.bytes_written += written
 
+    def export_state(self) -> dict:
+        """JSON-safe view: allocator state, counters, and the contents
+        of every live allocation (not the whole SRAM — untouched bytes
+        past ``_next_free`` are definitionally zero)."""
+        return {
+            "size": self.size,
+            "next_free": self._next_free,
+            "allocations": {
+                name: {
+                    "base": base,
+                    "size": size,
+                    "data": bytes(self._mem[base : base + size]).hex(),
+                }
+                for name, (base, size) in sorted(self.allocations.items())
+            },
+            "counters": {
+                "total_reads": self.total_reads,
+                "total_writes": self.total_writes,
+                "bytes_read": self.bytes_read,
+                "bytes_written": self.bytes_written,
+            },
+        }
+
     def _check(self, addr: int, n_bytes: int) -> None:
         if addr < 0 or n_bytes < 0 or addr + n_bytes > self.size:
             raise IndexError(

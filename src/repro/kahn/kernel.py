@@ -35,9 +35,46 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Generator, Optional, Tuple
+from typing import Any, Dict, Generator, Optional, Tuple
 
 from repro.kahn.graph import Direction, PortSpec
+
+
+def state_value(value: Any) -> Any:
+    """Convert one kernel attribute to a JSON-safe, deterministic form.
+
+    Scalars pass through; ``bytes`` become a tagged hex dict; containers
+    recurse; numpy-like arrays collapse to a digest (large, and their
+    bytes are what matters for identity); anything else — generators,
+    callables, file handles — becomes an opaque type marker rather than
+    an error, so exporting state never crashes a run.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return {"__bytes__": bytes(value).hex()}
+    if isinstance(value, (list, tuple)):
+        return [state_value(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(state_value(v) for v in value)
+    if isinstance(value, dict):
+        return {str(k): state_value(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    tobytes = getattr(value, "tobytes", None)
+    if callable(tobytes):
+        import hashlib
+
+        raw = tobytes()
+        return {
+            "__array__": {
+                "type": type(value).__name__,
+                "sha256": hashlib.sha256(raw).hexdigest(),
+                "nbytes": len(raw),
+            }
+        }
+    export = getattr(value, "export_state", None)
+    if callable(export):
+        return {"__object__": type(value).__name__, "state": export()}
+    return {"__opaque__": type(value).__name__}
 
 __all__ = [
     "GetSpaceOp",
@@ -186,12 +223,37 @@ class Kernel:
 
     PORTS: Tuple[PortSpec, ...] = ()
 
+    #: Names of the instance attributes that constitute the task's
+    #: resumable state.  Kernels that accumulate unbounded containers
+    #: should declare this (the ``repro verify`` rule A203 flags those
+    #: that don't); ``None`` means "export every attribute".
+    STATE_FIELDS: Optional[Tuple[str, ...]] = None
+
     def __init__(self, task_info: int = 0):
         self.task_info = task_info
 
     @classmethod
     def ports(cls) -> Tuple[PortSpec, ...]:
         return cls.PORTS
+
+    def export_state(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the kernel's saved task state.
+
+        Precedence: a ``__getstate__`` defined by the subclass wins;
+        otherwise declared :attr:`STATE_FIELDS`; otherwise every
+        instance attribute.  Values go through :func:`state_value`, so
+        unpicklable attributes degrade to opaque markers, never errors.
+        """
+        getstate = getattr(type(self), "__getstate__", None)
+        if getstate is not None and getstate is not getattr(object, "__getstate__", None):
+            raw = self.__getstate__()
+            if not isinstance(raw, dict):
+                return {"__getstate__": state_value(raw)}
+        elif self.STATE_FIELDS is not None:
+            raw = {name: getattr(self, name, None) for name in self.STATE_FIELDS}
+        else:
+            raw = vars(self)
+        return {k: state_value(v) for k, v in sorted(raw.items())}
 
     def step(self, ctx: "KernelContext") -> Generator[Any, Any, StepOutcome]:
         """One processing step.  Must be a generator yielding ops."""

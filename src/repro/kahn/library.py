@@ -75,6 +75,7 @@ class ConsumerKernel(Kernel):
         self.collected = bytearray()
 
     PORTS = (PortSpec("in", Direction.IN),)
+    STATE_FIELDS = ("chunk", "compute_cycles", "collected")
 
     def step(self, ctx: KernelContext):
         space = yield ctx.get_space("in", self.chunk)
@@ -209,6 +210,7 @@ class RoundRobinMergeKernel(Kernel):
         PortSpec("in_b", Direction.IN),
         PortSpec("out", Direction.OUT),
     )
+    STATE_FIELDS = ("chunk", "compute_cycles", "_turn", "_done")
 
     def step(self, ctx: KernelContext):
         if all(self._done):
@@ -262,6 +264,7 @@ class ConditionalConsumerKernel(Kernel):
         self.redo_count = 0
 
     PORTS = (PortSpec("in", Direction.IN), PortSpec("in2", Direction.IN))
+    STATE_FIELDS = ("extra", "collected", "redo_count")
 
     def step(self, ctx: KernelContext):
         space = yield ctx.get_space("in", 1)
@@ -298,6 +301,7 @@ class HeaderPayloadProducerKernel(Kernel):
         self._idx = 0
 
     PORTS = (PortSpec("out", Direction.OUT),)
+    STATE_FIELDS = ("payloads", "compute_cycles", "_idx")
 
     def step(self, ctx: KernelContext):
         if self._idx >= len(self.payloads):
@@ -367,6 +371,7 @@ class RouterKernel(Kernel):
         PortSpec("out_a", Direction.OUT),
         PortSpec("out_b", Direction.OUT),
     )
+    STATE_FIELDS = ("compute_cycles", "routed")
 
     def step(self, ctx: KernelContext):
         sp = yield ctx.get_space("in", 3)

@@ -177,6 +177,7 @@ class VldKernel(Kernel):
         PortSpec("coef_out", Direction.OUT),
         PortSpec("mv_out", Direction.OUT),
     )
+    STATE_FIELDS = ("num_frames", "_frame_ptr", "_mb_ptr", "bits_consumed_per_mb")
 
     def __init__(self, bitstream: bytes, cost: Optional[CostModel] = None):
         super().__init__()
@@ -405,6 +406,7 @@ class McKernel(Kernel):
     )
 
     OUT_PAYLOAD = 384
+    STATE_FIELDS = ("_frame_ptr", "_mb_ptr", "_building", "_refs")
 
     def __init__(self, params: CodecParams, num_frames: int, cost: Optional[CostModel] = None):
         super().__init__()
@@ -484,6 +486,7 @@ class DispKernel(Kernel):
     display order; writes pixels to (modelled) external memory."""
 
     PORTS = (PortSpec("in", Direction.IN),)
+    STATE_FIELDS = ("_frame_ptr", "_mb_ptr", "_building", "frames")
 
     def __init__(self, params: CodecParams, num_frames: int, cost: Optional[CostModel] = None):
         super().__init__()
@@ -545,6 +548,10 @@ class MeKernel(Kernel):
 
     RESID_PAYLOAD = 6 * 64 * 2
     PRED_PAYLOAD = 384
+    STATE_FIELDS = (
+        "_frame_ptr", "_mb_ptr", "_refs", "_recon_anchor_ptr",
+        "_recon_mb_ptr", "_recon_building", "_recon_received",
+    )
 
     def __init__(
         self,

@@ -123,6 +123,13 @@ class RunResult:
     #: sha256 over the sorted per-stream histories — lets callers check
     #: byte-identity against an oracle without shipping the bytes
     histories_sha256: Optional[str] = None
+    #: the run exceeded its wall-clock budget (the worker may still be
+    #: computing; distinguishable from ``crashed`` so supervisor
+    #: policies can treat hangs and deaths differently)
+    timed_out: bool = False
+    #: the worker process died (pool breakage, signal, hard exit) —
+    #: ``error`` carries the exception repr
+    crashed: bool = False
     #: wall-clock seconds for the successful (or last) attempt
     wall_time: float = 0.0
     #: 1 for a first-try success; >1 after retries
@@ -138,6 +145,8 @@ class RunResult:
             "error": self.error,
             "metrics": self.metrics,
             "histories_sha256": self.histories_sha256,
+            "timed_out": self.timed_out,
+            "crashed": self.crashed,
         }
         if include_timing:
             out["wall_time"] = self.wall_time
@@ -364,18 +373,33 @@ class ParallelRunner:
                         label=spec.describe(),
                         ok=False,
                         error=f"TimeoutError: run exceeded {timeout:g}s",
+                        timed_out=True,
                         wall_time=timeout or 0.0,
                     )
-                except Exception as e:  # pool/pickling breakage
+                except Exception as e:
+                    # _execute_spec never raises, so anything here is
+                    # infrastructure breakage: a worker process died
+                    # (BrokenProcessPool), pickling failed, a pipe broke.
+                    # The repr keeps exception detail a str() would lose.
                     result = RunResult(
                         index=i,
                         label=spec.describe(),
                         ok=False,
-                        error=f"{type(e).__name__}: {e}",
+                        error=f"{type(e).__name__}: {e!r}",
+                        crashed=True,
                     )
                 if not result.ok and attempts[i] <= retries:
                     attempts[i] += 1
-                    futures[i] = pool.submit(_execute_spec, i, spec)
+                    try:
+                        futures[i] = pool.submit(_execute_spec, i, spec)
+                    except Exception:
+                        # a broken pool refuses new work; report the
+                        # crash instead of letting submit() take the
+                        # whole sweep down
+                        result.attempts = attempts[i] - 1
+                        result.crashed = True
+                        results[i] = result
+                        continue
                     pending.append(i)
                     continue
                 result.attempts = attempts[i]

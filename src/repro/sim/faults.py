@@ -29,7 +29,14 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["FaultPlan", "FaultInjector", "FaultStats", "StallSpec"]
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "StallSpec",
+    "CORRUPTION_MODES",
+    "corrupt_state",
+]
 
 
 @dataclass(frozen=True)
@@ -273,6 +280,17 @@ class FaultInjector:
             plan.stalls, key=lambda s: s.at_cycle
         )
 
+    def export_state(self) -> Dict[str, object]:
+        """JSON-safe view of the injector's progress (plan, stats, and
+        which scheduled stalls have not fired yet).  The RNG cursor is
+        not serialized — snapshot restore replays the run from cycle 0,
+        which reconstructs it exactly."""
+        return {
+            "plan": self.plan.to_dict(),
+            "stats": self.stats.to_dict(),
+            "pending_stalls": [s.to_dict() for s in self._pending_stalls],
+        }
+
     # ------------------------------------------------------------------
     # message faults (hook: MessageFabric.send)
     # ------------------------------------------------------------------
@@ -336,3 +354,91 @@ class FaultInjector:
         out[i] ^= bit
         self.stats.corruptions_injected += 1
         return bytes(out)
+
+
+# ----------------------------------------------------------------------
+# state-corruption modes (adversary for the online invariant monitors)
+# ----------------------------------------------------------------------
+# Unlike the transient faults above — which the shell protocol is built
+# to survive — these silently break the synchronization state itself:
+# the failures a soft error in a stream-table SRAM cell or a logic bug
+# would cause.  Nothing recovers from them; the point is that the
+# `repro.resilience` monitors *detect* them.  Everything is duck-typed
+# on the system object (shells with stream/task tables, an SRAM, a
+# write cache) so this module still never imports `repro.core`.
+
+
+def _rows(system):
+    for shell in system.shells.values():
+        for row in shell.stream_table:
+            yield shell, row
+
+
+def _corrupt_credit_loss(system) -> str:
+    """Grant a consumer row space the producer never committed —
+    violates putspace credit conservation (monitor I101)."""
+    for _shell, row in _rows(system):
+        if not row.is_producer:
+            row.space += 8
+            return f"{row.task}.{row.port}: space += 8 beyond producer position"
+    raise ValueError("no consumer row to corrupt")
+
+
+def _corrupt_buffer_overrun(system) -> str:
+    """Extend a granted window beyond the cyclic buffer —
+    violates buffer containment (monitor I102)."""
+    for _shell, row in _rows(system):
+        row.granted = row.buffer.size + 8
+        return f"{row.task}.{row.port}: granted = buffer.size + 8"
+    raise ValueError("no stream row to corrupt")
+
+
+def _corrupt_counter_rewind(system) -> str:
+    """Rewind a cumulative stream position — violates counter
+    monotonicity (monitor I103)."""
+    best = None
+    for _shell, row in _rows(system):
+        if row.position > 0:
+            best = row
+            break
+    if best is None:
+        raise ValueError("no row with position > 0 to rewind")
+    best.position -= 1
+    return f"{best.task}.{best.port}: position -= 1"
+
+
+def _corrupt_stale_dirty_line(system) -> str:
+    """Plant a dirty write-cache line outside every granted producer
+    window — violates explicit cache coherency (monitor I104)."""
+    for name, shell in sorted(system.shells.items()):
+        line = shell.write_cache.line_size
+        addr = (system.sram._next_free + line - 1) // line * line
+        if addr + line > system.sram.size:
+            continue
+        shell.write_cache.write(addr, b"\xff" * 4)
+        return f"{name}: dirty line at {addr} outside all windows"
+    raise ValueError("no room past the allocator for a stale line")
+
+
+def _corrupt_task_miscount(system) -> str:
+    """Desynchronize the system's unfinished-task count from the task
+    tables — violates task accounting (monitor I105)."""
+    system._unfinished_tasks += 1
+    return "_unfinished_tasks += 1 vs task tables"
+
+
+#: mode name -> (callable(system) -> description, monitor id it must trip)
+CORRUPTION_MODES = {
+    "credit-loss": (_corrupt_credit_loss, "I101"),
+    "buffer-overrun": (_corrupt_buffer_overrun, "I102"),
+    "counter-rewind": (_corrupt_counter_rewind, "I103"),
+    "stale-dirty-line": (_corrupt_stale_dirty_line, "I104"),
+    "task-miscount": (_corrupt_task_miscount, "I105"),
+}
+
+
+def corrupt_state(system, mode: str) -> str:
+    """Apply one named corruption mode to a configured system; returns
+    a description of what was broken.  Raises KeyError on unknown mode."""
+    fn, _monitor = CORRUPTION_MODES[mode]
+    return fn(system)

@@ -121,6 +121,7 @@ class Simulator:
         until: Optional[int] = None,
         max_events: Optional[int] = None,
         stop: Optional[Callable[[], bool]] = None,
+        advance_time: bool = True,
     ) -> None:
         """Run until the queue drains, ``until`` cycles, or ``max_events``.
 
@@ -132,6 +133,10 @@ class Simulator:
         at the current time.  Monitor processes (watchdogs, deadlock
         detectors) keep the queue populated forever, so their users
         need a model-level completion predicate instead of queue drain.
+        ``advance_time=False`` leaves the clock at the last fired event
+        when the queue drains before ``until`` — so an incremental
+        ``advance(n); advance(2*n); ...`` sequence ends at exactly the
+        same final time as one uninterrupted run.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
@@ -151,7 +156,7 @@ class Simulator:
                     )
                 self.step()
                 fired += 1
-            if until is not None and until > self._now:
+            if advance_time and until is not None and until > self._now:
                 self._now = until
         finally:
             self._running = False

@@ -110,4 +110,5 @@ def collect_counters(system: EclipseSystem) -> Dict[str, Any]:
             if system.fault_injector is not None
             else None
         ),
+        "resilience": dict(system.resilience),
     }

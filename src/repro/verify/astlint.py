@@ -11,6 +11,13 @@ yet common when writing kernels by hand:
 * **A202** — constructing an op record directly (``ReadOp("in", 0, 8)``)
   instead of going through the context factories, bypassing the
   port/direction validation the factories perform.
+* **A203** — a kernel class assigning unbounded Python containers
+  (list/dict/set/bytearray literals, comprehensions, or constructor
+  calls) to ``self`` attributes without declaring its state via
+  ``__getstate__`` or a ``STATE_FIELDS`` tuple: the resilience
+  subsystem's ``export_state`` then falls back to ``vars(self)``,
+  which may drag in unpicklable or non-deterministic members and
+  silently destabilize checkpoint digests (docs/resilience.md).
 
 These are source-level properties, so we check them with :mod:`ast`
 over the kernel modules (``media/tasks.py`` and friends) without
@@ -25,7 +32,8 @@ from typing import List, Optional, Union
 
 from repro.verify.diagnostics import Diagnostic, Report
 
-__all__ = ["lint_source", "lint_file", "lint_module", "CTX_OP_FACTORIES", "RAW_OP_CLASSES"]
+__all__ = ["lint_source", "lint_file", "lint_module", "CTX_OP_FACTORIES",
+           "RAW_OP_CLASSES", "CONTAINER_CALLS"]
 
 #: KernelContext methods that build op records and must be yielded
 CTX_OP_FACTORIES = frozenset({
@@ -36,6 +44,12 @@ CTX_OP_FACTORIES = frozenset({
 RAW_OP_CLASSES = frozenset({
     "GetSpaceOp", "ReadOp", "WriteOp", "PutSpaceOp", "ComputeOp",
     "ExternalAccessOp",
+})
+
+#: constructor calls that produce unbounded mutable containers (A203)
+CONTAINER_CALLS = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "OrderedDict", "Counter",
 })
 
 
@@ -53,8 +67,28 @@ class _KernelSourceVisitor(ast.NodeVisitor):
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         self.class_stack.append(node.name)
+        self._check_kernel_state(node)
         self.generic_visit(node)
         self.class_stack.pop()
+
+    def _check_kernel_state(self, node: ast.ClassDef) -> None:
+        """A203: a Kernel subclass growing mutable containers on self
+        with no declared state contract."""
+        if not _is_kernel_class(node):
+            return
+        if _declares_state(node):
+            return
+        attrs = sorted(_mutable_self_attrs(node))
+        if not attrs:
+            return
+        self.report.add(Diagnostic(
+            "A203",
+            f"kernel holds mutable container state ({', '.join(attrs)}) "
+            f"but declares neither __getstate__ nor STATE_FIELDS — "
+            f"declare the state so snapshots capture it deterministically",
+            task=node.name,
+            source=self._loc(node),
+        ))
 
     def visit_Expr(self, node: ast.Expr) -> None:
         # a call used as a bare statement: its value is discarded
@@ -104,6 +138,72 @@ def _callee_name(call: ast.Call) -> Optional[str]:
     if isinstance(f, ast.Attribute):
         return f.attr
     return None
+
+
+# ---------------------------------------------------------------------------
+# A203 helpers
+# ---------------------------------------------------------------------------
+def _base_name(base: ast.expr) -> Optional[str]:
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return None
+
+
+def _is_kernel_class(node: ast.ClassDef) -> bool:
+    """Heuristic: directly subclasses something named ``*Kernel``."""
+    return any(
+        (name := _base_name(b)) is not None and name.endswith("Kernel")
+        for b in node.bases
+    )
+
+
+def _declares_state(node: ast.ClassDef) -> bool:
+    """True when the class body defines ``__getstate__`` or assigns
+    ``STATE_FIELDS`` (the two state contracts export_state honors)."""
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if stmt.name == "__getstate__":
+                return True
+        elif isinstance(stmt, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "STATE_FIELDS"
+                   for t in stmt.targets):
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == "STATE_FIELDS":
+                return True
+    return False
+
+
+def _is_container_value(value: ast.expr) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set,
+                          ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        return _callee_name(value) in CONTAINER_CALLS
+    return False
+
+
+def _mutable_self_attrs(node: ast.ClassDef) -> set:
+    """Names of ``self.<attr>`` assigned a mutable container anywhere
+    in the class body (methods included)."""
+    attrs = set()
+    for sub in ast.walk(node):
+        targets: List[ast.expr] = []
+        if isinstance(sub, ast.Assign):
+            targets, value = list(sub.targets), sub.value
+        elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+            targets, value = [sub.target], sub.value
+        else:
+            continue
+        if not _is_container_value(value):
+            continue
+        for t in targets:
+            if (isinstance(t, ast.Attribute) and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"):
+                attrs.add(t.attr)
+    return attrs
 
 
 def lint_source(source: str, filename: str = "<string>") -> Report:

@@ -134,6 +134,11 @@ _register("A201", "unyielded-op", Severity.ERROR,
 _register("A202", "raw-op-construction", Severity.WARNING,
           "an op record is constructed directly instead of through the "
           "KernelContext factories, bypassing port/direction validation")
+_register("A203", "unsafe-kernel-state", Severity.WARNING,
+          "a kernel accumulates unbounded Python state (list/dict/set/"
+          "bytearray attributes) without declaring it via __getstate__ or "
+          "STATE_FIELDS — checkpoint/restore cannot capture the kernel "
+          "deterministically (docs/resilience.md)")
 
 # ---------------------------------------------------------------------------
 # verifier-internal

@@ -1,0 +1,151 @@
+"""Property-based serialization round-trips for the config dataclasses.
+
+The supervisor persists RunSpec kwargs — including ShellParams,
+SystemParams, CoprocessorSpec, FaultPlan and StallSpec values — through
+their ``to_dict``/``from_dict`` pair and rebuilds them in a fresh
+worker process, so a field silently dropped by ``to_dict`` would make
+a resumed run diverge from the original.  These tests pin the contract
+two ways: hypothesis-driven round-trips through actual JSON, and a
+reflection guard asserting ``to_dict`` emits every dataclass field.
+"""
+
+import json
+from dataclasses import fields
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import CoprocessorSpec, ShellParams, SystemParams
+from repro.sim.faults import FaultPlan, StallSpec
+
+# ---------------------------------------------------------------------------
+# strategies generating *valid* instances (they must pass __post_init__)
+# ---------------------------------------------------------------------------
+probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+shell_params = st.builds(
+    ShellParams,
+    cache_line=st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128]),
+    read_cache_lines=st.integers(min_value=1, max_value=64),
+    write_cache_lines=st.integers(min_value=1, max_value=64),
+    prefetch_lines=st.integers(min_value=0, max_value=16),
+    getspace_cycles=st.integers(min_value=0, max_value=8),
+    putspace_cycles=st.integers(min_value=0, max_value=8),
+    gettask_cycles=st.integers(min_value=0, max_value=8),
+    port_width=st.integers(min_value=1, max_value=64),
+    best_guess_scheduling=st.booleans(),
+)
+
+system_params = st.builds(
+    SystemParams,
+    sram_size=st.integers(min_value=1, max_value=1 << 20),
+    bus_width=st.integers(min_value=1, max_value=64),
+    bus_setup_latency=st.integers(min_value=0, max_value=16),
+    msg_latency=st.integers(min_value=0, max_value=64),
+    msg_jitter=st.integers(min_value=0, max_value=64),
+    msg_seed=st.integers(min_value=0, max_value=2**31),
+    dram_width=st.integers(min_value=1, max_value=64),
+    dram_latency=st.integers(min_value=0, max_value=256),
+    sync_mode=st.sampled_from(["distributed", "centralized"]),
+    central_sync_cycles=st.integers(min_value=0, max_value=256),
+    coherency=st.sampled_from(["explicit", "snooping"]),
+    snoop_cycles_per_shell=st.integers(min_value=0, max_value=16),
+    watchdog_timeout=st.none() | st.integers(min_value=1, max_value=100_000),
+    watchdog_backoff=st.integers(min_value=1, max_value=8),
+    watchdog_max_backoff=st.integers(min_value=1, max_value=64),
+    deadlock_check_interval=st.integers(min_value=1, max_value=100_000),
+    deadlock_patience=st.integers(min_value=1, max_value=32),
+    deadlock_detection=st.none() | st.booleans(),
+)
+
+coprocessor_specs = st.builds(
+    CoprocessorSpec,
+    name=st.text(min_size=1, max_size=12),
+    is_software=st.booleans(),
+    compute_factor=st.floats(min_value=0.125, max_value=64.0, allow_nan=False),
+    shell=shell_params,
+)
+
+stall_specs = st.builds(
+    StallSpec,
+    coprocessor=st.text(min_size=1, max_size=12),
+    at_cycle=st.integers(min_value=0, max_value=1 << 30),
+    cycles=st.integers(min_value=1, max_value=1 << 20),
+)
+
+fault_plans = st.builds(
+    FaultPlan,
+    seed=st.integers(min_value=0, max_value=2**31),
+    drop_prob=probs,
+    dup_prob=probs,
+    delay_prob=probs,
+    reorder_prob=probs,
+    max_delay=st.integers(min_value=1, max_value=512),
+    stall_prob=probs,
+    max_stall=st.integers(min_value=1, max_value=1024),
+    corrupt_prob=probs,
+    drop_limit=st.none() | st.integers(min_value=0, max_value=1024),
+    stalls=st.lists(stall_specs, max_size=4).map(tuple),
+)
+
+
+def _roundtrip(instance, cls):
+    """to_dict -> actual JSON bytes -> from_dict must reproduce the
+    instance exactly (JSON is what crosses the process boundary)."""
+    wire = json.loads(json.dumps(instance.to_dict()))
+    rebuilt = cls.from_dict(wire)
+    assert rebuilt == instance
+
+
+@given(shell_params)
+def test_shell_params_roundtrip(p):
+    _roundtrip(p, ShellParams)
+
+
+@given(system_params)
+def test_system_params_roundtrip(p):
+    _roundtrip(p, SystemParams)
+
+
+@given(coprocessor_specs)
+def test_coprocessor_spec_roundtrip(spec):
+    _roundtrip(spec, CoprocessorSpec)
+
+
+@given(stall_specs)
+def test_stall_spec_roundtrip(s):
+    _roundtrip(s, StallSpec)
+
+
+@given(fault_plans)
+def test_fault_plan_roundtrip(plan):
+    _roundtrip(plan, FaultPlan)
+
+
+def test_to_dict_emits_every_field():
+    """Reflection guard: adding a dataclass field without teaching
+    to_dict about it is a silent checkpoint-divergence bug."""
+    instances = [
+        ShellParams(),
+        SystemParams(),
+        CoprocessorSpec("cp0"),
+        StallSpec("cp0", at_cycle=0, cycles=1),
+        FaultPlan(),
+    ]
+    for inst in instances:
+        declared = {f.name for f in fields(type(inst))}
+        emitted = set(inst.to_dict())
+        assert emitted == declared, (
+            f"{type(inst).__name__}.to_dict() keys {sorted(emitted)} != "
+            f"dataclass fields {sorted(declared)}"
+        )
+
+
+def test_from_dict_rejects_unknown_keys():
+    for cls in (ShellParams, SystemParams):
+        try:
+            cls.from_dict({"no_such_knob": 1})
+        except ValueError as e:
+            assert "no_such_knob" in str(e)
+        else:
+            raise AssertionError(f"{cls.__name__} accepted an unknown key")

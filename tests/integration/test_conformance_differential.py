@@ -135,6 +135,35 @@ def test_small_mpeg_decode_under_chaos():
 
 
 # ---------------------------------------------------------------------------
+# kill-and-resume: interruption must not weaken conformance
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("graph_name", sorted(GRAPH_BUILDERS))
+def test_killed_and_resumed_run_matches_functional_oracle(graph_name, tmp_path):
+    """The resilience variant of the seed sweep: interrupt a chaotic
+    run mid-flight, persist the snapshot, restore it from disk (as a
+    crashed worker's replacement would) and finish — the histories must
+    still be byte-identical to the functional executor's.  Conformance
+    is a property of the *run*, not of an uninterrupted process."""
+    from repro.resilience import SystemSnapshot, capture, restore
+    from repro.workloads import conformance_run
+
+    kwargs = {"graph": graph_name, "payload_len": 1200,
+              "fault_spec": "chaos", "fault_seed": 3}
+    golden = golden_histories(conformance_run(**kwargs)[1])
+
+    system, graph = conformance_run(**kwargs)
+    system.configure(graph)
+    assert not system.advance(900), "cut must land mid-run"
+    path = str(tmp_path / "interrupted.ckpt.json")
+    capture(system, "repro.workloads:conformance_run", kwargs).save(path)
+    del system  # the "killed" worker
+
+    result = restore(SystemSnapshot.load(path)).run()
+    assert_histories_match(result, golden)
+    assert result.robustness["messages_dropped"] > 0  # chaos was live
+
+
+# ---------------------------------------------------------------------------
 # property test: random seeds, both recovery regimes
 # ---------------------------------------------------------------------------
 @settings(max_examples=12, deadline=None)

@@ -133,9 +133,22 @@ def test_parallel_timeout_reported_as_failure():
     specs = [RunSpec(conformance_run, {"payload_len": 8192}, timeout=1e-5),
              RunSpec(conformance_run, {"payload_len": 128})]
     report = ParallelRunner(jobs=2).run(specs)
-    assert not report.results[0].ok
-    assert "TimeoutError" in report.results[0].error
+    bad = report.results[0]
+    assert not bad.ok
+    assert "TimeoutError" in bad.error
+    assert bad.timed_out and not bad.crashed  # structured, not just a string
     assert report.results[1].ok
+
+
+def test_result_failure_flags_default_false():
+    report = ParallelRunner(jobs=1).run(_small_specs(1))
+    res = report.results[0]
+    assert res.ok and not res.timed_out and not res.crashed
+    bad = ParallelRunner(jobs=1).run(
+        [RunSpec(failing_factory, {"message": "x"})]
+    ).results[0]
+    # an ordinary exception is neither a timeout nor a worker crash
+    assert not bad.ok and not bad.timed_out and not bad.crashed
 
 
 def test_runner_validates_arguments():
@@ -165,6 +178,9 @@ def test_report_json_is_canonical_and_round_trips():
     # deterministic form excludes wall-clock fields
     assert "timing" not in data
     assert "wall_time" not in data["runs"][0]
+    # failure-mode flags are always present (supervisor reads them back)
+    assert data["runs"][0]["timed_out"] is False
+    assert data["runs"][0]["crashed"] is False
     # canonical: sorted keys, trailing newline
     assert text == json.dumps(data, indent=2, sort_keys=True) + "\n"
 

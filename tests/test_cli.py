@@ -144,6 +144,66 @@ def test_explore_jobs_and_report(tmp_path, capsys):
 
 
 # ---------------------------------------------------------------------------
+# crash-tolerant sweeps (--checkpoint-dir / --resume)
+# ---------------------------------------------------------------------------
+def test_conformance_checkpoint_dir_report_is_byte_identical(tmp_path, capsys):
+    """A supervised sweep writes the same report a plain one does;
+    checkpointing is visible only in the directory and the notes."""
+    plain, supervised = tmp_path / "plain.json", tmp_path / "sup.json"
+    ckpt = tmp_path / "ckpt"
+    assert main(CONF_FAST + ["--jobs", "1", "--report", str(plain)]) == 0
+    capsys.readouterr()
+    assert main(CONF_FAST + ["--jobs", "1", "--report", str(supervised),
+                             "--checkpoint-dir", str(ckpt),
+                             "--checkpoint-interval", "256"]) == 0
+    assert plain.read_bytes() == supervised.read_bytes()
+    assert (ckpt / "sweep.json").exists()
+    assert (ckpt / "run-000.result.json").exists()
+
+
+def test_conformance_resume_skips_completed_runs(tmp_path, capsys):
+    ckpt = tmp_path / "ckpt"
+    assert main(CONF_FAST + ["--checkpoint-dir", str(ckpt)]) == 0
+    capsys.readouterr()
+    assert main(CONF_FAST + ["--resume", str(ckpt)]) == 0
+    out = capsys.readouterr().out
+    assert "already complete, skipped" in out
+    assert "2/2 runs byte-identical to the Kahn oracle" in out
+
+
+def test_rerun_without_resume_fails_cleanly(tmp_path, capsys):
+    ckpt = tmp_path / "ckpt"
+    assert main(CONF_FAST + ["--checkpoint-dir", str(ckpt)]) == 0
+    with pytest.raises(SystemExit) as exc:
+        main(CONF_FAST + ["--checkpoint-dir", str(ckpt)])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "resume" in err and "Traceback" not in err
+
+
+def test_resume_of_empty_dir_fails_cleanly(tmp_path, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(CONF_FAST + ["--resume", str(tmp_path / "nothing")])
+    assert exc.value.code == 2
+    assert "nothing to resume" in capsys.readouterr().err
+
+
+def test_checkpoint_interval_requires_a_directory(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(CONF_FAST + ["--checkpoint-interval", "256"])
+    assert exc.value.code == 2
+    assert "--checkpoint-interval" in capsys.readouterr().err
+
+
+def test_conflicting_checkpoint_and_resume_dirs_rejected(tmp_path, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(CONF_FAST + ["--checkpoint-dir", str(tmp_path / "a"),
+                          "--resume", str(tmp_path / "b")])
+    assert exc.value.code == 2
+    assert "Traceback" not in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
 # --fault-seed semantics (the `or 0` fix)
 # ---------------------------------------------------------------------------
 def test_fault_seed_zero_overrides_plan_seed(capsys):

@@ -48,6 +48,71 @@ class K(Kernel):
     assert len(lint_source(src)) == 0
 
 
+def test_undeclared_mutable_state_is_a203():
+    src = """
+class AccumKernel(Kernel):
+    def __init__(self):
+        super().__init__()
+        self.collected = bytearray()
+        self.seen = {}
+
+    def step(self, ctx):
+        data = yield ctx.read("in", 0, 8)
+        self.history = list(data)
+        return StepOutcome.COMPLETED
+"""
+    rep = lint_source(src, filename="k.py")
+    hits = [d for d in rep if d.rule_id == "A203"]
+    assert len(hits) == 1  # one diagnostic per class, not per attribute
+    assert hits[0].task == "AccumKernel"
+    assert "collected, history, seen" in hits[0].message
+
+
+def test_state_fields_declaration_suppresses_a203():
+    src = """
+class AccumKernel(Kernel):
+    STATE_FIELDS = ("collected",)
+
+    def __init__(self):
+        super().__init__()
+        self.collected = bytearray()
+"""
+    assert not [d for d in lint_source(src) if d.rule_id == "A203"]
+
+
+def test_getstate_declaration_suppresses_a203():
+    src = """
+class AccumKernel(Kernel):
+    def __init__(self):
+        super().__init__()
+        self.collected = bytearray()
+
+    def __getstate__(self):
+        return {"collected": bytes(self.collected)}
+"""
+    assert not [d for d in lint_source(src) if d.rule_id == "A203"]
+
+
+def test_non_kernel_class_is_not_a203():
+    src = """
+class Tracker:
+    def __init__(self):
+        self.events = []
+"""
+    assert not [d for d in lint_source(src) if d.rule_id == "A203"]
+
+
+def test_a203_respects_ignore():
+    src = """
+class AccumKernel(Kernel):
+    def __init__(self):
+        self.collected = []
+"""
+    rep = lint_source(src, filename="k.py")
+    assert [d.rule_id for d in rep] == ["A203"]
+    assert len(rep.ignoring(["A203"])) == 0
+
+
 def test_syntax_error_reports_not_crashes():
     rep = lint_source("def broken(:\n    pass", filename="bad.py")
     assert rep.rule_ids() == {"P106"}
