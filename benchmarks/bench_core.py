@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Core-engine benchmark: reference vs fast, with built-in equivalence.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_core.py [--quick] [--no-append]
+
+Times ``EclipseSystem.run()`` under both engines on three canonical
+workloads — the quickstart pipeline, a Figure-8 decode, and a faulted
+(chaos + watchdog) conformance run — and **asserts byte-identity**
+(full ``SystemResult`` including histories, plus the exported state
+digest) before reporting any number: a fast engine that drifts is a
+bug, not a speedup.
+
+Each invocation appends one entry to the ``BENCH_core.json`` trajectory
+at the repo root, so speedups are tracked over time, and fails if the
+decode speedup drops below ``--min-speedup``.
+
+Honest calibration note: the issue that introduced the fast engine
+aimed at 10x on decode / 5x faulted.  The byte-identity contract keeps
+the *event schedule* intact (every grant round-trip, every monitor
+poll), so the realized gains are flattening + idle-window compression
+only: measured ~1.3-1.6x on these schedule-dense workloads (the
+compression win grows with idle-window length, e.g. long deadlock
+patience, not with load).  The CI gate is therefore set at 1.15x —
+~85% of the weakest measured speedup — to catch regressions without
+pretending at headroom the contract forbids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_core.json")
+BENCH_SCHEMA = "repro.bench_core/1"
+ENGINES = ("reference", "fast")
+
+
+def _workloads(quick: bool):
+    """name -> (factory dotted path, kwargs). Quick mode shrinks the
+    decode so the CI smoke run stays in seconds."""
+    decode = (
+        {"width": 48, "height": 32, "frames": 4, "gop_n": 4, "gop_m": 2}
+        if quick
+        else {"width": 96, "height": 64, "frames": 6, "gop_n": 6, "gop_m": 3}
+    )
+    return {
+        "quickstart": (
+            "repro.workloads:quickstart_run",
+            {"payload_len": 4096},
+        ),
+        "figure8_decode": ("repro.workloads:decode_run", decode),
+        "conformance_faulted": (
+            "repro.workloads:conformance_run",
+            {
+                "graph": "diamond",
+                "payload_len": 2048 if quick else 4096,
+                "fault_spec": "chaos",
+                "fault_seed": 7,
+                "watchdog_timeout": 2000,
+            },
+        ),
+    }
+
+
+def _run_once(factory_path: str, kwargs: dict, engine: str):
+    """Build, run, and time one workload; returns (seconds, system, result)."""
+    from repro.runner import resolve_factory
+
+    system, graph = resolve_factory(factory_path)(engine=engine, **kwargs)
+    system.configure(graph)
+    t0 = time.perf_counter()
+    result = system.run()
+    elapsed = time.perf_counter() - t0
+    return elapsed, system, result
+
+
+def bench_workload(name: str, factory_path: str, kwargs: dict, repeats: int) -> dict:
+    timings = {engine: [] for engine in ENGINES}
+    digests = {}
+    dicts = {}
+    for engine in ENGINES:
+        for _ in range(repeats):
+            elapsed, system, result = _run_once(factory_path, kwargs, engine)
+            timings[engine].append(elapsed)
+        digests[engine] = system.state_digest()
+        dicts[engine] = result.to_dict(include_histories=True)
+    identical = (
+        dicts["fast"] == dicts["reference"]
+        and digests["fast"] == digests["reference"]
+    )
+    ref_s = min(timings["reference"])
+    fast_s = min(timings["fast"])
+    return {
+        "workload": name,
+        "kwargs": kwargs,
+        "cycles": dicts["reference"]["cycles"],
+        "reference_s": round(ref_s, 4),
+        "fast_s": round(fast_s, 4),
+        "speedup": round(ref_s / fast_s, 3) if fast_s else 0.0,
+        "identical": identical,
+        "state_digest_match": digests["fast"] == digests["reference"],
+    }
+
+
+def append_trajectory(entry: dict, path: str = BENCH_PATH) -> None:
+    trajectory = []
+    if os.path.exists(path):
+        with open(path) as fh:
+            trajectory = json.load(fh)
+    trajectory.append(entry)
+    with open(path, "w") as fh:
+        json.dump(trajectory, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small workloads, 1 repeat (the CI smoke mode)")
+    ap.add_argument("--repeats", type=int, default=None,
+                    help="timing repeats per engine (best-of); default 3, 1 with --quick")
+    ap.add_argument("--min-speedup", type=float, default=1.15,
+                    help="fail if the figure8_decode speedup drops below this")
+    ap.add_argument("--no-append", action="store_true",
+                    help="do not append to BENCH_core.json")
+    args = ap.parse_args(argv)
+    repeats = args.repeats or (1 if args.quick else 3)
+
+    try:
+        import numpy  # noqa: F401
+        numpy_ok = True
+    except ImportError:
+        numpy_ok = False
+
+    rows = []
+    print(f"{'workload':<22} {'cycles':>8} {'ref s':>8} {'fast s':>8} "
+          f"{'speedup':>8} {'identical':>10}")
+    for name, (factory_path, kwargs) in _workloads(args.quick).items():
+        row = bench_workload(name, factory_path, kwargs, repeats)
+        rows.append(row)
+        print(f"{name:<22} {row['cycles']:>8} {row['reference_s']:>8.3f} "
+              f"{row['fast_s']:>8.3f} {row['speedup']:>7.2f}x "
+              f"{str(row['identical']):>10}")
+
+    entry = {
+        "schema": BENCH_SCHEMA,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": args.quick,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "numpy": numpy_ok,
+        "results": rows,
+    }
+    if not args.no_append:
+        append_trajectory(entry)
+        print(f"appended to {os.path.relpath(BENCH_PATH)}")
+
+    failures = []
+    for row in rows:
+        if not row["identical"]:
+            failures.append(f"{row['workload']}: fast engine NOT byte-identical")
+    decode = next(r for r in rows if r["workload"] == "figure8_decode")
+    if decode["identical"] and decode["speedup"] < args.min_speedup:
+        failures.append(
+            f"figure8_decode speedup {decode['speedup']}x below the "
+            f"{args.min_speedup}x regression gate"
+        )
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

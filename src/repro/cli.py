@@ -75,6 +75,19 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_arg(p: argparse.ArgumentParser) -> None:
+    from repro.sim.fastengine import ENGINES
+
+    p.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="reference",
+        help="execution core: 'reference' (readable baseline) or 'fast' "
+        "(flattened hot paths + idle-window compression; byte-identical "
+        "results, see docs/fast-engine.md)",
+    )
+
+
 def _add_runner_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--jobs",
@@ -128,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("info", help="package and instance summary")
     qs = sub.add_parser("quickstart", help="Kahn-equivalence demo")
     _add_fault_args(qs)
+    _add_engine_arg(qs)
     sub.add_parser("estimate", help="Section 6 area/power/Gops estimates")
 
     dec = sub.add_parser("decode", help="decode on the Figure 8 instance")
@@ -140,10 +154,12 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument("--half-pel", action="store_true")
     dec.add_argument("--json", metavar="PATH", help="write the machine-readable result to PATH")
     _add_fault_args(dec)
+    _add_engine_arg(dec)
 
     exp = sub.add_parser("explore", help="design-space sweeps (paper §7)")
     exp.add_argument("--frames", type=int, default=6)
     _add_runner_args(exp)
+    _add_engine_arg(exp)
 
     conf = sub.add_parser(
         "conformance",
@@ -160,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     conf.add_argument("--payload", type=int, default=2048, help="payload bytes per graph")
     _add_fault_args(conf)
     _add_runner_args(conf)
+    _add_engine_arg(conf)
 
     ver = sub.add_parser(
         "verify",
@@ -363,7 +380,7 @@ def _cmd_quickstart(args) -> int:
     def graph():
         return quickstart_graph(payload)
 
-    plan, params = _fault_setup(args, SystemParams())
+    plan, params = _fault_setup(args, SystemParams(engine=args.engine))
     if plan is not None:
         print(f"fault plan: {plan.describe()}")
     golden = FunctionalExecutor(graph()).run()
@@ -403,7 +420,7 @@ def _cmd_decode(args) -> int:
     print(f"encoded {args.frames} frames -> {len(bitstream)} bytes")
     from repro import SystemParams
 
-    plan, sys_params = _fault_setup(args, SystemParams(dram_latency=60))
+    plan, sys_params = _fault_setup(args, SystemParams(dram_latency=60, engine=args.engine))
     if plan is not None:
         print(f"fault plan: {plan.describe()}")
     system = build_mpeg_instance(sys_params, faults=plan)
@@ -470,14 +487,20 @@ def _cmd_explore(args) -> int:
 
     prefetch_levels = (0, 2, 8)
     buffer_levels = (1, 3, 8)
-    specs = [RunSpec(explore_decode_run, {"bitstream": bitstream}, label="baseline")]
+    engine = args.engine
+    specs = [
+        RunSpec(explore_decode_run, {"bitstream": bitstream, "engine": engine},
+                label="baseline")
+    ]
     specs += [
-        RunSpec(explore_decode_run, {"bitstream": bitstream, "prefetch_lines": pf},
+        RunSpec(explore_decode_run,
+                {"bitstream": bitstream, "prefetch_lines": pf, "engine": engine},
                 label=f"prefetch={pf}")
         for pf in prefetch_levels
     ]
     specs += [
-        RunSpec(explore_decode_run, {"bitstream": bitstream, "buffer_packets": pkts},
+        RunSpec(explore_decode_run,
+                {"bitstream": bitstream, "buffer_packets": pkts, "engine": engine},
                 label=f"buffer_packets={pkts}")
         for pkts in buffer_levels
     ]
@@ -539,6 +562,7 @@ def _cmd_conformance(args) -> int:
                 "fault_spec": spec_str,
                 "fault_seed": seed_base + i,
                 "watchdog_timeout": watchdog,
+                "engine": args.engine,
             },
             label=f"{gname}:seed={seed_base + i}",
         )

@@ -11,9 +11,9 @@ Read/Write routing, cache invalidation and flush.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
-__all__ = ["CyclicBuffer"]
+__all__ = ["CyclicBuffer", "FastCyclicBuffer"]
 
 
 class CyclicBuffer:
@@ -67,3 +67,42 @@ class CyclicBuffer:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<CyclicBuffer base={self.base} size={self.size}>"
+
+
+class FastCyclicBuffer(CyclicBuffer):
+    """:class:`CyclicBuffer` with memoized range decompositions.
+
+    Stream positions advance in fixed sync grains, so the residues
+    ``position % size`` a run ever produces form a small set — the same
+    ``segments``/``lines`` decompositions are recomputed thousands of
+    times.  Both are pure functions of ``(position % size, n_bytes[,
+    line_size])``, so the memo returns the exact lists the reference
+    computes.  Callers treat the results as read-only (they iterate;
+    audited across shell, system and snapshot code), which makes
+    sharing the cached list objects safe.
+    """
+
+    _MEMO_CAP = 4096  # safety valve for pathological grain patterns
+
+    def __init__(self, base: int, size: int):
+        super().__init__(base, size)
+        self._seg_memo: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        self._line_memo: Dict[Tuple[int, int, int], List[int]] = {}
+
+    def segments(self, position: int, n_bytes: int) -> List[Tuple[int, int]]:
+        key = (position % self.size, n_bytes)
+        segs = self._seg_memo.get(key)
+        if segs is None:
+            if len(self._seg_memo) >= self._MEMO_CAP:
+                self._seg_memo.clear()
+            segs = self._seg_memo[key] = super().segments(position, n_bytes)
+        return segs
+
+    def lines(self, position: int, n_bytes: int, line_size: int) -> List[int]:
+        key = (position % self.size, n_bytes, line_size)
+        out = self._line_memo.get(key)
+        if out is None:
+            if len(self._line_memo) >= self._MEMO_CAP:
+                self._line_memo.clear()
+            out = self._line_memo[key] = super().lines(position, n_bytes, line_size)
+        return out

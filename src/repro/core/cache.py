@@ -151,8 +151,7 @@ class WriteCache:
                 self.stats.hits += 1
             buf, mask = entry
             buf[off : off + take] = data[pos : pos + take]
-            for i in range(off, off + take):
-                mask[i] = 1
+            mask[off : off + take] = b"\x01" * take
             pos += take
         evicted = []
         while len(self._lines) > self.capacity:
@@ -182,13 +181,9 @@ class WriteCache:
             lo = max(addr, line_addr) - line_addr
             hi = min(end, line_addr + self.line_size) - line_addr
             take_mask = bytearray(self.line_size)
-            any_dirty = False
-            for i in range(lo, hi):
-                if mask[i]:
-                    take_mask[i] = 1
-                    mask[i] = 0
-                    any_dirty = True
-            if any_dirty:
+            take_mask[lo:hi] = mask[lo:hi]
+            mask[lo:hi] = bytes(hi - lo)
+            if any(take_mask):
                 out.append((line_addr, bytes(buf), bytes(take_mask)))
             if not any(mask):
                 del self._lines[line_addr]

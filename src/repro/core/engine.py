@@ -1,0 +1,72 @@
+"""Engine registry: which component classes assemble a system.
+
+An *engine* is a named bundle of execution-core classes behind the
+``EclipseSystem.run()/advance()`` seam.  ``"reference"`` is the
+readable, obviously-correct core; ``"fast"`` substitutes the flattened
+classes from :mod:`repro.sim.fastengine` and the fast subclasses that
+live next to their reference implementations (``FastShell``,
+``FastBus``, ``FastMessageFabric``, ``FastCyclicBuffer``) and enables
+idle-window compression in the deadlock monitor.
+
+Every fast component is bound by the byte-identity contract documented
+in :mod:`repro.sim.fastengine`: same event schedule, same counters,
+same exported state at every quiescent boundary.  The registry is the
+single point where ``SystemParams.engine`` turns into classes, so an
+unknown name fails in :func:`repro.sim.fastengine.resolve_engine` with
+the full list of known engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.buffer import CyclicBuffer, FastCyclicBuffer
+from repro.core.messages import FastMessageFabric, MessageFabric
+from repro.core.shell import FastShell, Shell
+from repro.hw.bus import Bus, FastBus
+from repro.sim.fastengine import FastSimulator, resolve_engine
+from repro.sim.kernel import Simulator
+
+__all__ = ["EngineComponents", "engine_components"]
+
+
+@dataclass(frozen=True)
+class EngineComponents:
+    """The classes (and policies) one engine assembles a system from."""
+
+    name: str
+    simulator: type
+    shell: type
+    bus: type
+    fabric: type
+    buffer: type
+    #: leap over provably-dead idle windows in the deadlock monitor
+    #: (see ``EclipseSystem._deadlock_monitor``)
+    compress_idle: bool
+
+
+_REGISTRY = {
+    "reference": EngineComponents(
+        name="reference",
+        simulator=Simulator,
+        shell=Shell,
+        bus=Bus,
+        fabric=MessageFabric,
+        buffer=CyclicBuffer,
+        compress_idle=False,
+    ),
+    "fast": EngineComponents(
+        name="fast",
+        simulator=FastSimulator,
+        shell=FastShell,
+        bus=FastBus,
+        fabric=FastMessageFabric,
+        buffer=FastCyclicBuffer,
+        compress_idle=True,
+    ),
+}
+
+
+def engine_components(name: str) -> EngineComponents:
+    """The component bundle for engine ``name`` (validated)."""
+    return _REGISTRY[resolve_engine(name)]

@@ -25,14 +25,14 @@ those failure modes.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.sim import FaultInjector, Simulator
+from repro.sim import Event, FaultInjector, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.shell import Shell
 
-__all__ = ["PutSpaceMsg", "EosMsg", "MessageFabric"]
+__all__ = ["PutSpaceMsg", "EosMsg", "MessageFabric", "FastMessageFabric"]
 
 
 @dataclass(frozen=True)
@@ -165,3 +165,53 @@ class MessageFabric:
             "bytes_signalled": self.bytes_signalled,
             "inflight": self.inflight(),
         }
+
+
+class FastMessageFabric(MessageFabric):
+    """:class:`MessageFabric` with lazy in-flight records (fast engine).
+
+    The reference eagerly renders every sent message into its JSON-safe
+    in-flight dict (an ``asdict`` per send) even though the record is
+    only ever *read* at a quiescent boundary (snapshot, monitor).  Here
+    the hot path stores a ``(due, dest, msg)`` tuple and :meth:`inflight`
+    renders the identical dicts on demand — same fields, same order,
+    same state digest.  Message scheduling is unchanged.
+    """
+
+    def send(self, dest: "Shell", msg) -> None:
+        self.messages_sent += 1
+        if isinstance(msg, PutSpaceMsg):
+            self.bytes_signalled += msg.n_bytes
+        delay = self.latency
+        if self.jitter:
+            delay += self._rng.randrange(self.jitter + 1)
+        if self.injector is not None:
+            extra_delays = self.injector.plan_message(msg)
+            if not extra_delays:
+                self.messages_dropped += 1
+                return
+        else:
+            extra_delays = (0,)
+        sim = self.sim
+        inflight = self._inflight
+        for extra in extra_delays:
+            self._next_send_id += 1
+            send_id = self._next_send_id
+            inflight[send_id] = (sim.now + delay + extra, dest.name, msg)
+            ev = Event(sim)
+            ev.callbacks.append(
+                lambda _ev, m=msg, i=send_id: self._deliver(dest, m, i)
+            )
+            ev.succeed(None, delay=delay + extra)
+
+    def inflight(self) -> List[Dict[str, Any]]:
+        return [
+            {
+                "due": due,
+                "dest": dest_name,
+                "kind": type(msg).__name__,
+                "fields": asdict(msg),
+                "send_id": send_id,
+            }
+            for send_id, (due, dest_name, msg) in sorted(self._inflight.items())
+        ]

@@ -108,6 +108,24 @@ class StreamRow:
             self.space += delta
         return delta
 
+    def commit(self, n_bytes: int) -> None:
+        """Advance the access point past ``n_bytes`` of committed data:
+        the local-bookkeeping half of PutSpace (space accounting, fill
+        statistic, position/granted/committed update).  The shell runs
+        this after flushing the committed range and before sending the
+        putspace messages — the Figure 7 order."""
+        if self.is_producer:
+            arm_space = self.arm_space
+            for i in range(len(arm_space)):
+                arm_space[i] -= n_bytes
+        else:
+            self.space -= n_bytes
+            if self.fill_stat is not None:
+                self.fill_stat.add(-n_bytes)
+        self.position += n_bytes
+        self.granted -= n_bytes
+        self.committed_bytes += n_bytes
+
     def at_eos(self) -> bool:
         """True once the producer finished AND every committed byte has
         been accounted locally — robust to putspace/eos reordering."""

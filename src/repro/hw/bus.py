@@ -15,11 +15,12 @@ and VLD coprocessors, with a larger setup latency (DRAM access).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, TYPE_CHECKING
+from typing import Dict, Generator, List, Tuple, TYPE_CHECKING
 
-from repro.sim import Resource, Simulator
+from repro.sim import Event, Resource, Simulator
+from repro.sim.events import Timeout
 
-__all__ = ["Bus", "BusStats"]
+__all__ = ["Bus", "FastBus", "BusStats"]
 
 
 @dataclass
@@ -99,3 +100,63 @@ class Bus:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Bus {self.name!r} {self.width_bytes}B wide, {self.stats.transactions} txns>"
+
+
+class FastBus(Bus):
+    """:class:`Bus` with the arbiter inlined (fast engine).
+
+    Event-schedule equivalent to the reference: an uncontended request
+    still round-trips through a grant event at the same (time,
+    priority) — skipping it would reorder same-cycle event sequence
+    numbers, which the model's wait counters observe.  Only the
+    :class:`~repro.sim.resources.Resource` machinery around that event
+    (Request objects, holder sets, grant accounting) is flattened into
+    a busy flag and a (priority, seq)-sorted wait list.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._busy = False
+        #: (priority, seq, grant event), kept sorted — same grant order
+        #: as the reference arbiter's priority-then-FIFO policy
+        self._fast_waiting: List[Tuple[int, int, Event]] = []
+        self._fast_seq = 0
+
+    def transfer(self, n_bytes: int, master: str = "", priority: int = 0) -> Generator:
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be >= 0, got {n_bytes}")
+        sim = self.sim
+        t_request = sim.now
+        grant = Event(sim)
+        if not self._busy and not self._fast_waiting:
+            self._busy = True
+            grant.succeed(None)
+        else:
+            self._fast_seq += 1
+            entry = (priority, self._fast_seq, grant)
+            waiting = self._fast_waiting
+            idx = len(waiting)
+            while idx > 0 and waiting[idx - 1][:2] > entry[:2]:
+                idx -= 1
+            waiting.insert(idx, entry)
+        yield grant
+        stats = self.stats
+        stats.wait_cycles += sim.now - t_request
+        cycles = self.setup_latency - (-n_bytes // self.width_bytes)
+        yield Timeout(sim, cycles)
+        # release: hand the bus to the next waiter (same scheduling
+        # point as the reference's _arbiter.release)
+        if self._fast_waiting:
+            self._fast_waiting.pop(0)[2].succeed(None)
+        else:
+            self._busy = False
+        stats.transactions += 1
+        stats.bytes_transferred += n_bytes
+        stats.busy_cycles += cycles
+        if master:
+            per = self.per_master_bytes
+            per[master] = per.get(master, 0) + n_bytes
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._fast_waiting)

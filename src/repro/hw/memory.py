@@ -12,6 +12,11 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+try:  # optional vectorization for large masked writes
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the base image
+    _np = None
+
 __all__ = ["OnChipMemory", "AllocationError"]
 
 
@@ -100,13 +105,28 @@ class OnChipMemory:
             raise ValueError("data and mask lengths differ")
         self._check(addr, len(data))
         self.total_writes += 1
+        n = len(data)
+        zeros = mask.count(0)
         mem = self._mem
-        written = 0
-        for i, m in enumerate(mask):
-            if m:
-                mem[addr + i] = data[i]
-                written += 1
-        self.bytes_written += written
+        if zeros == 0:
+            # fully dirty line: one slice assignment
+            mem[addr : addr + n] = data
+            self.bytes_written += n
+            return
+        if zeros == n:
+            return
+        if _np is not None and n >= 64:
+            # mask bytes are byte-enables (0 or nonzero), so a boolean
+            # numpy mask selects exactly the enabled positions
+            sel = _np.frombuffer(mask, dtype=_np.uint8) != 0
+            region = _np.frombuffer(mem, dtype=_np.uint8, count=n, offset=addr).copy()
+            region[sel] = _np.frombuffer(data, dtype=_np.uint8)[sel]
+            mem[addr : addr + n] = region.tobytes()
+        else:
+            for i, m in enumerate(mask):
+                if m:
+                    mem[addr + i] = data[i]
+        self.bytes_written += n - zeros
 
     def export_state(self) -> dict:
         """JSON-safe view: allocator state, counters, and the contents

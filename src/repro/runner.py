@@ -130,6 +130,9 @@ class RunResult:
     #: the worker process died (pool breakage, signal, hard exit) —
     #: ``error`` carries the exception repr
     crashed: bool = False
+    #: which execution core produced this result ("reference"/"fast");
+    #: on failure, the engine the spec *asked* for
+    engine: str = "reference"
     #: wall-clock seconds for the successful (or last) attempt
     wall_time: float = 0.0
     #: 1 for a first-try success; >1 after retries
@@ -147,6 +150,7 @@ class RunResult:
             "histories_sha256": self.histories_sha256,
             "timed_out": self.timed_out,
             "crashed": self.crashed,
+            "engine": self.engine,
         }
         if include_timing:
             out["wall_time"] = self.wall_time
@@ -226,6 +230,12 @@ def _histories_digest(histories: Mapping[str, bytes]) -> str:
     return h.hexdigest()
 
 
+def _spec_engine(spec: RunSpec) -> str:
+    """The engine a spec *requested* (used when the run never built a
+    system — failures, timeouts, worker crashes)."""
+    return str(dict(spec.kwargs).get("engine", "reference"))
+
+
 def _execute_spec(index: int, spec: RunSpec) -> RunResult:
     """Build, configure and run one spec.  Runs inside the worker
     process (or inline on the serial path); never raises — failures
@@ -253,8 +263,12 @@ def _execute_spec(index: int, spec: RunSpec) -> RunResult:
             metrics=metrics,
             histories_sha256=_histories_digest(result.histories),
             wall_time=time.perf_counter() - start,
+            engine=getattr(system, "engine", "reference"),
         )
     except Exception as e:  # noqa: BLE001 — the report carries the error
+        # an unknown engine name lands here too, as the ValueError from
+        # resolve_engine() naming the known engines — a diagnosis in the
+        # report, not a KeyError taking the sweep down
         return RunResult(
             index=index,
             label=label,
@@ -262,6 +276,7 @@ def _execute_spec(index: int, spec: RunSpec) -> RunResult:
             error=f"{type(e).__name__}: {e}",
             metrics={"traceback": traceback.format_exc(limit=8)},
             wall_time=time.perf_counter() - start,
+            engine=_spec_engine(spec),
         )
 
 
@@ -375,6 +390,7 @@ class ParallelRunner:
                         error=f"TimeoutError: run exceeded {timeout:g}s",
                         timed_out=True,
                         wall_time=timeout or 0.0,
+                        engine=_spec_engine(spec),
                     )
                 except Exception as e:
                     # _execute_spec never raises, so anything here is
@@ -387,6 +403,7 @@ class ParallelRunner:
                         ok=False,
                         error=f"{type(e).__name__}: {e!r}",
                         crashed=True,
+                        engine=_spec_engine(spec),
                     )
                 if not result.ok and attempts[i] <= retries:
                     attempts[i] += 1

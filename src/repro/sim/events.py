@@ -8,6 +8,15 @@ An :class:`Event` has a three-state lifecycle:
 Processes (see :mod:`repro.sim.process`) yield events; the process is
 resumed with the event's value when it fires, or the event's exception
 is thrown into the generator.
+
+Compression-boundary contract: the fast engine (see
+:mod:`repro.sim.fastengine` and ``EclipseSystem._deadlock_monitor``)
+may leap the clock over an idle window only when the event queue is
+*empty* at the decision point — any triggered-but-unfired event
+(watchdog timeout, sampler tick, fault injection) therefore pins a
+compression boundary simply by being scheduled.  Nothing here needs to
+cooperate beyond the existing rule that every future occurrence lives
+on the queue as an event.
 """
 
 from __future__ import annotations
@@ -105,8 +114,9 @@ class Event:
             raise SimulationError(f"{self!r} fired twice")
         self._fired = True
         callbacks, self.callbacks = self.callbacks, None
-        for cb in callbacks or ():
-            cb(self)
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
         if self._exc is not None and not self.defused:
             # Nobody waited on this failure: surface it instead of
             # silently dropping a model error.

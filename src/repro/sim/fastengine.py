@@ -1,0 +1,190 @@
+"""The fast execution core (engine ``"fast"``).
+
+The reference kernel in :mod:`repro.sim.kernel` is written to be
+*obviously* correct: every event pops through :meth:`Simulator.step`,
+every process resume goes through two method calls, every factory
+re-imports its event class.  That clarity costs real wall-clock time —
+the DES machinery alone is ~25-30%% of a decode run.  This module is
+the drop-in replacement core selected with ``engine="fast"`` on
+:class:`repro.core.config.SystemParams`:
+
+* :class:`FastSimulator` — the same (time, priority, seq) heap with the
+  run loop flattened into one frame (no ``step``/``peek`` calls per
+  event) and the cyclic garbage collector parked while the loop runs;
+* :class:`FastProcess` — the same generator trampoline with the
+  callback subscription inlined (one attribute probe instead of a
+  method call per yield).
+
+The byte-identity contract
+--------------------------
+The fast engine must reproduce the reference engine *exactly*: same
+``SystemResult``, same counters, same oplog, same ``export_state()``
+digest at every quiescent boundary.  Because the model's observable
+counters (``wait_cycles``, ``idle_wait_cycles``, fill statistics)
+encode the event schedule itself, the only safe optimizations are ones
+that leave the schedule untouched:
+
+1. **constant-factor flattening** — fewer Python frames per event, but
+   every ``schedule()`` call still happens in the same order at the
+   same (time, priority), so the relative sequence numbers (the heap
+   tie-breaker) are preserved;
+2. **event-compressed time** — leaping over a window is only legal
+   when the queue proves that *nothing* can fire inside it.  The one
+   such window the model exhibits is the deadlock tail (see
+   ``EclipseSystem._deadlock_monitor``): when the queue holds no event
+   but the monitor's own poll, progress is frozen forever and the
+   verdict cycle is computable in closed form.  Any other pending
+   event — a watchdog retry, a fault stall, a sampler tick — pins the
+   compression boundary, because its callbacks can reschedule work.
+
+``tests/sim/test_fastengine_equivalence.py`` enforces the contract
+property-wise; the golden traces and the conformance matrix enforce it
+on the canonical workloads.  See docs/fast-engine.md.
+"""
+
+from __future__ import annotations
+
+import gc
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.events import Event, Interrupt, Timeout
+from repro.sim.kernel import PRIORITY_URGENT, SimulationError, Simulator
+from repro.sim.process import Process
+
+__all__ = ["ENGINES", "resolve_engine", "FastSimulator", "FastProcess"]
+
+#: The engine registry: every name ``SystemParams.engine`` accepts.
+ENGINES = ("reference", "fast")
+
+
+def resolve_engine(name: str) -> str:
+    """Validate an engine name, with a diagnostic naming the registry.
+
+    Every layer that accepts an engine name (``SystemParams``, the CLI
+    ``--engine`` flag, the runner) funnels through here, so an unknown
+    name — a typo, or a future engine an old build does not ship —
+    fails with the same clean message everywhere instead of a
+    ``KeyError`` deep inside system assembly.
+    """
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown engine {name!r} (known engines: {', '.join(ENGINES)})"
+        )
+    return name
+
+
+class FastProcess(Process):
+    """:class:`Process` with the resume trampoline flattened.
+
+    Behaviour-identical: the same exceptions escape at the same points,
+    the same ``SimulationError`` diagnostics fire for protocol misuse,
+    and subscription order on the target event is unchanged — only the
+    per-yield overhead (property lookups, ``add_callback``) is inlined.
+    """
+
+    __slots__ = ()
+
+    def _step(self, event: Event) -> None:
+        try:
+            exc = event._exc
+            if exc is not None:
+                event.defused = True
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value, priority=PRIORITY_URGENT)
+            return
+        except Interrupt as iexc:
+            # Process let an interrupt escape: treat as failure.
+            self.fail(iexc, priority=PRIORITY_URGENT)
+            return
+        except Exception as gexc:
+            self.fail(gexc, priority=PRIORITY_URGENT)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, expected Event"
+            )
+        if target is self:
+            raise SimulationError(f"process {self.name!r} waited on itself")
+        self._waiting_on = target
+        callbacks = target.callbacks
+        if callbacks is None:
+            # target already fired: resume synchronously, exactly like
+            # Event.add_callback would
+            self._resume(target)
+        else:
+            callbacks.append(self._resume)
+
+
+class FastSimulator(Simulator):
+    """:class:`Simulator` with the run loop flattened into one frame.
+
+    The heap, the (time, priority, seq) ordering and every scheduling
+    decision are inherited unchanged — an event sequence produced under
+    this class is *the same sequence* the reference produces.  The two
+    differences are wall-clock only: the ``step()``/``peek()`` calls
+    per event are inlined, and Python's cyclic garbage collector is
+    suspended for the duration of the loop (the model allocates many
+    short-lived events; reference counting reclaims them, and parking
+    the collector avoids whole-heap scans mid-run).
+    """
+
+    def step(self) -> None:
+        """Fire the single next event, advancing time to it."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._fire()
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        stop: Optional[Callable[[], bool]] = None,
+        advance_time: bool = True,
+    ) -> None:
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        fired = 0
+        queue = self._queue
+        pop = heapq.heappop
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while queue:
+                if stop is not None and stop():
+                    return
+                when = queue[0][0]
+                if until is not None and when >= until:
+                    self._now = until
+                    return
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; possible livelock"
+                    )
+                item = pop(queue)
+                self._now = item[0]
+                item[3]._fire()
+                fired += 1
+            if advance_time and until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+            if gc_was_enabled:
+                gc.enable()
+
+    # ------------------------------------------------------------------
+    # factories: same objects, imports hoisted to module level
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> FastProcess:
+        return FastProcess(self, generator)

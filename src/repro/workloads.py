@@ -26,6 +26,11 @@ from repro.kahn.library import ConsumerKernel, ForkKernel, MapKernel, ProducerKe
 from repro.sim.faults import FaultPlan
 from repro.verify.graph_lint import declared_rates
 
+try:  # optional vectorization for payload synthesis
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the base image
+    _np = None
+
 __all__ = [
     "payload_of",
     "pipeline_graph",
@@ -44,6 +49,8 @@ __all__ = [
 # ---------------------------------------------------------------------------
 def payload_of(n: int, seed: int = 3) -> bytes:
     """n pseudo-random-looking but deterministic bytes."""
+    if _np is not None and n >= 256:
+        return ((_np.arange(n, dtype=_np.int64) * 89 + seed) % 256).astype(_np.uint8).tobytes()
     return bytes((i * 89 + seed) % 256 for i in range(n))
 
 
@@ -130,6 +137,7 @@ def conformance_run(
     watchdog_timeout: Optional[int] = 2000,
     n_coprocs: int = 3,
     chunk: int = 16,
+    engine: str = "reference",
 ) -> Tuple[EclipseSystem, ApplicationGraph]:
     """One differential-conformance point: a small graph on a plain
     n-coprocessor instance under a seeded fault plan."""
@@ -141,7 +149,7 @@ def conformance_run(
     plan = FaultPlan.parse(fault_spec, seed=fault_seed)
     if not plan.any_faults():
         plan = None
-    params = SystemParams(watchdog_timeout=watchdog_timeout)
+    params = SystemParams(watchdog_timeout=watchdog_timeout, engine=engine)
     system = EclipseSystem(
         [CoprocessorSpec(f"cp{i}") for i in range(n_coprocs)], params, faults=plan
     )
@@ -151,10 +159,11 @@ def conformance_run(
 def quickstart_run(
     payload_len: int = 4096,
     watchdog_timeout: Optional[int] = None,
+    engine: str = "reference",
 ) -> Tuple[EclipseSystem, ApplicationGraph]:
     """The CLI quickstart: producer/consumer on two coprocessors."""
     payload = bytes((11 * i) % 256 for i in range(payload_len))
-    params = SystemParams(watchdog_timeout=watchdog_timeout)
+    params = SystemParams(watchdog_timeout=watchdog_timeout, engine=engine)
     system = EclipseSystem([CoprocessorSpec("cp0"), CoprocessorSpec("cp1")], params)
     return system, quickstart_graph(payload)
 
@@ -168,6 +177,7 @@ def decode_run(
     dram_latency: int = 60,
     buffer_packets: int = 3,
     prefetch_lines: Optional[int] = None,
+    engine: str = "reference",
 ) -> Tuple[EclipseSystem, ApplicationGraph]:
     """A Figure-8 decode of a synthetic sequence (encode included, so
     the factory is self-contained and picklable as a description)."""
@@ -179,7 +189,9 @@ def decode_run(
     seq = synthetic_sequence(codec.width, codec.height, frames, noise=1.0)
     bitstream, _, _ = encode_sequence(seq, codec)
     shell = ShellParams(prefetch_lines=prefetch_lines) if prefetch_lines is not None else None
-    system = build_mpeg_instance(SystemParams(dram_latency=dram_latency), shell=shell)
+    system = build_mpeg_instance(
+        SystemParams(dram_latency=dram_latency, engine=engine), shell=shell
+    )
     graph = decode_graph(bitstream, mapping=DECODE_MAPPING, buffer_packets=buffer_packets)
     return system, graph
 
@@ -188,6 +200,7 @@ def explore_decode_run(
     bitstream: bytes,
     prefetch_lines: Optional[int] = None,
     buffer_packets: int = 3,
+    engine: str = "reference",
 ) -> Tuple[EclipseSystem, ApplicationGraph]:
     """One point of the CLI ``explore`` sweep: decode a pre-encoded
     bitstream on the Figure 8 instance with one knob turned."""
@@ -195,6 +208,10 @@ def explore_decode_run(
     from repro.media.pipelines import decode_graph
 
     shell = ShellParams(prefetch_lines=prefetch_lines) if prefetch_lines is not None else None
-    system = build_mpeg_instance(shell=shell)
+    # dram_latency=60 matches build_mpeg_instance's params=None default —
+    # an engine switch must not silently change any timing parameter
+    system = build_mpeg_instance(
+        SystemParams(dram_latency=60, engine=engine), shell=shell
+    )
     graph = decode_graph(bitstream, mapping=DECODE_MAPPING, buffer_packets=buffer_packets)
     return system, graph

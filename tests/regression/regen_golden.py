@@ -34,18 +34,55 @@ WORKLOADS = {
         "repro.workloads:decode_run",
         {"width": 48, "height": 32, "frames": 4, "gop_n": 4, "gop_m": 2},
     ),
+    # faulted variant: a lossy/jittery fabric with the watchdog healing
+    # it — pins the recovery machinery's schedule, not just the happy
+    # path (drops, retries and recoveries are part of the trace)
+    "conformance_faulted": (
+        "repro.workloads:conformance_run",
+        {
+            "graph": "diamond",
+            "payload_len": 2048,
+            "fault_spec": "chaos",
+            "fault_seed": 7,
+            "watchdog_timeout": 2000,
+        },
+    ),
+}
+
+#: checkpoint variant name -> (base workload, boundary cycle).  The
+#: trace pins the state digest at a mid-run quiescent boundary AND the
+#: final result after resuming — so advance()+run() staying equivalent
+#: to one uninterrupted run() is regression-checked, per engine.
+CHECKPOINTS = {
+    "quickstart_midrun": ("quickstart", 1500),
+    "conformance_faulted_midrun": ("conformance_faulted", 3000),
 }
 
 
-def build_trace(name: str) -> dict:
-    """Run one canonical workload and distill its golden trace."""
-    from repro.runner import _histories_digest, resolve_factory
+def _run_workload(name: str, engine: str = None):
+    from repro.runner import resolve_factory
 
     factory_path, kwargs = WORKLOADS[name]
+    if engine is not None:
+        kwargs = dict(kwargs, engine=engine)
     system, graph = resolve_factory(factory_path)(**kwargs)
     system.configure(graph)
+    return system
+
+
+def build_trace(name: str, engine: str = None) -> dict:
+    """Run one canonical workload and distill its golden trace.
+
+    ``engine`` overrides the execution core without entering the trace:
+    the fast engine is byte-identical by contract, so every engine must
+    reproduce the same golden file.
+    """
+    from repro.runner import _histories_digest
+
+    factory_path, kwargs = WORKLOADS[name]
+    system = _run_workload(name, engine=engine)
     result = system.run()
-    return {
+    trace = {
         "workload": {"factory": factory_path, "kwargs": kwargs},
         "cycles": result.cycles,
         "completed": result.completed,
@@ -70,6 +107,35 @@ def build_trace(name: str) -> dict:
         },
         "histories_sha256": _histories_digest(result.histories),
     }
+    if result.robustness is not None:
+        rob = result.robustness
+        trace["robustness"] = {
+            "messages_dropped": rob["messages_dropped"],
+            "watchdog_fires": rob["watchdog_fires"],
+            "retries_sent": rob["retries_sent"],
+            "recoveries": rob["recoveries"],
+        }
+    return trace
+
+
+def build_checkpoint_trace(name: str, engine: str = None) -> dict:
+    """Advance a workload to a mid-run boundary, pin the state digest,
+    resume to completion, and pin the final result."""
+    from repro.runner import _histories_digest
+
+    base, boundary = CHECKPOINTS[name]
+    system = _run_workload(base, engine=engine)
+    system.advance(boundary)
+    digest = system.state_digest()
+    result = system.run()
+    return {
+        "base_workload": base,
+        "boundary_cycle": boundary,
+        "boundary_state_digest": digest,
+        "final_cycles": result.cycles,
+        "completed": result.completed,
+        "histories_sha256": _histories_digest(result.histories),
+    }
 
 
 def golden_path(name: str) -> str:
@@ -85,6 +151,13 @@ def main() -> int:
             json.dump(trace, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {os.path.relpath(path)}  (cycles={trace['cycles']})")
+    for name in CHECKPOINTS:
+        trace = build_checkpoint_trace(name)
+        path = golden_path(name)
+        with open(path, "w") as fh:
+            json.dump(trace, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {os.path.relpath(path)}  (final_cycles={trace['final_cycles']})")
     return 0
 
 

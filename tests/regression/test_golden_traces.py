@@ -14,7 +14,17 @@ import json
 
 import pytest
 
-from tests.regression.regen_golden import WORKLOADS, build_trace, golden_path
+from tests.regression.regen_golden import (
+    CHECKPOINTS,
+    WORKLOADS,
+    build_checkpoint_trace,
+    build_trace,
+    golden_path,
+)
+
+# Every golden runs under every engine: the fast engine's byte-identity
+# contract means one golden file per workload, not one per engine.
+ENGINES = ("reference", "fast")
 
 
 def _flatten(prefix, value, out):
@@ -40,18 +50,36 @@ def trace_diff(expected: dict, actual: dict) -> list:
     return lines
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("name", sorted(WORKLOADS))
-def test_golden_trace(name):
+def test_golden_trace(name, engine):
     with open(golden_path(name)) as fh:
         expected = json.load(fh)
-    actual = build_trace(name)
+    actual = build_trace(name, engine=engine)
     diff = trace_diff(expected, actual)
     assert not diff, (
-        f"behaviour drift on {name!r} ({len(diff)} fields):\n  "
+        f"behaviour drift on {name!r} under engine={engine!r} "
+        f"({len(diff)} fields):\n  "
         + "\n  ".join(diff)
         + "\nIf this change is intentional, re-baseline with "
         "`PYTHONPATH=src python tests/regression/regen_golden.py` and "
         "explain the drift in the commit message."
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("name", sorted(CHECKPOINTS))
+def test_golden_checkpoint_trace(name, engine):
+    """Mid-run boundary digest and post-resume result are pinned: an
+    advance()+run() split must stay equivalent to one uninterrupted
+    run(), under either engine."""
+    with open(golden_path(name)) as fh:
+        expected = json.load(fh)
+    actual = build_checkpoint_trace(name, engine=engine)
+    diff = trace_diff(expected, actual)
+    assert not diff, (
+        f"checkpoint drift on {name!r} under engine={engine!r} "
+        f"({len(diff)} fields):\n  " + "\n  ".join(diff)
     )
 
 

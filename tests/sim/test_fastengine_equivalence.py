@@ -1,0 +1,247 @@
+"""Differential proof harness: the fast engine is byte-identical.
+
+``engine="fast"`` (event-compressed time + flattened hot loops) is only
+admissible because every observable — the full ``SystemResult``
+including per-stream byte histories, every counter, the operation log,
+the exported state digest, even the text of a ``DeadlockError`` — is
+bit-equal to the reference engine's.  This module is that proof:
+
+* hypothesis-generated conformance points (graph shape, payload,
+  seeded fault plan) run under both engines and compare everything;
+* operation logs (the §7 design-tool trace) are record-for-record
+  identical;
+* snapshots cross the engine boundary in both directions, with the
+  restore digest cross-check as the arbiter;
+* idle-window compression provably *happens* (the deadlock monitor
+  polls collapse) yet raises the identical ``DeadlockError`` at the
+  identical cycle — and a :class:`~repro.trace.sampler.Sampler`'s
+  pending timeouts pin the compression boundary so sampling stays
+  poll-exact;
+* unknown engine names die with a clean diagnostic everywhere a name
+  can enter (params, registry, parallel runner).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SystemParams
+from repro.core.system import DeadlockError
+from repro.resilience.snapshot import SystemSnapshot, capture, restore
+from repro.sim.fastengine import ENGINES, resolve_engine
+from repro.trace.oplog import OpLog
+from repro.trace.sampler import Sampler
+from repro.workloads import conformance_run, quickstart_run
+
+QUICKSTART = "repro.workloads:quickstart_run"
+
+
+def _run_conformance(engine: str, **kwargs):
+    system, graph = conformance_run(engine=engine, **kwargs)
+    system.configure(graph)
+    return system, system.run()
+
+
+def _full_dict(result):
+    return result.to_dict(include_histories=True)
+
+
+# ---------------------------------------------------------------------------
+# generated differential points
+# ---------------------------------------------------------------------------
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    graph=st.sampled_from(["pipeline", "diamond"]),
+    chunks=st.integers(min_value=8, max_value=48),
+    fault_spec=st.sampled_from(["none", "chaos", "drop", "delay"]),
+    fault_seed=st.integers(min_value=0, max_value=7),
+    n_coprocs=st.integers(min_value=2, max_value=4),
+)
+def test_generated_runs_byte_identical(
+    graph, chunks, fault_spec, fault_seed, n_coprocs
+):
+    kwargs = dict(
+        graph=graph,
+        payload_len=chunks * 16,
+        fault_spec=fault_spec,
+        fault_seed=fault_seed,
+        watchdog_timeout=2000,
+        n_coprocs=n_coprocs,
+    )
+    ref_sys, ref = _run_conformance("reference", **kwargs)
+    fast_sys, fast = _run_conformance("fast", **kwargs)
+    assert _full_dict(fast) == _full_dict(ref)
+    assert fast_sys.state_digest() == ref_sys.state_digest()
+
+
+def test_quickstart_oplog_record_identical():
+    """The §7 operation trace — every primitive with its timestamp —
+    matches record for record, not just in aggregate."""
+    logs = {}
+    for engine in ENGINES:
+        system, graph = quickstart_run(payload_len=2048, engine=engine)
+        system.configure(graph)
+        log = OpLog(system, capacity=100_000)
+        system.run()
+        assert log.dropped == 0
+        logs[engine] = list(log.records)
+    assert logs["fast"] == logs["reference"]
+
+
+# ---------------------------------------------------------------------------
+# cross-engine snapshot restore
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "capture_engine,resume_engine",
+    [("fast", "reference"), ("reference", "fast")],
+)
+def test_cross_engine_checkpoint_restore(capture_engine, resume_engine, tmp_path):
+    """A snapshot taken under one engine restores — and digest-verifies
+    — under the other, and the resumed run finishes byte-identical to
+    an uninterrupted reference run."""
+    kwargs = {"payload_len": 4096, "engine": capture_engine}
+    system, graph = quickstart_run(**kwargs)
+    system.configure(graph)
+    system.advance(1000)
+    snap = capture(system, QUICKSTART, kwargs)
+
+    path = tmp_path / "cross.snap.json"
+    snap.save(str(path))
+    loaded = SystemSnapshot.load(str(path))
+
+    # restore(verify=True) recomputes the state digest under the OTHER
+    # engine and compares against the captured one — the cross-check IS
+    # the equivalence assertion for the first 1000 cycles.
+    resumed = restore(loaded, engine=resume_engine)
+    assert resumed.engine == resume_engine
+    final = resumed.run()
+
+    oracle_sys, oracle_graph = quickstart_run(payload_len=4096, engine="reference")
+    oracle_sys.configure(oracle_graph)
+    oracle = oracle_sys.run()
+    assert _full_dict(final) == _full_dict(oracle)
+
+
+# ---------------------------------------------------------------------------
+# idle-window compression: same outcome, fewer polls — unless pinned
+# ---------------------------------------------------------------------------
+def _blackout_system(engine: str, sampler: bool = False, patience: int = 40):
+    """A total-loss fabric with recovery off: the event queue drains to
+    the deadlock monitor alone, the canonical compressible idle window.
+    ``patience`` is raised well above the default so the poll collapse
+    (O(patience) reference polls vs O(1) fast polls) is unmistakable."""
+    from repro.core.config import CoprocessorSpec
+    from repro.core.system import EclipseSystem
+    from repro.sim.faults import FaultPlan
+    from repro.workloads import payload_of, pipeline_graph
+
+    params = SystemParams(
+        watchdog_timeout=None,
+        deadlock_check_interval=1000,
+        deadlock_patience=patience,
+        engine=engine,
+    )
+    system = EclipseSystem(
+        [CoprocessorSpec(f"cp{i}") for i in range(3)],
+        params,
+        faults=FaultPlan.parse("blackout", seed=0),
+    )
+    system.configure(pipeline_graph(payload_of(512), chunk=16))
+    attached = Sampler(system, interval=500) if sampler else None
+    polls = {"n": 0}
+    orig = system._global_progress
+
+    def counting():
+        polls["n"] += 1
+        return orig()
+
+    system._global_progress = counting
+    return system, polls, attached
+
+
+@pytest.mark.parametrize("sampler", [False, True])
+def test_blackout_deadlock_identical(sampler):
+    """Both engines raise the same DeadlockError, same cycle, same
+    blocked report — with or without a sampler keeping the queue warm."""
+    outcomes = {}
+    for engine in ENGINES:
+        system, _, _ = _blackout_system(engine, sampler=sampler)
+        with pytest.raises(DeadlockError) as exc:
+            system.run()
+        outcomes[engine] = (system.sim.now, str(exc.value))
+    assert outcomes["fast"] == outcomes["reference"]
+
+
+def test_compression_collapses_monitor_polls():
+    """Proof that compression happens: with the queue drained the fast
+    engine leaps the idle window in O(1) progress polls where the
+    reference steps through every one."""
+    ref_sys, ref_polls, _ = _blackout_system("reference")
+    with pytest.raises(DeadlockError):
+        ref_sys.run()
+    fast_sys, fast_polls, _ = _blackout_system("fast")
+    with pytest.raises(DeadlockError):
+        fast_sys.run()
+    assert fast_sys.sim.now == ref_sys.sim.now
+    assert fast_polls["n"] < ref_polls["n"] / 4, (
+        f"expected compressed polls, got fast={fast_polls['n']} "
+        f"vs reference={ref_polls['n']}"
+    )
+
+
+def test_sampler_pins_compression_boundary():
+    """A sampler's pending timeout is a scheduled observation: the fast
+    engine must NOT leap over it.  With a sampler attached the monitor
+    steps poll-by-poll again and the sampled series match exactly."""
+    series = {}
+    poll_counts = {}
+    for engine in ENGINES:
+        system, polls, sampler = _blackout_system(engine, sampler=True)
+        with pytest.raises(DeadlockError):
+            system.run()
+        series[engine] = {
+            name: (list(s.times), list(s.values))
+            for name, s in sorted(sampler.utilization.items())
+        }
+        poll_counts[engine] = polls["n"]
+    assert series["fast"] == series["reference"]
+    assert poll_counts["fast"] == poll_counts["reference"]
+
+
+# ---------------------------------------------------------------------------
+# unknown engine names fail loudly everywhere one can enter
+# ---------------------------------------------------------------------------
+def test_unknown_engine_rejected_by_registry():
+    with pytest.raises(ValueError, match=r"unknown engine 'warp'"):
+        resolve_engine("warp")
+    with pytest.raises(ValueError, match=r"reference"):
+        resolve_engine("warp")  # diagnostic names the known engines
+
+
+def test_unknown_engine_rejected_by_params():
+    with pytest.raises(ValueError, match=r"unknown engine"):
+        SystemParams(engine="warp")
+
+
+def test_runner_records_engine_and_diagnoses_unknown():
+    """RunResult carries the engine that produced it; an unknown name
+    surfaces as a per-run diagnosis, not a worker crash."""
+    from repro.runner import ParallelRunner, RunSpec
+
+    report = ParallelRunner(jobs=1).run(
+        [
+            RunSpec(QUICKSTART, {"payload_len": 1024, "engine": "fast"}),
+            RunSpec(QUICKSTART, {"payload_len": 1024, "engine": "warp"}),
+        ]
+    )
+    ok, bad = report.results
+    assert ok.ok and ok.engine == "fast"
+    assert not bad.ok and not bad.crashed
+    assert bad.engine == "warp"
+    assert "unknown engine" in (bad.error or "")
