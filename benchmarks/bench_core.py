@@ -16,6 +16,16 @@ Each invocation appends one entry to the ``BENCH_core.json`` trajectory
 at the repo root, so speedups are tracked over time, and fails if the
 decode speedup drops below ``--min-speedup``.
 
+On top of the engine comparison (always at the default
+``obs_level="full"``), every workload is swept across the observability
+levels on the fast engine: ``off`` drops histories, fill statistics and
+sampling from the hot path, so its speedup over reference-at-full
+should *beat* the full/full number.  The sweep asserts the cycle count
+is identical at every level (observation is pure — it must never move
+the schedule) and gates ``off`` against ``full``: if stripping the
+observers makes a run slower (``--max-off-overhead``, default 2%), the
+level plumbing itself has grown a hot-path cost.
+
 Honest calibration note: the issue that introduced the fast engine
 aimed at 10x on decode / 5x faulted.  The byte-identity contract keeps
 the *event schedule* intact (every grant round-trip, every monitor
@@ -42,6 +52,7 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_core.json")
 BENCH_SCHEMA = "repro.bench_core/1"
 ENGINES = ("reference", "fast")
+OBS_LEVELS = ("off", "counters", "series", "full")
 
 
 def _workloads(quick: bool):
@@ -71,11 +82,12 @@ def _workloads(quick: bool):
     }
 
 
-def _run_once(factory_path: str, kwargs: dict, engine: str):
+def _run_once(factory_path: str, kwargs: dict, engine: str, obs_level: str = "full"):
     """Build, run, and time one workload; returns (seconds, system, result)."""
     from repro.runner import resolve_factory
 
-    system, graph = resolve_factory(factory_path)(engine=engine, **kwargs)
+    system, graph = resolve_factory(factory_path)(engine=engine, obs_level=obs_level,
+                                                  **kwargs)
     system.configure(graph)
     t0 = time.perf_counter()
     result = system.run()
@@ -99,16 +111,43 @@ def bench_workload(name: str, factory_path: str, kwargs: dict, repeats: int) -> 
     )
     ref_s = min(timings["reference"])
     fast_s = min(timings["fast"])
+    cycles = dicts["reference"]["cycles"]
     return {
         "workload": name,
         "kwargs": kwargs,
-        "cycles": dicts["reference"]["cycles"],
+        "cycles": cycles,
         "reference_s": round(ref_s, 4),
         "fast_s": round(fast_s, 4),
         "speedup": round(ref_s / fast_s, 3) if fast_s else 0.0,
         "identical": identical,
         "state_digest_match": digests["fast"] == digests["reference"],
+        "obs_levels": bench_obs_levels(factory_path, kwargs, repeats,
+                                       ref_s, fast_s, cycles),
     }
+
+
+def bench_obs_levels(factory_path: str, kwargs: dict, repeats: int,
+                     ref_s: float, fast_full_s: float, full_cycles: int) -> dict:
+    """Fast-engine timings per observability level, each reported as a
+    speedup over the reference engine at ``full`` (the seed baseline).
+    ``full`` reuses the main timing; the others re-run the workload."""
+    levels = {}
+    for level in OBS_LEVELS:
+        if level == "full":
+            best, cycles = fast_full_s, full_cycles
+        else:
+            best = None
+            for _ in range(repeats):
+                elapsed, _system, result = _run_once(
+                    factory_path, kwargs, "fast", obs_level=level)
+                best = elapsed if best is None else min(best, elapsed)
+                cycles = result.cycles
+        levels[level] = {
+            "fast_s": round(best, 4),
+            "speedup_vs_reference_full": round(ref_s / best, 3) if best else 0.0,
+            "cycles_match": cycles == full_cycles,
+        }
+    return levels
 
 
 def append_trajectory(entry: dict, path: str = BENCH_PATH) -> None:
@@ -130,6 +169,9 @@ def main(argv=None) -> int:
                     help="timing repeats per engine (best-of); default 3, 1 with --quick")
     ap.add_argument("--min-speedup", type=float, default=1.15,
                     help="fail if the figure8_decode speedup drops below this")
+    ap.add_argument("--max-off-overhead", type=float, default=0.02,
+                    help="fail if obs_level=off runs more than this fraction "
+                    "slower than full on the fast engine (default: 0.02)")
     ap.add_argument("--no-append", action="store_true",
                     help="do not append to BENCH_core.json")
     args = ap.parse_args(argv)
@@ -150,6 +192,10 @@ def main(argv=None) -> int:
         print(f"{name:<22} {row['cycles']:>8} {row['reference_s']:>8.3f} "
               f"{row['fast_s']:>8.3f} {row['speedup']:>7.2f}x "
               f"{str(row['identical']):>10}")
+        for level, lv in row["obs_levels"].items():
+            print(f"  obs={level:<18} {'':>8} {'':>8} {lv['fast_s']:>8.3f} "
+                  f"{lv['speedup_vs_reference_full']:>7.2f}x "
+                  f"{'cycles ok' if lv['cycles_match'] else 'CYCLES DRIFT':>10}")
 
     entry = {
         "schema": BENCH_SCHEMA,
@@ -168,11 +214,25 @@ def main(argv=None) -> int:
     for row in rows:
         if not row["identical"]:
             failures.append(f"{row['workload']}: fast engine NOT byte-identical")
+        for level, lv in row["obs_levels"].items():
+            if not lv["cycles_match"]:
+                failures.append(
+                    f"{row['workload']}: cycle count drifts at obs_level={level} "
+                    "— observation moved the event schedule"
+                )
     decode = next(r for r in rows if r["workload"] == "figure8_decode")
     if decode["identical"] and decode["speedup"] < args.min_speedup:
         failures.append(
             f"figure8_decode speedup {decode['speedup']}x below the "
             f"{args.min_speedup}x regression gate"
+        )
+    off_s = decode["obs_levels"]["off"]["fast_s"]
+    full_s = decode["obs_levels"]["full"]["fast_s"]
+    if full_s and off_s > full_s * (1.0 + args.max_off_overhead):
+        failures.append(
+            f"figure8_decode obs_level=off ({off_s}s) is more than "
+            f"{args.max_off_overhead:.0%} slower than full ({full_s}s) — "
+            "the level plumbing added hot-path cost"
         )
     for msg in failures:
         print(f"FAIL: {msg}", file=sys.stderr)

@@ -28,6 +28,10 @@ The package is layered exactly like the paper's system:
 ``repro.trace``
     §5.4 measurement: counters, sampling, the Figure 9 viewer, and
     the Figure 10 bottleneck analysis.
+``repro.obs``
+    the tiered observability contract: recording levels
+    (off/counters/series/full), the typed metrics registry, and the
+    span tracer with Chrome-trace/Perfetto export.
 
 Quickstart
 ----------
@@ -89,6 +93,7 @@ from repro.resilience import (
     capture,
     restore,
 )
+from repro.obs import MetricsRegistry, ObservabilityLevel, SpanTracer
 from repro.runner import ParallelRunner, RunReport, RunResult, RunSpec, run_specs
 from repro.trace import Sampler, collect_counters
 
@@ -108,7 +113,9 @@ __all__ = [
     "Kernel",
     "DeadlockError",
     "FaultPlan",
+    "MetricsRegistry",
     "MonitorSuite",
+    "ObservabilityLevel",
     "ParallelRunner",
     "PortSpec",
     "RunReport",
@@ -118,6 +125,7 @@ __all__ = [
     "Sampler",
     "ShellParams",
     "SnapshotError",
+    "SpanTracer",
     "StalledError",
     "StallSpec",
     "StepOutcome",

@@ -170,6 +170,16 @@ class SystemParams:
     #: byte-identical by tests/sim/test_fastengine_equivalence.py).
     #: See docs/fast-engine.md.
     engine: str = "reference"
+    #: observability tier: "off" / "counters" / "series" / "full" —
+    #: how much a run records (byte histories, fill statistics,
+    #: sampler series, op logs, span traces).  "full" is byte-identical
+    #: to the pre-contract behaviour and stays the default; lower
+    #: levels shed recording cost without changing the event schedule.
+    #: See docs/observability.md.
+    obs_level: str = "full"
+    #: auto-attach a Sampler at this interval during configure()
+    #: (None = no periodic sampling; requires obs_level >= "series")
+    sample_interval: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.sram_size < 1:
@@ -207,6 +217,22 @@ class SystemParams:
         from repro.sim.fastengine import resolve_engine
 
         resolve_engine(self.engine)
+        from repro.obs.level import resolve_level
+
+        resolve_level(self.obs_level)
+        if self.sample_interval is not None:
+            if self.sample_interval < 1:
+                raise ValueError(
+                    f"sample_interval must be >= 1, got {self.sample_interval}"
+                )
+            from repro.obs.level import ObservabilityLevel
+
+            if not ObservabilityLevel.parse(self.obs_level).series:
+                raise ValueError(
+                    f"sample_interval={self.sample_interval} needs time series, "
+                    f"but obs_level={self.obs_level!r} disables them "
+                    "(use 'series' or 'full')"
+                )
 
     def with_(self, **kw) -> "SystemParams":
         """Copy with overrides (sweep helper)."""

@@ -24,8 +24,10 @@ from repro.core.buffer import CyclicBuffer, FastCyclicBuffer
 from repro.core.messages import FastMessageFabric, MessageFabric
 from repro.core.shell import FastShell, Shell
 from repro.hw.bus import Bus, FastBus
+from repro.obs.tracer import SpanTracer
 from repro.sim.fastengine import FastSimulator, resolve_engine
 from repro.sim.kernel import Simulator
+from repro.trace.sampler import Sampler
 
 __all__ = ["EngineComponents", "engine_components"]
 
@@ -43,6 +45,12 @@ class EngineComponents:
     #: leap over provably-dead idle windows in the deadlock monitor
     #: (see ``EclipseSystem._deadlock_monitor``)
     compress_idle: bool
+    #: observer classes, so ``EclipseSystem.attach_sampler`` /
+    #: ``attach_tracer`` and ``--sample-interval`` work uniformly on
+    #: both engines (a future engine may substitute fast variants;
+    #: any substitute is bound by the same byte-identity contract)
+    sampler: type = Sampler
+    tracer: type = SpanTracer
 
 
 _REGISTRY = {

@@ -94,7 +94,10 @@ class Shell:
         return self.task_table.add(row)
 
     def add_stream_row(self, row: StreamRow) -> int:
-        if not row.is_producer:
+        # fill statistics are pure observation (§5.4 counters): below
+        # obs_level="counters" the stat is simply never created, and
+        # every consumer of fill_stat already None-guards
+        if not row.is_producer and self.system.obs.fill_stats:
             row.fill_stat = TimeWeightedStat(self.sim, initial=0.0)
         return self.stream_table.add(row)
 

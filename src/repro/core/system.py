@@ -27,6 +27,7 @@ from repro.hw.dram import OffChipMemory
 from repro.hw.memory import OnChipMemory
 from repro.kahn.graph import ApplicationGraph, GraphError
 from repro.kahn.kernel import Kernel, KernelContext
+from repro.obs.level import ObservabilityLevel
 from repro.sim import FaultInjector, FaultPlan, Resource, Simulator
 
 __all__ = ["EclipseSystem", "SystemResult", "StalledError", "DeadlockError"]
@@ -166,6 +167,12 @@ class EclipseSystem:
         self.engine = comps.name
         self._components = comps
         self._compress_idle = comps.compress_idle
+        #: the observability tier every recording hot path consults
+        #: ("full" = byte-identical pre-contract behaviour)
+        self.obs = ObservabilityLevel.parse(self.params.obs_level)
+        #: observers attached via attach_sampler()/attach_tracer()
+        self.sampler = None
+        self.tracer = None
         self.specs: Dict[str, CoprocessorSpec] = {c.name: c for c in coprocessors}
         self.sim = comps.simulator()
         self.sram = OnChipMemory(self.params.sram_size)
@@ -385,6 +392,26 @@ class EclipseSystem:
             proc.name = "deadlock-monitor"
         self._monitors_active = detect or p.watchdog_timeout is not None
 
+        # ---- observers requested in the params ----
+        if p.sample_interval is not None:
+            self.attach_sampler(p.sample_interval)
+
+    # ------------------------------------------------------------------
+    # observers (routed through the engine registry, so both engines —
+    # and any future one — attach the same way)
+    # ------------------------------------------------------------------
+    def attach_sampler(self, interval: int = 500):
+        """Attach the §5.4 periodic sampling process (after
+        ``configure()``; needs ``obs_level`` >= ``"series"``)."""
+        self.sampler = self._components.sampler(self, interval)
+        return self.sampler
+
+    def attach_tracer(self, capacity: int = 100_000):
+        """Attach the span tracer (after ``configure()``; needs
+        ``obs_level`` >= ``"series"``)."""
+        self.tracer = self._components.tracer(self, capacity)
+        return self.tracer
+
     # ------------------------------------------------------------------
     # deadlock detection
     # ------------------------------------------------------------------
@@ -481,7 +508,15 @@ class EclipseSystem:
     def record_committed(self, row: StreamRow, n_bytes: int) -> None:
         """Append the just-committed (and flushed) bytes of a producer
         row to the stream's history — zero simulated cost, pure
-        observation used for golden-equivalence checks."""
+        observation used for golden-equivalence checks.
+
+        Below ``obs_level="full"`` the recording is skipped entirely:
+        because it is zero-simulated-cost observation, skipping it
+        cannot change the event schedule — cycles and counters stay
+        identical across levels (asserted by tests and the bench).
+        """
+        if not self.obs.histories:
+            return
         rec = self._histories.get(row.stream)
         if rec is None:  # pragma: no cover - defensive
             return

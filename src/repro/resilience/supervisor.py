@@ -44,6 +44,7 @@ import traceback
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import MetricsRegistry
 from repro.resilience.monitors import MonitorSuite
 from repro.resilience.snapshot import (
     SystemSnapshot,
@@ -178,6 +179,8 @@ def _worker_main(
                         "violations": [v.to_dict() for v in violations],
                     },
                     wall_time=time.perf_counter() - start,
+                    engine=getattr(system, "engine", "reference"),
+                    obs_level=str(getattr(system, "obs", "full")),
                 ).to_dict(include_timing=True))
                 return
             if finished:
@@ -197,6 +200,17 @@ def _worker_main(
         result = system.run()
         metrics = result.to_dict()
         metrics.pop("histories", None)
+        obs = getattr(system, "obs", None)
+        if obs is not None and system.sampler is not None:
+            # mirror runner._execute_spec: the deterministic payload of
+            # a supervised run must equal the plain runner's bit for bit
+            metrics["sampling"] = {
+                "interval": system.sampler.interval,
+                "samples": max(
+                    (len(s) for s in system.sampler.utilization.values()),
+                    default=0,
+                ),
+            }
         _atomic_write_json(_result_path(directory, index), RunResult(
             index=index,
             label=label,
@@ -204,8 +218,14 @@ def _worker_main(
             completed=result.completed,
             cycles=result.cycles,
             metrics=metrics,
-            histories_sha256=_histories_digest(result.histories),
+            histories_sha256=(
+                _histories_digest(result.histories)
+                if obs is None or obs.histories
+                else None
+            ),
             wall_time=time.perf_counter() - start,
+            engine=getattr(system, "engine", "reference"),
+            obs_level=str(obs) if obs is not None else "full",
         ).to_dict(include_timing=True))
     except Exception as e:  # noqa: BLE001 — the result file carries it
         _atomic_write_json(_result_path(directory, index), RunResult(
@@ -215,6 +235,8 @@ def _worker_main(
             error=f"{type(e).__name__}: {e}",
             metrics={"traceback": traceback.format_exc(limit=8)},
             wall_time=time.perf_counter() - start,
+            engine=str(kwargs.get("engine", "reference")),
+            obs_level=str(kwargs.get("obs_level", "full")),
         ).to_dict(include_timing=True))
 
 
@@ -265,6 +287,13 @@ class Supervisor:
         #: that run (crash_after_checkpoints / hang); replacements run
         #: clean, which is exactly what the recovery tests need
         self.sabotage: Dict[int, dict] = {}
+        #: the supervisor's own health feed (worker lifecycle, restart
+        #: causes, queue depth).  Deliberately NOT part of the
+        #: RunReport: the report's deterministic payload must equal a
+        #: plain ParallelRunner's bit for bit, and restart counts are
+        #: anything but deterministic.  Read it after run() — e.g. the
+        #: CLI prints it with --verbose; a sweep service would poll it.
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[RunSpec], resume: bool = False) -> RunReport:
@@ -313,14 +342,18 @@ class Supervisor:
                 results[i] = done
                 if resume:
                     notes.append(f"run {i}: already complete, skipped")
+                    self.metrics.counter("supervisor.runs_resumed").inc()
             else:
                 pending.append(i)
+        self.metrics.counter("supervisor.runs_total").inc(len(specs))
+        queue_depth = self.metrics.histogram("supervisor.queue_depth")
 
         active: Dict[int, _Job] = {}
         restarts: Dict[int, int] = {i: 0 for i in pending}
         total_restarts = 0
         ctx = multiprocessing.get_context()
         while pending or active:
+            queue_depth.observe(len(pending))
             while pending and len(active) < self.jobs:
                 i = pending.pop(0)
                 active[i] = self._spawn(ctx, i, payloads[i],
@@ -335,6 +368,7 @@ class Supervisor:
                         finished_jobs.append(i)
                         continue
                     # died without a result file: a genuine crash
+                    self.metrics.counter("supervisor.worker_crashes").inc()
                     if restarts[i] >= self.max_restarts:
                         results[i] = RunResult(
                             index=i, label=payloads[i]["label"], ok=False,
@@ -355,6 +389,7 @@ class Supervisor:
                     )
                     active[i] = self._spawn(ctx, i, payloads[i], first=False)
                 elif self._heartbeat_age(i, job) > self.heartbeat_timeout:
+                    self.metrics.counter("supervisor.worker_hangs").inc()
                     job.proc.terminate()
                     job.proc.join(timeout=5.0)
                     if job.proc.is_alive():  # pragma: no cover - stubborn
@@ -386,6 +421,13 @@ class Supervisor:
                 time.sleep(self.poll_interval)
         if total_restarts:
             notes.append(f"total worker restarts: {total_restarts}")
+        self.metrics.counter("supervisor.worker_restarts").inc(total_restarts)
+        self.metrics.counter("supervisor.runs_failed").inc(
+            sum(1 for r in results.values() if not r.ok)
+        )
+        self.metrics.gauge("supervisor.wall_time").set(
+            round(time.perf_counter() - start, 4)
+        )
         ordered = [results[i] for i in range(len(specs))]
         return RunReport(
             results=ordered,
@@ -397,6 +439,7 @@ class Supervisor:
 
     # ------------------------------------------------------------------
     def _spawn(self, ctx, index: int, payload: dict, first: bool) -> _Job:
+        self.metrics.counter("supervisor.workers_spawned").inc()
         hb = _hb_path(self.checkpoint_dir, index)
         _touch(hb)  # a fresh worker gets a full heartbeat budget
         proc = ctx.Process(
@@ -444,6 +487,8 @@ class Supervisor:
             histories_sha256=data.get("histories_sha256"),
             timed_out=data.get("timed_out", False),
             crashed=data.get("crashed", False),
+            engine=data.get("engine", "reference"),
+            obs_level=data.get("obs_level", "full"),
             wall_time=data.get("wall_time", 0.0),
             attempts=data.get("attempts", 1),
         )

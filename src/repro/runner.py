@@ -133,6 +133,10 @@ class RunResult:
     #: which execution core produced this result ("reference"/"fast");
     #: on failure, the engine the spec *asked* for
     engine: str = "reference"
+    #: observability tier the run recorded at ("off".."full"); below
+    #: "full" there are no byte histories, so ``histories_sha256`` is
+    #: None — the tier in the result makes that unmistakable
+    obs_level: str = "full"
     #: wall-clock seconds for the successful (or last) attempt
     wall_time: float = 0.0
     #: 1 for a first-try success; >1 after retries
@@ -151,6 +155,7 @@ class RunResult:
             "timed_out": self.timed_out,
             "crashed": self.crashed,
             "engine": self.engine,
+            "obs_level": self.obs_level,
         }
         if include_timing:
             out["wall_time"] = self.wall_time
@@ -183,6 +188,51 @@ class RunReport:
     def failures(self) -> List[RunResult]:
         return [r for r in self.results if not r.ok]
 
+    def metrics(self, include_timing: bool = False) -> "MetricsRegistry":
+        """The sweep's health/progress feed as a typed metrics registry.
+
+        The deterministic instruments (run outcome counters, the cycle
+        histogram) are pure functions of the results, so the canonical
+        metrics block stays byte-identical at any ``jobs`` count and
+        under the resilience supervisor.  Wall-clock instruments only
+        exist when ``include_timing`` — same switch as the timing
+        block.  Names are stable; the catalogue lives in
+        ``docs/observability.md``.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("runs.total").inc(len(self.results))
+        reg.counter("runs.ok").inc(sum(1 for r in self.results if r.ok))
+        reg.counter("runs.failed").inc(len(self.failures))
+        reg.counter("runs.completed").inc(
+            sum(1 for r in self.results if r.completed)
+        )
+        reg.counter("runs.timed_out").inc(
+            sum(1 for r in self.results if r.timed_out)
+        )
+        reg.counter("runs.crashed").inc(
+            sum(1 for r in self.results if r.crashed)
+        )
+        reg.counter("cycles.total").inc(sum(r.cycles for r in self.results))
+        cycles = reg.histogram("run.cycles")
+        for r in self.results:
+            cycles.observe(r.cycles)
+        if include_timing:
+            wall = reg.histogram("run.wall_time", round_to=4)
+            for r in self.results:
+                wall.observe(r.wall_time)
+            reg.counter("runs.attempts").inc(
+                sum(r.attempts for r in self.results)
+            )
+            reg.counter("runs.retried").inc(
+                sum(1 for r in self.results if r.attempts > 1)
+            )
+            reg.gauge("runner.jobs").set(self.jobs)
+            reg.gauge("runner.wall_time").set(round(self.wall_time, 4))
+            reg.gauge("runner.speedup").set(round(self.speedup, 3))
+        return reg
+
     def to_dict(self, include_timing: bool = False) -> dict:
         """JSON-ready report.  Without ``include_timing`` the output is
         byte-identical for the same specs at any ``jobs`` count."""
@@ -195,6 +245,7 @@ class RunReport:
                 "failed": len(self.failures),
                 "total_cycles": sum(r.cycles for r in self.results),
             },
+            "metrics": self.metrics(include_timing=include_timing).to_dict(),
         }
         if include_timing:
             out["timing"] = {
@@ -236,6 +287,12 @@ def _spec_engine(spec: RunSpec) -> str:
     return str(dict(spec.kwargs).get("engine", "reference"))
 
 
+def _spec_obs_level(spec: RunSpec) -> str:
+    """The observability tier a spec *requested* (failure-path twin of
+    :func:`_spec_engine`)."""
+    return str(dict(spec.kwargs).get("obs_level", "full"))
+
+
 def _execute_spec(index: int, spec: RunSpec) -> RunResult:
     """Build, configure and run one spec.  Runs inside the worker
     process (or inline on the serial path); never raises — failures
@@ -254,6 +311,17 @@ def _execute_spec(index: int, spec: RunSpec) -> RunResult:
         result = system.run()
         metrics = result.to_dict()
         metrics.pop("histories", None)
+        obs = getattr(system, "obs", None)
+        if obs is not None and system.sampler is not None:
+            # deterministic sampling summary (sample counts are a pure
+            # function of the schedule, which is level-invariant)
+            metrics["sampling"] = {
+                "interval": system.sampler.interval,
+                "samples": max(
+                    (len(s) for s in system.sampler.utilization.values()),
+                    default=0,
+                ),
+            }
         return RunResult(
             index=index,
             label=label,
@@ -261,9 +329,17 @@ def _execute_spec(index: int, spec: RunSpec) -> RunResult:
             completed=result.completed,
             cycles=result.cycles,
             metrics=metrics,
-            histories_sha256=_histories_digest(result.histories),
+            # below "full" there are no byte histories to digest —
+            # None keeps the absence explicit instead of digesting
+            # empty streams
+            histories_sha256=(
+                _histories_digest(result.histories)
+                if obs is None or obs.histories
+                else None
+            ),
             wall_time=time.perf_counter() - start,
             engine=getattr(system, "engine", "reference"),
+            obs_level=str(obs) if obs is not None else "full",
         )
     except Exception as e:  # noqa: BLE001 — the report carries the error
         # an unknown engine name lands here too, as the ValueError from
@@ -277,6 +353,7 @@ def _execute_spec(index: int, spec: RunSpec) -> RunResult:
             metrics={"traceback": traceback.format_exc(limit=8)},
             wall_time=time.perf_counter() - start,
             engine=_spec_engine(spec),
+            obs_level=_spec_obs_level(spec),
         )
 
 
@@ -391,6 +468,7 @@ class ParallelRunner:
                         timed_out=True,
                         wall_time=timeout or 0.0,
                         engine=_spec_engine(spec),
+                        obs_level=_spec_obs_level(spec),
                     )
                 except Exception as e:
                     # _execute_spec never raises, so anything here is
@@ -404,6 +482,7 @@ class ParallelRunner:
                         error=f"{type(e).__name__}: {e!r}",
                         crashed=True,
                         engine=_spec_engine(spec),
+                        obs_level=_spec_obs_level(spec),
                     )
                 if not result.ok and attempts[i] <= retries:
                     attempts[i] += 1

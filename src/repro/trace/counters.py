@@ -8,9 +8,10 @@ stream row, plus cache and bus counters.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, TYPE_CHECKING
 
-from repro.core.system import EclipseSystem
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import EclipseSystem
 
 __all__ = ["collect_counters"]
 

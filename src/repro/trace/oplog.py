@@ -14,9 +14,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Iterable, List, Optional
+from typing import Callable, Deque, Iterable, List, Optional, TYPE_CHECKING
 
-from repro.core.system import EclipseSystem
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import EclipseSystem
 
 __all__ = ["OpRecord", "OpLog", "render_oplog"]
 
@@ -47,7 +48,16 @@ class OpLog:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         if not system.coprocessors:
-            raise RuntimeError("attach the OpLog after configure()")
+            raise RuntimeError(
+                "attach the OpLog after EclipseSystem.configure() — it wraps "
+                "the running coprocessors, which do not exist yet"
+            )
+        if not system.obs.oplog:
+            raise RuntimeError(
+                f"operation logging is disabled at obs_level={system.obs!s} — "
+                "build the system with obs_level='full' "
+                "(SystemParams.obs_level, or --obs-level on the CLI)"
+            )
         self.system = system
         self.capacity = capacity
         self.predicate = predicate

@@ -19,22 +19,41 @@ so it never keeps the simulation alive.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Tuple, TYPE_CHECKING
 
-from repro.core.system import EclipseSystem
 from repro.sim import Series
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import EclipseSystem
 
 __all__ = ["Sampler"]
 
 
 class Sampler:
-    """Bounded-memory time-series recorder for one system run."""
+    """Bounded-memory time-series recorder for one system run.
 
-    def __init__(self, system: EclipseSystem, interval: int = 500):
+    Attach via :meth:`repro.core.system.EclipseSystem.attach_sampler`
+    (or ``SystemParams.sample_interval`` / ``--sample-interval`` on the
+    CLI), which routes through the engine registry so both engines
+    sample identically.  Requires ``obs_level`` >= ``"series"``.
+    """
+
+    def __init__(self, system: "EclipseSystem", interval: int = 500):
         if interval < 1:
             raise ValueError(f"interval must be >= 1, got {interval}")
         if not system.coprocessors:
-            raise RuntimeError("attach the Sampler after EclipseSystem.configure()")
+            raise RuntimeError(
+                "attach the Sampler after EclipseSystem.configure() — the "
+                "coprocessors it samples do not exist yet (build the system, "
+                "configure(graph), then attach; or set "
+                "SystemParams.sample_interval to have configure() attach it)"
+            )
+        if not system.obs.series:
+            raise RuntimeError(
+                f"time-series sampling is disabled at obs_level={system.obs!s} — "
+                "build the system with obs_level='series' or 'full' "
+                "(SystemParams.obs_level, or --obs-level on the CLI)"
+            )
         self.system = system
         self.interval = interval
         #: stream fill series keyed by (stream, consumer task)

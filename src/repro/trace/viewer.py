@@ -10,10 +10,12 @@ the same views as ASCII charts and CSV.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, TYPE_CHECKING
 
-from repro.core.system import SystemResult
 from repro.sim import Series
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import SystemResult
 
 __all__ = [
     "sparkline",

@@ -10,7 +10,9 @@ The configuration-time correctness layer in front of simulation:
   misuse;
 * :mod:`repro.verify.diagnostics` — the rule registry and reporters;
 * :mod:`repro.verify.corpus` — the seeded known-bad regression corpus;
-* :mod:`repro.verify.run` — workload-level entry points.
+* :mod:`repro.verify.run` — workload-level entry points;
+* :mod:`repro.verify.trace_lint` — structural lints over exported
+  Chrome-trace JSON (unclosed spans, schema violations).
 
 See ``docs/static-analysis.md`` for the rule catalogue.
 """
@@ -20,6 +22,7 @@ from repro.verify.corpus import CORPUS, CorpusCase, run_corpus
 from repro.verify.diagnostics import RULES, Diagnostic, Report, Rule, Severity, rule
 from repro.verify.graph_lint import declared_rates, lint_graph
 from repro.verify.protocol import check_graph_protocol, check_kernel_protocol
+from repro.verify.trace_lint import lint_chrome_trace, lint_trace_file
 from repro.verify.run import (
     WORKLOADS,
     verify_all,
@@ -50,4 +53,6 @@ __all__ = [
     "verify_all",
     "verify_kernel_sources",
     "WORKLOADS",
+    "lint_chrome_trace",
+    "lint_trace_file",
 ]

@@ -141,6 +141,21 @@ _register("A203", "unsafe-kernel-state", Severity.WARNING,
           "deterministically (docs/resilience.md)")
 
 # ---------------------------------------------------------------------------
+# observability lints (exported trace structure; docs/observability.md)
+# ---------------------------------------------------------------------------
+_register("O301", "span-unclosed", Severity.WARNING,
+          "a span was opened but never closed (exported as a bare 'B' event) "
+          "— the traced run ended mid-step, or an instrumented generator was "
+          "abandoned; durations downstream of it are untrustworthy")
+_register("O302", "trace-schema", Severity.ERROR,
+          "an exported Chrome-trace event violates the trace schema (missing "
+          "required field, unknown phase, wrong container shape) — Perfetto "
+          "may silently drop it")
+_register("O303", "span-negative-duration", Severity.ERROR,
+          "a complete span has a negative duration or ends before it starts — "
+          "recording bug or clock misuse; the timeline is unrenderable")
+
+# ---------------------------------------------------------------------------
 # verifier-internal
 # ---------------------------------------------------------------------------
 _register("V001", "corpus-miss", Severity.ERROR,

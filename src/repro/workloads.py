@@ -138,6 +138,8 @@ def conformance_run(
     n_coprocs: int = 3,
     chunk: int = 16,
     engine: str = "reference",
+    obs_level: str = "full",
+    sample_interval: Optional[int] = None,
 ) -> Tuple[EclipseSystem, ApplicationGraph]:
     """One differential-conformance point: a small graph on a plain
     n-coprocessor instance under a seeded fault plan."""
@@ -149,7 +151,8 @@ def conformance_run(
     plan = FaultPlan.parse(fault_spec, seed=fault_seed)
     if not plan.any_faults():
         plan = None
-    params = SystemParams(watchdog_timeout=watchdog_timeout, engine=engine)
+    params = SystemParams(watchdog_timeout=watchdog_timeout, engine=engine,
+                          obs_level=obs_level, sample_interval=sample_interval)
     system = EclipseSystem(
         [CoprocessorSpec(f"cp{i}") for i in range(n_coprocs)], params, faults=plan
     )
@@ -160,10 +163,13 @@ def quickstart_run(
     payload_len: int = 4096,
     watchdog_timeout: Optional[int] = None,
     engine: str = "reference",
+    obs_level: str = "full",
+    sample_interval: Optional[int] = None,
 ) -> Tuple[EclipseSystem, ApplicationGraph]:
     """The CLI quickstart: producer/consumer on two coprocessors."""
     payload = bytes((11 * i) % 256 for i in range(payload_len))
-    params = SystemParams(watchdog_timeout=watchdog_timeout, engine=engine)
+    params = SystemParams(watchdog_timeout=watchdog_timeout, engine=engine,
+                          obs_level=obs_level, sample_interval=sample_interval)
     system = EclipseSystem([CoprocessorSpec("cp0"), CoprocessorSpec("cp1")], params)
     return system, quickstart_graph(payload)
 
@@ -178,6 +184,8 @@ def decode_run(
     buffer_packets: int = 3,
     prefetch_lines: Optional[int] = None,
     engine: str = "reference",
+    obs_level: str = "full",
+    sample_interval: Optional[int] = None,
 ) -> Tuple[EclipseSystem, ApplicationGraph]:
     """A Figure-8 decode of a synthetic sequence (encode included, so
     the factory is self-contained and picklable as a description)."""
@@ -190,7 +198,9 @@ def decode_run(
     bitstream, _, _ = encode_sequence(seq, codec)
     shell = ShellParams(prefetch_lines=prefetch_lines) if prefetch_lines is not None else None
     system = build_mpeg_instance(
-        SystemParams(dram_latency=dram_latency, engine=engine), shell=shell
+        SystemParams(dram_latency=dram_latency, engine=engine,
+                     obs_level=obs_level, sample_interval=sample_interval),
+        shell=shell,
     )
     graph = decode_graph(bitstream, mapping=DECODE_MAPPING, buffer_packets=buffer_packets)
     return system, graph
@@ -201,6 +211,8 @@ def explore_decode_run(
     prefetch_lines: Optional[int] = None,
     buffer_packets: int = 3,
     engine: str = "reference",
+    obs_level: str = "full",
+    sample_interval: Optional[int] = None,
 ) -> Tuple[EclipseSystem, ApplicationGraph]:
     """One point of the CLI ``explore`` sweep: decode a pre-encoded
     bitstream on the Figure 8 instance with one knob turned."""
@@ -211,7 +223,9 @@ def explore_decode_run(
     # dram_latency=60 matches build_mpeg_instance's params=None default —
     # an engine switch must not silently change any timing parameter
     system = build_mpeg_instance(
-        SystemParams(dram_latency=60, engine=engine), shell=shell
+        SystemParams(dram_latency=60, engine=engine,
+                     obs_level=obs_level, sample_interval=sample_interval),
+        shell=shell,
     )
     graph = decode_graph(bitstream, mapping=DECODE_MAPPING, buffer_packets=buffer_packets)
     return system, graph

@@ -1,0 +1,64 @@
+"""The ObservabilityLevel ladder and its SystemParams plumbing."""
+
+import pytest
+
+from repro.core import CoprocessorSpec, EclipseSystem, SystemParams
+from repro.obs import ObservabilityLevel
+from repro.obs.level import LEVELS, resolve_level
+
+
+def test_ladder_order():
+    off, counters, series, full = (ObservabilityLevel.parse(n) for n in LEVELS)
+    assert off < counters < series < full
+
+
+@pytest.mark.parametrize("name", LEVELS)
+def test_parse_roundtrip(name):
+    assert str(ObservabilityLevel.parse(name)) == name
+    assert resolve_level(name) == name
+
+
+def test_parse_unknown_names_the_choices():
+    with pytest.raises(ValueError, match="off"):
+        ObservabilityLevel.parse("verbose")
+
+
+def test_capability_ladder():
+    off = ObservabilityLevel.OFF
+    assert not (off.fill_stats or off.series or off.spans or off.histories or off.oplog)
+    counters = ObservabilityLevel.COUNTERS
+    assert counters.fill_stats
+    assert not (counters.series or counters.spans or counters.histories)
+    series = ObservabilityLevel.SERIES
+    assert series.fill_stats and series.series and series.spans
+    assert not (series.histories or series.oplog)
+    full = ObservabilityLevel.FULL
+    assert full.fill_stats and full.series and full.spans
+    assert full.histories and full.oplog
+
+
+def test_full_is_the_default():
+    assert SystemParams().obs_level == "full"
+    assert ObservabilityLevel.parse(SystemParams().obs_level) is ObservabilityLevel.FULL
+
+
+def test_params_reject_unknown_level():
+    with pytest.raises(ValueError):
+        SystemParams(obs_level="everything")
+
+
+def test_params_reject_interval_without_series():
+    with pytest.raises(ValueError, match="series"):
+        SystemParams(obs_level="off", sample_interval=100)
+    with pytest.raises(ValueError, match="series"):
+        SystemParams(obs_level="counters", sample_interval=100)
+
+
+def test_params_reject_nonpositive_interval():
+    with pytest.raises(ValueError):
+        SystemParams(sample_interval=0)
+
+
+def test_system_exposes_parsed_level():
+    system = EclipseSystem([CoprocessorSpec("cp0")], SystemParams(obs_level="counters"))
+    assert system.obs is ObservabilityLevel.COUNTERS

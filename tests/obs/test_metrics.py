@@ -1,0 +1,81 @@
+"""The typed metrics registry: counters, gauges, histograms."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+def test_counter_monotonic():
+    c = Counter("runs.total")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge("queue.depth")
+    g.set(7)
+    g.inc(3)
+    g.dec(4)
+    assert g.value == 6
+
+
+def test_histogram_statistics():
+    h = Histogram("run.cycles")
+    for v in (10, 20, 30):
+        h.observe(v)
+    assert h.count == 3
+    assert h.sum == 60
+    assert h.min == 10
+    assert h.max == 30
+    assert h.mean == 20
+
+
+def test_histogram_rounding_in_export():
+    h = Histogram("run.wall_time", round_to=2)
+    h.observe(1.23456)
+    exported = h.to_dict()
+    assert exported["sum"] == 1.23
+    assert exported["mean"] == 1.23
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.gauge("b") is reg.gauge("b")
+    assert reg.histogram("c") is reg.histogram("c")
+
+
+def test_registry_rejects_kind_change():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError, match="counter"):
+        reg.gauge("x")
+
+
+def test_registry_names_sorted():
+    reg = MetricsRegistry()
+    reg.counter("zebra")
+    reg.gauge("alpha")
+    assert reg.names() == ["alpha", "zebra"]
+
+
+def test_registry_to_dict_is_canonical_json():
+    reg = MetricsRegistry()
+    reg.counter("runs.total").inc(2)
+    reg.histogram("run.cycles").observe(100)
+    d = reg.to_dict()
+    assert list(d) == sorted(d)
+    assert d["runs.total"] == {"kind": "counter", "value": 2}
+    assert d["run.cycles"]["kind"] == "histogram"
+    # the block must be JSON-serializable as-is (report embedding)
+    json.dumps(d)
+
+
+def test_empty_registry_exports_empty_dict():
+    assert MetricsRegistry().to_dict() == {}

@@ -215,3 +215,87 @@ def test_fault_seed_zero_overrides_plan_seed(capsys):
     assert "seed=0 " in capsys.readouterr().out
     main(base + ["--jobs", "1"])  # no override: sweep from the plan's seed
     assert "seed=7 " in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# observability flags (--obs-level / --sample-interval) and `repro trace`
+# ---------------------------------------------------------------------------
+def test_quickstart_obs_off_skips_history_compare(capsys):
+    assert main(["quickstart", "--obs-level", "off"]) == 0
+    out = capsys.readouterr().out
+    assert "history comparison skipped" in out
+    assert "matches reference" not in out
+
+
+def test_quickstart_sample_interval_attaches_sampler(capsys):
+    assert main(["quickstart", "--obs-level", "series",
+                 "--sample-interval", "200", "--engine", "fast"]) == 0
+    out = capsys.readouterr().out
+    assert "sampler:" in out and "interval=200" in out
+
+
+def test_sample_interval_without_series_rejected_cleanly(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["quickstart", "--obs-level", "off", "--sample-interval", "100"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "--sample-interval" in err and "Traceback" not in err
+
+
+def test_unknown_obs_level_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["quickstart", "--obs-level", "verbose"])
+
+
+def test_decode_counters_skips_figure10(capsys):
+    rc = main(["decode", "--width", "48", "--height", "32", "--frames", "3",
+               "--gop-n", "3", "--gop-m", "1", "--obs-level", "counters"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "architecture view" in out
+    assert "Figure 10 traces skipped" in out
+    assert "bottleneck per frame type" not in out
+
+
+def test_conformance_obs_off_checks_completion_only(capsys):
+    assert main(CONF_FAST + ["--obs-level", "off", "--jobs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "completed (histories not recorded)" in out
+    assert "byte-identical" not in out
+
+
+def test_trace_command_writes_perfetto_json(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    assert main(["trace", "--workload", "quickstart",
+                 "--out", str(out_path), "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "trace event(s) recorded" in out
+    assert "0 error(s), 0 warning(s)" in out
+    trace = json.loads(out_path.read_text())
+    assert trace["traceEvents"]
+    assert trace["otherData"]["obs_level"] == "full"
+
+
+def test_trace_command_capacity_bounds_events(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    assert main(["trace", "--workload", "quickstart", "--capacity", "32",
+                 "--out", str(out_path)]) == 0
+    trace = json.loads(out_path.read_text())
+    assert trace["otherData"]["dropped"] > 0
+    spans = [e for e in trace["traceEvents"] if e["ph"] in ("X", "i", "B")]
+    assert len(spans) == 32
+
+
+def test_trace_command_bad_capacity_rejected(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["trace", "--capacity", "0"])
+    assert exc.value.code == 2
+    assert "--capacity" in capsys.readouterr().err
+
+
+def test_trace_command_unwritable_out_rejected(tmp_path, capsys):
+    bad = tmp_path / "no" / "dir" / "t.json"
+    with pytest.raises(SystemExit) as exc:
+        main(["trace", "--workload", "quickstart", "--out", str(bad)])
+    assert exc.value.code == 2
+    assert "cannot write --out" in capsys.readouterr().err

@@ -1,0 +1,113 @@
+"""The O301-O303 lints over exported Chrome-trace JSON."""
+
+import json
+
+import pytest
+
+from repro.verify import lint_chrome_trace, lint_trace_file
+
+
+def _event(**overrides):
+    ev = {"name": "step:src", "cat": "step", "ph": "X", "ts": 10, "dur": 5,
+          "pid": 1, "tid": 1}
+    ev.update(overrides)
+    return ev
+
+
+def _trace(*events):
+    return {"traceEvents": list(events)}
+
+
+def test_clean_trace_passes():
+    report = lint_chrome_trace(_trace(
+        _event(),
+        {"name": "cache_miss", "cat": "cache", "ph": "i", "ts": 3,
+         "pid": 1, "tid": 2, "s": "t"},
+        {"name": "thread_name", "ph": "M", "pid": 1, "args": {"name": "cp0"}},
+    ))
+    assert len(report) == 0
+    assert report.exit_code == 0
+    assert any("3 of 3" in n for n in report.notes)
+
+
+def test_non_object_root_is_schema_error():
+    report = lint_chrome_trace([1, 2, 3])
+    assert report.rule_ids() == {"O302"}
+    assert report.has_errors
+
+
+def test_missing_container_is_schema_error():
+    assert lint_chrome_trace({"events": []}).rule_ids() == {"O302"}
+    assert lint_chrome_trace({"traceEvents": "nope"}).rule_ids() == {"O302"}
+
+
+def test_non_object_event_flagged():
+    report = lint_chrome_trace(_trace("not-an-event"))
+    assert report.rule_ids() == {"O302"}
+
+
+def test_unknown_phase_flagged():
+    report = lint_chrome_trace(_trace(_event(ph="E")))
+    assert report.rule_ids() == {"O302"}
+    assert "unknown phase" in report.errors[0].message
+
+
+def test_missing_required_field_flagged():
+    ev = _event()
+    del ev["dur"]
+    report = lint_chrome_trace(_trace(ev))
+    assert report.rule_ids() == {"O302"}
+    assert "dur" in report.errors[0].message
+
+
+def test_unclosed_span_is_a_warning_not_an_error():
+    report = lint_chrome_trace(_trace(
+        {"name": "step:stuck", "cat": "step", "ph": "B", "ts": 7,
+         "pid": 1, "tid": 1, "args": {"task": "stuck"}},
+    ))
+    assert report.rule_ids() == {"O301"}
+    assert not report.has_errors
+    assert report.exit_code == 0
+    assert report.warnings[0].task == "stuck"
+
+
+def test_negative_duration_flagged():
+    report = lint_chrome_trace(_trace(_event(dur=-3)))
+    assert report.rule_ids() == {"O303"}
+    assert report.has_errors
+
+
+def test_non_numeric_timing_flagged():
+    report = lint_chrome_trace(_trace(_event(ts="early")))
+    assert report.rule_ids() == {"O303"}
+
+
+def test_mixed_trace_counts_only_wellformed():
+    report = lint_chrome_trace(_trace(_event(), _event(ph="Q")), source="t.json")
+    assert any("1 of 2" in n for n in report.notes)
+    assert report.errors[0].source == "t.json"
+
+
+def test_lint_trace_file_roundtrip(tmp_path):
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps(_trace(_event())))
+    report = lint_trace_file(str(path))
+    assert len(report) == 0
+
+
+def test_lint_trace_file_missing_and_malformed(tmp_path):
+    report = lint_trace_file(str(tmp_path / "nope.json"))
+    assert report.rule_ids() == {"O302"}
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    report = lint_trace_file(str(bad))
+    assert report.rule_ids() == {"O302"}
+    assert report.has_errors
+
+
+def test_rules_are_registered():
+    from repro.verify import RULES
+
+    assert RULES["O301"].severity.name == "WARNING"
+    assert RULES["O302"].severity.name == "ERROR"
+    assert RULES["O303"].severity.name == "ERROR"
