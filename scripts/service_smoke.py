@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the sweep service, as CI runs it.
+
+Starts a real server (``python -m repro serve``) on a unix socket,
+submits the same workload twice sequentially, and asserts the
+headline contracts from the outside:
+
+* the first submission executes (``cache: miss``), the second is a
+  cache hit — the server's executions counter reads exactly 1;
+* the two served payloads are **byte-identical** (compared as files,
+  the way an operator would with ``cmp``);
+* the stats endpoint reports exactly one miss, one hit, one store put.
+
+Exit code 0 on success; any broken contract raises. Usage::
+
+    python scripts/service_smoke.py [--workload quickstart] [--keep DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def wait_for(path: str, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            return
+        time.sleep(0.1)
+    raise TimeoutError(f"server socket {path} did not appear in {timeout}s")
+
+
+def run_cli(args, **kw):
+    cmd = [sys.executable, "-m", "repro", *args]
+    return subprocess.run(cmd, capture_output=True, text=True, timeout=300, **kw)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="quickstart",
+                        help="named workload to submit (default: quickstart)")
+    parser.add_argument("--arg", action="append", default=["payload_len=512"],
+                        metavar="KEY=VALUE", help="workload parameter")
+    parser.add_argument("--keep", metavar="DIR",
+                        help="run in DIR and keep it (default: tempdir)")
+    opts = parser.parse_args()
+
+    workdir = opts.keep or tempfile.mkdtemp(prefix="service-smoke-")
+    os.makedirs(workdir, exist_ok=True)
+    sock = os.path.join(workdir, "sweep.sock")
+    store = os.path.join(workdir, "store")
+    first = os.path.join(workdir, "first.json")
+    second = os.path.join(workdir, "second.json")
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", sock,
+         "--store", store, "--jobs", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        wait_for(sock)
+        submit = ["submit", "--socket", sock, "--workload", opts.workload,
+                  "--label", "smoke"]
+        for pair in opts.arg:
+            submit += ["--arg", pair]
+
+        cold = run_cli(submit + ["--out", first])
+        print(cold.stdout, end="")
+        assert cold.returncode == 0, cold.stderr
+        assert "(miss)" in cold.stdout, f"expected a cold miss: {cold.stdout!r}"
+
+        hit = run_cli(submit + ["--out", second])
+        print(hit.stdout, end="")
+        assert hit.returncode == 0, hit.stderr
+        assert "(hit)" in hit.stdout, f"expected a cache hit: {hit.stdout!r}"
+
+        with open(first, "rb") as a, open(second, "rb") as b:
+            pa, pb = a.read(), b.read()
+        assert pa == pb, "cache hit served different bytes than the cold run"
+        print(f"payloads byte-identical ({len(pa)} bytes)")
+
+        stats = run_cli(["submit", "--socket", sock, "--stats"])
+        assert stats.returncode == 0, stats.stderr
+        snapshot = json.loads(stats.stdout)
+        metrics = snapshot["metrics"]
+        assert metrics["service.executions"]["value"] == 1, metrics
+        assert metrics["service.cache.misses"]["value"] == 1, metrics
+        assert metrics["service.cache.hits"]["value"] == 1, metrics
+        assert snapshot["store"]["store.puts"]["value"] == 1, snapshot["store"]
+        print("stats: 1 execution, 1 miss, 1 hit, 1 store put")
+
+        bye = run_cli(["submit", "--socket", sock, "--shutdown"])
+        assert bye.returncode == 0, bye.stderr
+        server.wait(timeout=30)
+        print("server shut down cleanly")
+    finally:
+        if server.poll() is None:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+        out = server.stdout.read() if server.stdout else ""
+        if out:
+            print(f"--- server log ---\n{out}", end="")
+        if not opts.keep:
+            import shutil
+
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    print("service smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

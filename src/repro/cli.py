@@ -30,6 +30,19 @@ Commands
     Perfetto JSON timeline (``--out``); ``--check`` lints the exported
     file against the trace schema (rules O301-O303).  See
     docs/observability.md.
+``serve``
+    the sweep service: a long-running asyncio server with a priority
+    queue, a bounded worker pool and a content-addressed result cache,
+    speaking newline-delimited JSON on a unix socket (``--socket``) or
+    stdio (``--stdio``).  Identical requests are served from the cache
+    byte-for-byte; concurrent identical requests cost one execution.
+    See docs/sweep-service.md.
+``submit``
+    one-shot client for a running ``serve``: submit a named workload
+    (``--workload``, with ``--arg key=value`` parameters) or any
+    ``module:function`` factory (``--factory``), print the verified
+    result, optionally save the canonical payload bytes (``--out``).
+    ``--stats`` and ``--shutdown`` poke the server instead.
 
 The run commands accept ``--obs-level {off,counters,series,full}`` to
 pick how much the simulation records (default ``full``, today's
@@ -260,6 +273,114 @@ def build_parser() -> argparse.ArgumentParser:
         "series: 'series' or 'full'; default: full)",
     )
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the sweep service: async job queue + content-addressed "
+        "result cache over newline-delimited JSON (docs/sweep-service.md)",
+    )
+    srv.add_argument(
+        "--socket",
+        metavar="PATH",
+        default="sweep.sock",
+        help="unix socket path to listen on (default: sweep.sock)",
+    )
+    srv.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve one client on stdin/stdout instead of a socket "
+        "(useful under a process supervisor or in tests)",
+    )
+    srv.add_argument(
+        "--store",
+        metavar="DIR",
+        default="sweep-store",
+        help="result-store root: cached payloads under objects/, per-"
+        "request checkpoints under ckpt/ (default: sweep-store)",
+    )
+    srv.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent executions / process-pool size (default: 2)",
+    )
+    srv.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="run every request under the crash-tolerant supervisor, "
+        "checkpointing every CYCLES cycles into the store (enables "
+        "restart-from-snapshot and warm-start recomputation)",
+    )
+    srv.add_argument(
+        "--threads",
+        action="store_true",
+        help="execute in threads instead of a process pool (slower; "
+        "mainly for constrained environments)",
+    )
+
+    sbm = sub.add_parser(
+        "submit",
+        help="submit one run to a running sweep service and print the "
+        "verified result",
+    )
+    sbm.add_argument(
+        "--socket",
+        metavar="PATH",
+        default="sweep.sock",
+        help="unix socket of the running service (default: sweep.sock)",
+    )
+    what = sbm.add_mutually_exclusive_group()
+    what.add_argument(
+        "--workload",
+        metavar="NAME",
+        help="a named workload factory (see repro.workloads.RUN_FACTORIES: "
+        "quickstart, decode, conformance)",
+    )
+    what.add_argument(
+        "--factory",
+        metavar="MOD:FN",
+        help="any module-level factory as a 'module:function' reference",
+    )
+    sbm.add_argument(
+        "--arg",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="factory keyword argument (repeatable); VALUE is parsed as "
+        "JSON when possible, else kept as a string",
+    )
+    sbm.add_argument("--label", default="", help="run label (part of the result)")
+    sbm.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        metavar="N",
+        help="queue priority: lower runs earlier (default: 0)",
+    )
+    sbm.add_argument(
+        "--stream",
+        action="store_true",
+        help="print queue/execution progress events as they happen",
+    )
+    sbm.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the canonical result payload bytes to PATH "
+        "(byte-identical for cache hit and cold run — cmp-able)",
+    )
+    sbm.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the server's health snapshot instead of submitting",
+    )
+    sbm.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the server to shut down instead of submitting",
+    )
+
     ver = sub.add_parser(
         "verify",
         help="static analysis: KPN graph lints + kernel shell-protocol checks",
@@ -313,6 +434,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "conformance": _cmd_conformance,
         "verify": _cmd_verify,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }[args.command](args)
 
 
@@ -787,6 +910,162 @@ def _cmd_trace(args) -> int:
         print(f"trace check: {c['error']} error(s), {c['warning']} warning(s)")
         return report.exit_code
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the sweep service until a client sends ``shutdown`` (or
+    Ctrl-C).  Socket mode accepts many concurrent clients; ``--stdio``
+    serves exactly one on the process's own pipes."""
+    import asyncio
+    import os
+
+    from repro.service import ResultStore, SweepService, serve_stdio, serve_unix
+
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        raise SystemExit(2)
+    if args.checkpoint_interval is not None and args.checkpoint_interval < 1:
+        print(f"error: --checkpoint-interval must be >= 1, got "
+              f"{args.checkpoint_interval}", file=sys.stderr)
+        raise SystemExit(2)
+
+    async def _main() -> None:
+        store = ResultStore(args.store)
+        service = SweepService(
+            store,
+            jobs=args.jobs,
+            checkpoint_interval=args.checkpoint_interval,
+            use_process_pool=not args.threads,
+        )
+        async with service:
+            if args.stdio:
+                # stdout belongs to the protocol; the banner goes to stderr
+                print(f"sweep service on stdio (store: {args.store}, "
+                      f"jobs: {args.jobs})", file=sys.stderr, flush=True)
+                await serve_stdio(service)
+                return
+            if os.path.exists(args.socket):
+                os.remove(args.socket)  # stale socket from a previous run
+            server = await serve_unix(service, args.socket)
+            print(f"sweep service on {args.socket} (store: {args.store}, "
+                  f"jobs: {args.jobs}"
+                  + (f", checkpoint every {args.checkpoint_interval} cycles"
+                     if args.checkpoint_interval else "")
+                  + ")", flush=True)
+            try:
+                await service.shutdown_requested.wait()
+            finally:
+                server.close()
+                await server.wait_closed()
+                try:
+                    os.remove(args.socket)
+                except OSError:
+                    pass
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("interrupted — cache and checkpoints are on disk, restart to "
+              "continue serving", file=sys.stderr)
+    except OSError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _parse_submit_args(pairs):
+    """``--arg key=value`` pairs into kwargs: values parse as JSON when
+    they can (numbers, booleans, null, quoted strings, lists) and stay
+    strings otherwise, so ``--arg payload_len=512 --arg graph=diamond``
+    both do what they look like."""
+    import json
+
+    kwargs = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            print(f"error: --arg wants KEY=VALUE, got {pair!r}", file=sys.stderr)
+            raise SystemExit(2)
+        try:
+            kwargs[key] = json.loads(value)
+        except json.JSONDecodeError:
+            kwargs[key] = value
+    return kwargs
+
+
+def _cmd_submit(args) -> int:
+    """One-shot client: submit a run (or poke the server with --stats/
+    --shutdown), verify the byte-identity contract on the response,
+    print the outcome."""
+    import asyncio
+
+    from repro.service.client import ClientError, SweepClient, submit_once
+
+    if args.stats or args.shutdown:
+        async def _poke() -> int:
+            async with SweepClient(args.socket) as client:
+                if args.stats:
+                    import json
+
+                    print(json.dumps(await client.stats(), indent=2,
+                                     sort_keys=True))
+                if args.shutdown:
+                    await client.shutdown()
+                    print("server shutting down")
+            return 0
+
+        try:
+            return asyncio.run(_poke())
+        except (ClientError, ConnectionError, OSError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 1
+
+    if args.factory:
+        factory = args.factory
+    else:
+        from repro.workloads import RUN_FACTORIES
+
+        name = args.workload or "quickstart"
+        if name not in RUN_FACTORIES:
+            print(f"error: unknown workload {name!r} "
+                  f"(want one of {sorted(RUN_FACTORIES)} or --factory)",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        factory = f"repro.workloads:{RUN_FACTORIES[name].__name__}"
+
+    from repro.runner import RunSpec
+
+    spec = RunSpec(factory=factory, kwargs=_parse_submit_args(args.arg),
+                   label=args.label)
+    on_event = None
+    if args.stream:
+        def on_event(ev: dict) -> None:
+            print(f"  [{ev.get('event')}] {ev.get('key', '')[:12]}")
+
+    try:
+        res = submit_once(args.socket, spec, priority=args.priority,
+                          stream=args.stream, on_event=on_event)
+    except (ClientError, ConnectionError, OSError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+    result = res.result
+    print(f"{result.label or spec.describe()}: "
+          f"{'ok' if res.ok else 'FAILED'} ({res.cache}) "
+          f"cycles={result.cycles} key={res.key[:12]} "
+          f"payload_sha256={res.payload_sha256[:12]}")
+    if not res.ok and result.error:
+        print(f"error: {result.error}", file=sys.stderr)
+    if args.out:
+        try:
+            with open(args.out, "wb") as fh:
+                fh.write(res.payload)
+        except OSError as e:
+            print(f"error: cannot write --out {args.out!r}: {e}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote {args.out}")
+    return 0 if res.ok else 1
 
 
 def _cmd_verify(args) -> int:

@@ -11,12 +11,16 @@ Three pieces, one contract:
 * :mod:`repro.obs.metrics` — typed counters/gauges/histograms with
   stable names, aggregated by the runner and the resilience
   supervisor into canonical JSON metrics blocks.
+* :mod:`repro.obs.spans` — the tracer's free-standing sibling for the
+  layers above the simulator (runner/supervisor/sweep service):
+  caller-driven spans on an injectable clock, same export format.
 
 See ``docs/observability.md`` for the full contract.
 """
 
 from repro.obs.level import LEVELS, ObservabilityLevel, resolve_level
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import SpanRecorder
 from repro.obs.tracer import CHROME_TRACE_SCHEMA, SpanEvent, SpanTracer
 
 __all__ = [
@@ -28,6 +32,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "SpanEvent",
+    "SpanRecorder",
     "SpanTracer",
     "CHROME_TRACE_SCHEMA",
 ]

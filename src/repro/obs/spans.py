@@ -1,0 +1,171 @@
+"""System-independent span recording for the service layers.
+
+:class:`repro.obs.tracer.SpanTracer` instruments a *configured
+simulation*: it wraps coprocessor and bus methods, and its timestamps
+are simulated cycles.  The layers above the simulator — the parallel
+runner, the resilience supervisor, and the sweep service — also want
+structured timelines (queue-wait windows, execution spans, cache
+events), but they have no system to wrap and their natural clock is
+the wall clock.  :class:`SpanRecorder` is the tracer's free-standing
+sibling: the same :class:`~repro.obs.tracer.SpanEvent` records, the
+same bounded ring buffer, the same Chrome-trace/Perfetto export — but
+driven explicitly by the caller, with an injectable clock.
+
+Because these spans carry wall-clock timestamps they are observability
+only: they must never leak into a cached result payload or any other
+byte-compared artifact (the same rule the runner's ``include_timing``
+switch enforces for its report).
+
+Thread model: the caller names its threads (``recorder.thread("queue")``,
+``recorder.thread("worker-0")``); tids are handed out in first-use
+order with tid 0 reserved for "system", and the metadata events in the
+export carry the names, so Perfetto shows labelled lanes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.obs.tracer import SpanEvent
+
+__all__ = ["SpanRecorder"]
+
+
+class SpanRecorder:
+    """Bounded-memory span/instant recorder with Chrome-trace export.
+
+    ``clock`` returns integer microseconds; the default is monotonic
+    wall time since the recorder was created.  Tests inject a
+    deterministic clock to make exports comparable.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 100_000,
+        clock: Optional[Callable[[], int]] = None,
+        process_name: str = "repro.service",
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.process_name = process_name
+        if clock is None:
+            t0 = time.monotonic()
+            clock = lambda: int((time.monotonic() - t0) * 1_000_000)  # noqa: E731
+        self._clock = clock
+        self.events: Deque[SpanEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.total = 0
+        self.open_spans: List[SpanEvent] = []
+        self.tids: Dict[str, int] = {"system": 0}
+
+    # ------------------------------------------------------------------
+    def now(self) -> int:
+        return self._clock()
+
+    def thread(self, name: str) -> int:
+        """The tid for ``name``, allocating one on first use."""
+        tid = self.tids.get(name)
+        if tid is None:
+            tid = len(self.tids)
+            self.tids[name] = tid
+        return tid
+
+    # ------------------------------------------------------------------
+    def _record(self, event: SpanEvent) -> None:
+        self.total += 1
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+
+    def instant(self, name: str, cat: str, thread: str = "system", **args) -> None:
+        self._record(
+            SpanEvent(name, cat, "i", self.now(), self.thread(thread), args=args)
+        )
+
+    def begin(self, name: str, cat: str, thread: str = "system", **args) -> SpanEvent:
+        span = SpanEvent(name, cat, "B", self.now(), self.thread(thread), args=args)
+        self.open_spans.append(span)
+        return span
+
+    def end(self, span: SpanEvent, **args) -> None:
+        self.open_spans.remove(span)
+        span.ph = "X"
+        span.dur = max(0, self.now() - span.ts)
+        span.args.update(args)
+        self._record(span)
+
+    def complete(self, name: str, cat: str, thread: str, ts: int, dur: int, **args) -> None:
+        """Record a span whose window the caller already measured
+        (e.g. queue wait: enqueue timestamp to dequeue timestamp)."""
+        self._record(
+            SpanEvent(name, cat, "X", ts, self.thread(thread),
+                      dur=max(0, dur), args=args)
+        )
+
+    @contextmanager
+    def span(self, name: str, cat: str, thread: str = "system", **args):
+        s = self.begin(name, cat, thread, **args)
+        try:
+            yield s
+        finally:
+            self.end(s)
+
+    # ------------------------------------------------------------------
+    # export (same shape as SpanTracer: summary + Chrome trace JSON)
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        by_cat: Dict[str, int] = {}
+        for ev in self.events:
+            by_cat[ev.cat] = by_cat.get(ev.cat, 0) + 1
+        return {
+            "events": len(self.events),
+            "total": self.total,
+            "dropped": self.dropped,
+            "open_spans": len(self.open_spans),
+            "by_category": dict(sorted(by_cat.items())),
+        }
+
+    def to_chrome_trace(self) -> dict:
+        pid = 1
+        events: List[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": self.process_name},
+            }
+        ]
+        for tname, tid in sorted(self.tids.items(), key=lambda kv: kv[1]):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": tname},
+                }
+            )
+        events.extend(ev.to_chrome(pid) for ev in self.events)
+        events.extend(ev.to_chrome(pid) for ev in self.open_spans)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "process": self.process_name,
+                "dropped": self.dropped,
+                "total": self.total,
+            },
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -476,19 +476,4 @@ class Supervisor:
                 data = json.load(fh)
         except (OSError, json.JSONDecodeError):
             return None  # half-written by a dying worker: redo the run
-        return RunResult(
-            index=data["index"],
-            label=data["label"],
-            ok=data["ok"],
-            completed=data.get("completed", False),
-            cycles=data.get("cycles", 0),
-            error=data.get("error"),
-            metrics=data.get("metrics", {}),
-            histories_sha256=data.get("histories_sha256"),
-            timed_out=data.get("timed_out", False),
-            crashed=data.get("crashed", False),
-            engine=data.get("engine", "reference"),
-            obs_level=data.get("obs_level", "full"),
-            wall_time=data.get("wall_time", 0.0),
-            attempts=data.get("attempts", 1),
-        )
+        return RunResult.from_dict(data)

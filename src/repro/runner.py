@@ -162,6 +162,28 @@ class RunResult:
             out["attempts"] = self.attempts
         return out
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result from its dict form (the inverse of
+        :meth:`to_dict`; timing fields default to zero when the dict
+        was serialized without them)."""
+        return cls(
+            index=data["index"],
+            label=data["label"],
+            ok=data["ok"],
+            completed=data.get("completed", False),
+            cycles=data.get("cycles", 0),
+            error=data.get("error"),
+            metrics=dict(data.get("metrics", {})),
+            histories_sha256=data.get("histories_sha256"),
+            timed_out=data.get("timed_out", False),
+            crashed=data.get("crashed", False),
+            engine=data.get("engine", "reference"),
+            obs_level=data.get("obs_level", "full"),
+            wall_time=data.get("wall_time", 0.0),
+            attempts=data.get("attempts", 1),
+        )
+
 
 @dataclass
 class RunReport:

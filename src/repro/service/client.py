@@ -1,0 +1,235 @@
+"""Asyncio client for the sweep service's NDJSON protocol.
+
+:class:`SweepClient` drives one unix-socket connection: it assigns
+request ids, demultiplexes the interleaved response lines of
+concurrent submissions back to their callers, and **verifies the
+byte-identity contract on every result** — the parsed ``result``
+object is re-canonicalized (:func:`repro.service.store.result_payload`
+form) and the bytes must hash to the server's ``payload_sha256``, so a
+client can prove "the hit I got is byte-identical to the cold run"
+without ever shipping raw bytes over the JSON wire.
+
+The synchronous conveniences (:func:`submit_once`, used by
+``repro submit``) wrap one connection in ``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.runner import RunSpec
+from repro.service import protocol
+from repro.service.store import payload_result
+
+__all__ = ["ClientError", "ClientResult", "SweepClient", "submit_once"]
+
+
+class ClientError(RuntimeError):
+    """Server-reported error or a broken byte-identity contract."""
+
+
+def wire_payload(result_obj: Dict[str, Any]) -> bytes:
+    """Re-canonicalize a wire ``result`` object into the exact payload
+    bytes the server serves (and stores): sorted keys, two-space
+    indent, trailing newline."""
+    return (json.dumps(result_obj, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
+@dataclass
+class ClientResult:
+    """One verified submit outcome, as seen from the client side."""
+
+    rid: Any
+    ok: bool
+    cache: str
+    key: str
+    payload: bytes
+    payload_sha256: str
+    events: List[dict] = field(default_factory=list)
+
+    @property
+    def result(self):
+        return payload_result(self.payload)
+
+
+class SweepClient:
+    """One NDJSON connection to a running sweep service.
+
+    Use as an async context manager::
+
+        async with SweepClient(path) as client:
+            res = await client.submit(spec)
+
+    ``submit`` calls may overlap freely — responses are routed by id.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._ids = itertools.count(1)
+        self._pending: Dict[Any, "asyncio.Future[dict]"] = {}
+        self._events: Dict[Any, List[dict]] = {}
+        self._watchers: Dict[Any, Callable[[dict], None]] = {}
+        self._pump: Optional[asyncio.Task] = None
+
+    async def connect(self) -> "SweepClient":
+        self._reader, self._writer = await asyncio.open_unix_connection(self.path)
+        self._pump = asyncio.create_task(self._read_loop())
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if self._pump is not None:
+            self._pump.cancel()
+            try:
+                await self._pump
+            except asyncio.CancelledError:
+                pass
+        for fut in self._pending.values():
+            if not fut.done():
+                fut.set_exception(ClientError("connection closed"))
+        self._pending.clear()
+
+    async def __aenter__(self) -> "SweepClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                break
+            try:
+                msg = protocol.loads_line(line)
+            except protocol.ProtocolError:
+                continue
+            if not isinstance(msg, dict):
+                continue
+            rid = msg.get("id")
+            event = msg.get("event")
+            if event in ("result", "stats", "pong", "bye", "error"):
+                fut = self._pending.pop(rid, None)
+                if fut is not None and not fut.done():
+                    fut.set_result(msg)
+            else:
+                self._events.setdefault(rid, []).append(msg)
+                watcher = self._watchers.get(rid)
+                if watcher is not None:
+                    try:
+                        watcher(msg)
+                    except Exception:  # noqa: BLE001 — observer only
+                        pass
+        # EOF: fail whatever is still waiting
+        for fut in self._pending.values():
+            if not fut.done():
+                fut.set_exception(ClientError("server closed the connection"))
+        self._pending.clear()
+
+    async def _request(self, req: Dict[str, Any]) -> dict:
+        assert self._writer is not None, "client is not connected"
+        rid = req["id"]
+        fut: "asyncio.Future[dict]" = asyncio.get_running_loop().create_future()
+        self._pending[rid] = fut
+        self._writer.write(protocol.dumps_line(req))
+        await self._writer.drain()
+        return await fut
+
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        spec: RunSpec,
+        priority: int = 0,
+        stream: bool = False,
+        on_event: Optional[Callable[[dict], None]] = None,
+    ) -> ClientResult:
+        """Submit one spec and return its verified result.
+
+        Raises :class:`ClientError` on a server-side protocol error or
+        when the re-canonicalized result bytes do not hash to the
+        server's ``payload_sha256`` (a wire- or server-integrity bug a
+        caller must never absorb silently).
+        """
+        rid = next(self._ids)
+        if on_event is not None:
+            self._watchers[rid] = on_event
+            stream = True
+        try:
+            msg = await self._request(
+                protocol.submit_request(spec, rid, priority=priority, stream=stream)
+            )
+        finally:
+            self._watchers.pop(rid, None)
+        events = self._events.pop(rid, [])
+        if msg.get("event") == "error":
+            raise ClientError(msg.get("error", "unknown server error"))
+        payload = wire_payload(msg["result"])
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != msg.get("payload_sha256"):
+            raise ClientError(
+                f"byte-identity contract broken: reconstructed payload "
+                f"hashes to {digest[:12]}…, server claims "
+                f"{str(msg.get('payload_sha256'))[:12]}…"
+            )
+        return ClientResult(
+            rid=rid,
+            ok=bool(msg.get("ok")),
+            cache=str(msg.get("cache")),
+            key=str(msg.get("key")),
+            payload=payload,
+            payload_sha256=digest,
+            events=events,
+        )
+
+    async def submit_many(
+        self, specs: Sequence[RunSpec], priority: int = 0
+    ) -> List[ClientResult]:
+        """Submit a batch concurrently; results come back in spec order."""
+        return list(await asyncio.gather(
+            *(self.submit(spec, priority=priority) for spec in specs)
+        ))
+
+    async def stats(self) -> dict:
+        msg = await self._request({"op": "stats", "id": next(self._ids)})
+        if msg.get("event") == "error":
+            raise ClientError(msg.get("error", "unknown server error"))
+        return msg["stats"]
+
+    async def ping(self) -> bool:
+        msg = await self._request({"op": "ping", "id": next(self._ids)})
+        return msg.get("event") == "pong"
+
+    async def shutdown(self) -> None:
+        await self._request({"op": "shutdown", "id": next(self._ids)})
+
+
+def submit_once(
+    path: str,
+    spec: RunSpec,
+    priority: int = 0,
+    stream: bool = False,
+    on_event: Optional[Callable[[dict], None]] = None,
+) -> ClientResult:
+    """Synchronous one-shot submit (connect, submit, disconnect)."""
+
+    async def _go() -> ClientResult:
+        async with SweepClient(path) as client:
+            return await client.submit(
+                spec, priority=priority, stream=stream, on_event=on_event
+            )
+
+    return asyncio.run(_go())

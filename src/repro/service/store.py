@@ -1,0 +1,204 @@
+"""Content-addressed result store with digest-verified reads.
+
+One cache entry per :func:`repro.service.cachekey.cache_key`, stored
+as **two files** under ``<root>/objects/<key[:2]>/``:
+
+``<key>.json``
+    the payload — exactly the bytes the service serves, which are the
+    canonical JSON of one deterministic :class:`~repro.runner.
+    RunResult` (``to_dict(include_timing=False)``, sorted keys,
+    two-space indent, trailing newline: the same canonical form the
+    run reports use).  Keeping the payload verbatim on disk means a
+    cache hit is a plain file read and the byte-identity contract is
+    checkable with ``cmp``.
+``<key>.meta.json``
+    the entry's integrity record: schema tag, the key it belongs to,
+    and the SHA-256 of the payload bytes.
+
+Every read re-hashes the payload and cross-checks the metadata.  Any
+mismatch — a flipped payload byte, a truncated file, metadata for the
+wrong key, a schema from a future format — **evicts the entry and
+reports a miss**, so corruption is recomputed, never served.  Writes
+are atomic (temp file + ``os.replace``), payload before metadata, so
+a crash mid-write leaves either no entry or a complete one; a payload
+without metadata is treated as corrupt and swept on the next read.
+
+Timing stays out by construction: :func:`result_payload` hardcodes
+``include_timing=False``, so wall-clock fields and attempt counts can
+never reach a cached entry no matter what the caller asked the report
+layer for (regression-tested in ``tests/service``).
+
+The store also owns the per-key **checkpoint directories**
+(``<root>/ckpt/<key>/``) that the service's supervised execution path
+uses for crash recovery and warm-start recomputation — see
+:mod:`repro.service.warmstart`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.runner import RunResult
+
+__all__ = ["STORE_SCHEMA", "ResultStore", "result_payload", "payload_result"]
+
+STORE_SCHEMA = "repro.service.store/1"
+
+
+def result_payload(result: RunResult) -> bytes:
+    """The canonical served bytes for one run result.
+
+    ``include_timing`` is deliberately not a parameter: cached entries
+    must never contain wall-clock fields, supervisor metrics, or
+    attempt counts, and the one function that produces cacheable bytes
+    is where that rule is enforced.
+    """
+    doc = result.to_dict(include_timing=False)
+    return (json.dumps(doc, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
+def payload_result(payload: bytes) -> RunResult:
+    """Rebuild the :class:`RunResult` a payload serializes."""
+    return RunResult.from_dict(json.loads(payload.decode("utf-8")))
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class ResultStore:
+    """File-backed content-addressed cache of run-result payloads.
+
+    All methods are synchronous and cheap (one small file read/write);
+    the asyncio service calls them inline between awaits, which also
+    makes the miss-check/in-flight-registration sequence atomic on the
+    event loop.  ``metrics`` may be shared with the owning service so
+    store health lands in the same registry as the cache counters.
+    """
+
+    def __init__(self, root: str, metrics: Optional[MetricsRegistry] = None):
+        self.root = root
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        os.makedirs(os.path.join(root, "objects"), exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def payload_path(self, key: str) -> str:
+        return os.path.join(self.root, "objects", key[:2], f"{key}.json")
+
+    def meta_path(self, key: str) -> str:
+        return os.path.join(self.root, "objects", key[:2], f"{key}.meta.json")
+
+    def checkpoint_dir(self, key: str) -> str:
+        """The per-entry checkpoint directory (created on demand) that
+        supervised execution of this request uses."""
+        d = os.path.join(self.root, "ckpt", key)
+        os.makedirs(d, exist_ok=True)
+        return d
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _atomic_write(path: str, data: bytes) -> None:
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+
+    def put(self, key: str, payload: bytes) -> None:
+        """Store ``payload`` under ``key`` (atomic, payload first)."""
+        ppath = self.payload_path(key)
+        os.makedirs(os.path.dirname(ppath), exist_ok=True)
+        self._atomic_write(ppath, payload)
+        meta = {
+            "schema": STORE_SCHEMA,
+            "key": key,
+            "payload_sha256": _sha256(payload),
+            "size": len(payload),
+        }
+        self._atomic_write(
+            self.meta_path(key),
+            (json.dumps(meta, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+        )
+        self.metrics.counter("store.puts").inc()
+
+    def evict(self, key: str) -> bool:
+        """Remove an entry (both files); True if anything was removed."""
+        removed = False
+        for path in (self.meta_path(key), self.payload_path(key)):
+            try:
+                os.remove(path)
+                removed = True
+            except FileNotFoundError:
+                pass
+        if removed:
+            self.metrics.counter("store.evictions").inc()
+        return removed
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[bytes]:
+        """The verified payload bytes for ``key``, or None.
+
+        A present-but-unverifiable entry (digest mismatch, truncated or
+        missing file, foreign metadata) is evicted and counted in
+        ``store.corrupt_evictions`` — the caller sees a plain miss and
+        recomputes.
+        """
+        self.metrics.counter("store.gets").inc()
+        try:
+            with open(self.meta_path(key), "rb") as fh:
+                meta = json.loads(fh.read().decode("utf-8"))
+        except FileNotFoundError:
+            # a payload without metadata is a torn write: sweep it
+            if os.path.exists(self.payload_path(key)):
+                self._evict_corrupt(key, "payload present without metadata")
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._evict_corrupt(key, "unreadable metadata")
+            return None
+        try:
+            with open(self.payload_path(key), "rb") as fh:
+                payload = fh.read()
+        except OSError:
+            self._evict_corrupt(key, "unreadable payload")
+            return None
+        if (
+            not isinstance(meta, dict)
+            or meta.get("schema") != STORE_SCHEMA
+            or meta.get("key") != key
+            or meta.get("payload_sha256") != _sha256(payload)
+        ):
+            self._evict_corrupt(key, "digest/identity mismatch")
+            return None
+        return payload
+
+    def _evict_corrupt(self, key: str, reason: str) -> None:
+        self.metrics.counter("store.corrupt_evictions").inc()
+        self.evict(key)
+
+    # ------------------------------------------------------------------
+    # inventory
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.meta_path(key))
+
+    def keys(self) -> Iterator[str]:
+        objects = os.path.join(self.root, "objects")
+        for shard in sorted(os.listdir(objects)):
+            shard_dir = os.path.join(objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".meta.json"):
+                    yield name[: -len(".meta.json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())

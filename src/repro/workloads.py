@@ -41,6 +41,7 @@ __all__ = [
     "quickstart_run",
     "decode_run",
     "explore_decode_run",
+    "RUN_FACTORIES",
 ]
 
 
@@ -229,3 +230,15 @@ def explore_decode_run(
     )
     graph = decode_graph(bitstream, mapping=DECODE_MAPPING, buffer_packets=buffer_packets)
     return system, graph
+
+
+#: The factories a sweep-service client may name instead of spelling a
+#: ``module:function`` reference (``repro submit --workload NAME``).
+#: Only self-contained factories belong here — every kwarg must be
+#: expressible on a command line (``explore_decode_run`` needs a
+#: pre-encoded bitstream, so it is submitted by reference instead).
+RUN_FACTORIES = {
+    "quickstart": quickstart_run,
+    "decode": decode_run,
+    "conformance": conformance_run,
+}

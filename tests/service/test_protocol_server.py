@@ -1,0 +1,253 @@
+"""The NDJSON wire protocol, the socket server, and the stdio frontend.
+
+The client verifies the byte-identity contract on every response
+(re-canonicalized result bytes must hash to the server's
+``payload_sha256``), so every round trip below is also a contract
+check.  The stdio test drives the real CLI (``repro serve --stdio``)
+in a subprocess — the full path a process supervisor would use.
+"""
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.runner import RunSpec
+from repro.service import (
+    ClientError,
+    ResultStore,
+    SweepClient,
+    SweepService,
+    protocol,
+    serve_unix,
+)
+from tests.service.factories import MARKER_ENV, execution_count
+
+COUNTED = "tests.service.factories:counted_quickstart_run"
+
+
+def _spec(tag="wire", payload_len=512):
+    return RunSpec(factory=COUNTED,
+                   kwargs={"tag": tag, "payload_len": payload_len},
+                   label=f"{tag}-{payload_len}")
+
+
+def _run_with_server(tmp_path, body, **service_kw):
+    """Start service + unix-socket server, run ``body(client, svc)``."""
+    service_kw.setdefault("jobs", 2)
+    service_kw.setdefault("use_process_pool", False)
+    sock = str(tmp_path / "svc.sock")
+
+    async def main():
+        store = ResultStore(str(tmp_path / "store"))
+        async with SweepService(store, **service_kw) as svc:
+            server = await serve_unix(svc, sock)
+            try:
+                async with SweepClient(sock) as client:
+                    return await body(client, svc)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+    return asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# codec round trip
+# ---------------------------------------------------------------------------
+def test_spec_round_trips_through_the_wire_codec():
+    spec = RunSpec(factory=COUNTED,
+                   kwargs={"tag": "rt", "payload_len": 256}, label="rt")
+    req = protocol.submit_request(spec, rid=7, priority=3, stream=True)
+    assert (req["op"], req["id"], req["priority"], req["stream"]) == \
+        ("submit", 7, 3, True)
+    back = protocol.spec_from_wire(json.loads(protocol.dumps_line(req)))
+    assert back.factory == COUNTED
+    assert back.kwargs == dict(spec.kwargs)
+    assert back.label == "rt"
+
+
+def test_bytes_kwargs_survive_the_wire():
+    spec = RunSpec(factory=COUNTED, kwargs={"tag": "b", "blob": b"\x00\xff"},
+                   label="b")
+    back = protocol.spec_from_wire(protocol.submit_request(spec, rid=1))
+    assert back.kwargs["blob"] == b"\x00\xff"
+
+
+def test_unwireable_specs_are_rejected_client_side():
+    with pytest.raises(protocol.ProtocolError, match="not wire-safe"):
+        protocol.submit_request(RunSpec(factory=lambda: None), rid=1)
+
+
+def test_spec_from_wire_validates():
+    with pytest.raises(protocol.ProtocolError, match="factory"):
+        protocol.spec_from_wire({"op": "submit", "id": 1})
+    with pytest.raises(protocol.ProtocolError, match="kwargs"):
+        protocol.spec_from_wire({"op": "submit", "factory": "m:f",
+                                 "kwargs": [1, 2]})
+    with pytest.raises(protocol.ProtocolError, match="label"):
+        protocol.spec_from_wire({"op": "submit", "factory": "m:f",
+                                 "label": 7})
+
+
+# ---------------------------------------------------------------------------
+# socket server
+# ---------------------------------------------------------------------------
+def test_ping_stats_and_submit_over_the_socket(tmp_path, monkeypatch):
+    monkeypatch.setenv(MARKER_ENV, str(tmp_path / "marker"))
+
+    async def body(client, svc):
+        assert await client.ping()
+        cold = await client.submit(_spec())
+        hit = await client.submit(_spec())
+        stats = await client.stats()
+        return cold, hit, stats
+
+    cold, hit, stats = _run_with_server(tmp_path, body)
+    assert cold.ok and cold.cache == "miss"
+    assert hit.cache == "hit"
+    assert hit.payload == cold.payload  # verified byte-identity, twice
+    assert stats["schema"] == "repro.service.stats/1"
+    assert stats["metrics"]["service.cache.hits"]["value"] == 1
+    assert stats["store"]["store.puts"]["value"] == 1
+
+
+def test_streamed_events_arrive_in_order_before_the_result(tmp_path, monkeypatch):
+    monkeypatch.setenv(MARKER_ENV, str(tmp_path / "marker"))
+
+    async def body(client, svc):
+        seen = []
+        res = await client.submit(_spec("events"), on_event=lambda ev: seen.append(ev))
+        return res, seen
+
+    res, seen = _run_with_server(tmp_path, body)
+    assert res.ok
+    assert [ev["event"] for ev in seen] == ["queued", "started", "finished"]
+    assert [ev["event"] for ev in res.events] == ["queued", "started", "finished"]
+
+
+def test_concurrent_submissions_on_one_connection_demultiplex(tmp_path, monkeypatch):
+    """Interleaved responses route back to the right caller by id —
+    and identical specs dedup across the wire exactly as in-process."""
+    marker = str(tmp_path / "marker")
+    monkeypatch.setenv(MARKER_ENV, marker)
+
+    async def body(client, svc):
+        same = _spec("shared")
+        results = await asyncio.gather(
+            client.submit(same),
+            client.submit(_spec("solo", payload_len=256)),
+            client.submit(same),
+            client.submit(same),
+        )
+        return results
+
+    results = _run_with_server(tmp_path, body)
+    assert all(r.ok for r in results)
+    shared = [results[0], results[2], results[3]]
+    assert len({r.payload for r in shared}) == 1
+    assert results[1].payload != results[0].payload
+    assert sorted(r.cache for r in shared) == ["dedup", "dedup", "miss"]
+    assert execution_count(marker, "shared") == 1
+    assert execution_count(marker, "solo") == 1
+
+
+def test_unknown_op_and_garbage_lines_return_errors(tmp_path):
+    async def body(client, svc):
+        # unknown op -> error routed back by id
+        msg = await client._request({"op": "dance", "id": 99})
+        assert msg["event"] == "error" and "unknown op" in msg["error"]
+        # a factory the CLIENT can't resolve is rejected before sending
+        with pytest.raises(protocol.ProtocolError, match="not wire-safe"):
+            await client.submit(RunSpec(factory="nosuch.module:fn", kwargs={}))
+        # the same garbage sent raw reaches the SERVER's error path
+        msg = await client._request({"op": "submit", "id": 98,
+                                     "factory": "nosuch.module:fn",
+                                     "kwargs": {}})
+        assert msg["event"] == "error" and "not cacheable" in msg["error"]
+        # and the connection still works afterwards
+        assert await client.ping()
+        return True
+
+    assert _run_with_server(tmp_path, body)
+
+
+def test_uncacheable_submission_reports_a_clean_error(tmp_path):
+    """A factory that exists but cannot be keyed (a non-function
+    attribute) must produce an error response, not a wedged server."""
+    async def body(client, svc):
+        with pytest.raises(ClientError):
+            await client.submit(RunSpec(factory="os:sep", kwargs={}))
+        assert await client.ping()
+        return True
+
+    assert _run_with_server(tmp_path, body)
+
+
+def test_shutdown_op_sets_the_server_event(tmp_path):
+    async def body(client, svc):
+        assert not svc.shutdown_requested.is_set()
+        await client.shutdown()
+        return svc.shutdown_requested.is_set()
+
+    assert _run_with_server(tmp_path, body)
+
+
+def test_tampered_payload_sha_fails_client_verification(tmp_path, monkeypatch):
+    """If the server's digest and the reconstructed bytes disagree the
+    client must raise, never hand back unverified data."""
+    monkeypatch.setenv(MARKER_ENV, str(tmp_path / "marker"))
+
+    async def body(client, svc):
+        real_request = client._request
+
+        async def tampering(req):
+            msg = await real_request(req)
+            if msg.get("event") == "result":
+                msg = dict(msg)
+                msg["payload_sha256"] = "0" * 64
+            return msg
+
+        client._request = tampering
+        with pytest.raises(ClientError, match="byte-identity"):
+            await client.submit(_spec("tamper"))
+        return True
+
+    assert _run_with_server(tmp_path, body)
+
+
+# ---------------------------------------------------------------------------
+# stdio frontend through the real CLI
+# ---------------------------------------------------------------------------
+def test_stdio_serve_full_round_trip(tmp_path, monkeypatch):
+    """Drive ``repro serve --stdio`` over pipes: submit the same spec
+    twice, expect one miss then one hit with identical result bytes."""
+    src = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..",
+                                       "src"))
+    root = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+    spec = _spec("stdio")
+    req1 = protocol.submit_request(spec, rid=1)
+    req2 = protocol.submit_request(spec, rid=2)
+    lines = (protocol.dumps_line(req1) + protocol.dumps_line(req2)
+             + protocol.dumps_line({"op": "stats", "id": 3}))
+    env = dict(os.environ, PYTHONPATH=f"{src}:{root}")
+    env.pop(MARKER_ENV, None)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--stdio", "--threads",
+         "--store", str(tmp_path / "store"), "--jobs", "1"],
+        input=lines, capture_output=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr.decode()
+    msgs = [json.loads(ln) for ln in proc.stdout.splitlines() if ln.strip()]
+    by_id = {m["id"]: m for m in msgs if m.get("event") == "result"}
+    # both requests are in flight concurrently on one connection, so
+    # the second is a dedup-join (or a hit if the first already landed)
+    assert by_id[1]["cache"] == "miss"
+    assert by_id[2]["cache"] in ("hit", "dedup")
+    assert by_id[1]["result"] == by_id[2]["result"]
+    assert by_id[1]["payload_sha256"] == by_id[2]["payload_sha256"]
+    stats = next(m for m in msgs if m.get("event") == "stats")
+    assert stats["stats"]["metrics"]["service.cache.misses"]["value"] == 1

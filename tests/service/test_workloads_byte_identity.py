@@ -1,0 +1,60 @@
+"""Acceptance sweep: cold-run vs cache-hit byte identity for every
+shipped workload factory, on both engines.
+
+This is the service's reason to exist stated as one parametrized
+test: for each entry of :data:`repro.workloads.RUN_FACTORIES` and each
+execution engine, the payload served by a cache hit is byte-identical
+to the cold run's — and to a plain, service-free execution of the same
+spec.  Parameters are scaled down so the whole matrix stays in the
+fast tier.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.runner import RunSpec, _execute_spec
+from repro.service import ResultStore, SweepService
+from repro.service.store import result_payload
+from repro.sim.fastengine import ENGINES
+from repro.workloads import RUN_FACTORIES
+
+# small-but-real parameters per shipped workload
+SMALL_KWARGS = {
+    "quickstart": {"payload_len": 512},
+    "conformance": {"payload_len": 384},
+    "decode": {"width": 32, "height": 32, "frames": 2, "gop_n": 2, "gop_m": 1},
+}
+
+
+def _all_workloads_covered():
+    assert set(SMALL_KWARGS) == set(RUN_FACTORIES), (
+        "a new shipped workload must join this byte-identity matrix"
+    )
+
+
+_all_workloads_covered()
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("workload", sorted(RUN_FACTORIES))
+def test_hit_serves_cold_run_bytes(tmp_path, workload, engine):
+    spec = RunSpec(
+        factory=f"repro.workloads:{RUN_FACTORIES[workload].__name__}",
+        kwargs={**SMALL_KWARGS[workload], "engine": engine},
+        label=f"{workload}-{engine}",
+    )
+    oracle = result_payload(_execute_spec(0, spec))  # service-free
+
+    async def main():
+        store = ResultStore(str(tmp_path / "store"))
+        async with SweepService(store, jobs=1, use_process_pool=False) as svc:
+            cold = await svc.submit(spec)
+            hit = await svc.submit(spec)
+            return cold, hit
+
+    cold, hit = asyncio.run(main())
+    assert (cold.cache, hit.cache) == ("miss", "hit")
+    assert cold.ok and hit.ok
+    assert cold.payload == oracle
+    assert hit.payload == oracle
