@@ -1,0 +1,225 @@
+#!/usr/bin/env python
+"""Solver benchmark: statically-pruned sweep vs the exhaustive grid.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_solve.py [--quick] [--no-append]
+
+Two measurements, both gated on *agreement* before any number is
+reported:
+
+1. **Pruned sweep vs exhaustive grid.**  A parameter grid over the
+   instance SRAM (some budgets below the declared buffer plan, so those
+   points cannot configure) is explored twice: exhaustively — build,
+   configure, simulate every point, catching the failures — and with
+   ``explore.sweep(prune=feasibility_pruner(...))``, which refutes the
+   infeasible points from the shared constraint model without a single
+   simulated cycle.  The gate: both modes must agree exactly on which
+   points are viable, and the surviving points' cycle counts must be
+   identical.  The reported win is the fraction of simulations the
+   pruner avoided and the wall-time ratio.
+
+2. **Solve round trips.**  ``repro solve`` derives a configuration per
+   shipped workload; the gate is the PR's acceptance contract — zero
+   linter findings on every derived configuration.
+
+Each invocation appends one entry to the ``BENCH_solve.json``
+trajectory at the repo root (same shape as ``BENCH_core.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_solve.json")
+BENCH_SCHEMA = "repro.bench_solve/1"
+
+PAYLOAD = bytes((i * 13) % 256 for i in range(4096))
+
+
+def grid_build(shell, sys_params):
+    """One sweep point: the two-task quickstart shape with a declared
+    128 B buffer — budgets below that are statically infeasible."""
+    from repro.core import CoprocessorSpec, EclipseSystem
+    from repro.kahn import ApplicationGraph, TaskNode
+    from repro.kahn.library import ConsumerKernel, ProducerKernel
+
+    g = ApplicationGraph("bench-solve")
+    g.add_task(TaskNode("src", lambda: ProducerKernel(PAYLOAD, chunk=32),
+                        ProducerKernel.PORTS))
+    g.add_task(TaskNode("dst", lambda: ConsumerKernel(chunk=32),
+                        ConsumerKernel.PORTS))
+    g.connect("src.out", "dst.in", buffer_size=128)
+    system = EclipseSystem(
+        [CoprocessorSpec("p", shell=shell), CoprocessorSpec("c", shell=shell)],
+        sys_params,
+    )
+    return system, g
+
+
+def _axes(quick: bool):
+    from repro.explore import system_axis
+
+    srams = [48, 64, 96, 160, 256, 32 * 1024]
+    widths = [8, 16] if quick else [4, 8, 16, 32]
+    return [system_axis("sram_size", srams), system_axis("bus_width", widths)]
+
+
+def bench_pruned_sweep(quick: bool) -> dict:
+    from repro.explore import (
+        _enumerate_combos,
+        _resolve_combos,
+        feasibility_pruner,
+        sweep,
+    )
+    from repro.core import ShellParams
+    from repro.core.config import SystemParams
+
+    axes = _axes(quick)
+    base_shell, base_system = ShellParams(), SystemParams()
+
+    # exhaustive: simulate everything, catch the points that cannot even
+    # configure — the cost the pruner is supposed to save
+    t0 = time.perf_counter()
+    exhaustive_ok, exhaustive_failed = {}, {}
+    combos = _enumerate_combos(axes, "factorial")
+    for combo, shell, sys_params in _resolve_combos(
+        combos, axes, base_shell, base_system
+    ):
+        key = tuple(sorted(combo.items()))
+        try:
+            system, graph = grid_build(shell, sys_params)
+            system.configure(graph)
+            exhaustive_ok[key] = system.run().cycles
+        except Exception as e:  # noqa: BLE001 — any failure means "not viable"
+            exhaustive_failed[key] = f"{type(e).__name__}: {e}"
+    exhaustive_s = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    dropped = []
+    points = sweep(grid_build, axes=axes,
+                   prune=feasibility_pruner(grid_build), pruned=dropped)
+    pruned_s = time.perf_counter() - t1
+    pruned_ok = {tuple(sorted(p.settings.items())): p.cycles for p in points}
+    pruned_dropped = {tuple(sorted(c.items())): reason for c, reason in dropped}
+
+    # the agreement gate: static refutation must match dynamic failure
+    agree = (
+        set(pruned_ok) == set(exhaustive_ok)
+        and set(pruned_dropped) == set(exhaustive_failed)
+        and all(pruned_ok[k] == exhaustive_ok[k] for k in pruned_ok)
+    )
+    total = len(combos)
+    return {
+        "grid_points": total,
+        "viable": len(exhaustive_ok),
+        "pruned": len(pruned_dropped),
+        "sims_avoided_frac": round(len(pruned_dropped) / total, 3),
+        "exhaustive_s": round(exhaustive_s, 4),
+        "pruned_s": round(pruned_s, 4),
+        "time_ratio": round(exhaustive_s / pruned_s, 3) if pruned_s else 0.0,
+        "agree": agree,
+    }
+
+
+def bench_solve_round_trips(quick: bool) -> list:
+    from repro.verify.solve_run import SOLVE_MODELS, check_solution, solve_workload
+
+    names = (
+        ["quickstart", "conformance-pipeline", "conformance-diamond"]
+        if quick else sorted(SOLVE_MODELS)
+    )
+    rows = []
+    for name in names:
+        t0 = time.perf_counter()
+        solution = solve_workload(name)
+        solve_s = time.perf_counter() - t0
+        findings = check_solution(name, solution).diagnostics
+        rows.append({
+            "workload": name,
+            "solve_s": round(solve_s, 4),
+            "total_bytes": solution.total_bytes,
+            "grain": solution.grain,
+            "refinement_rounds": solution.refinement_rounds,
+            "findings": len(findings),
+        })
+    return rows
+
+
+def append_trajectory(entry: dict, path: str = BENCH_PATH) -> None:
+    trajectory = []
+    if os.path.exists(path):
+        with open(path) as fh:
+            trajectory = json.load(fh)
+    trajectory.append(entry)
+    with open(path, "w") as fh:
+        json.dump(trajectory, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small grid + 3 workloads (the CI smoke mode)")
+    ap.add_argument("--no-append", action="store_true",
+                    help="do not append to BENCH_solve.json")
+    args = ap.parse_args(argv)
+
+    sweep_row = bench_pruned_sweep(args.quick)
+    print(f"grid: {sweep_row['grid_points']} points, "
+          f"{sweep_row['viable']} viable, {sweep_row['pruned']} pruned "
+          f"({sweep_row['sims_avoided_frac']:.0%} of simulations avoided); "
+          f"exhaustive {sweep_row['exhaustive_s']:.3f}s vs pruned "
+          f"{sweep_row['pruned_s']:.3f}s ({sweep_row['time_ratio']:.2f}x)")
+
+    solve_rows = bench_solve_round_trips(args.quick)
+    print(f"{'workload':<24} {'solve s':>8} {'bytes':>7} {'grain':>6} "
+          f"{'refine':>7} {'findings':>9}")
+    for row in solve_rows:
+        print(f"{row['workload']:<24} {row['solve_s']:>8.3f} "
+              f"{row['total_bytes']:>7} {str(row['grain']):>6} "
+              f"{row['refinement_rounds']:>7} {row['findings']:>9}")
+
+    entry = {
+        "schema": BENCH_SCHEMA,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "sweep": sweep_row,
+        "solve": solve_rows,
+    }
+    if not args.no_append:
+        append_trajectory(entry)
+        print(f"appended to {os.path.relpath(BENCH_PATH)}")
+
+    failures = []
+    if not sweep_row["agree"]:
+        failures.append(
+            "pruned sweep and exhaustive grid DISAGREE on viable points "
+            "— the static constraint model is unsound or incomplete here"
+        )
+    if sweep_row["pruned"] == 0:
+        failures.append("grid contained no infeasible points — the bench "
+                        "is not exercising the pruner")
+    for row in solve_rows:
+        if row["findings"]:
+            failures.append(
+                f"{row['workload']}: derived configuration produced "
+                f"{row['findings']} linter finding(s) — the round-trip "
+                "contract is broken"
+            )
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

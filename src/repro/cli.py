@@ -351,6 +351,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="factory keyword argument (repeatable); VALUE is parsed as "
         "JSON when possible, else kept as a string",
     )
+    sbm.add_argument(
+        "--budget",
+        type=int,
+        metavar="BYTES",
+        help="submit an SRAM budget instead of a full spec: the server "
+        "solves --workload (a solve-model name; default "
+        "conformance-pipeline) for minimal buffers under BYTES and runs "
+        "the derived configuration",
+    )
     sbm.add_argument("--label", default="", help="run label (part of the result)")
     sbm.add_argument(
         "--priority",
@@ -420,6 +429,66 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument(
         "--verbose", action="store_true", help="also print checker notes (skipped kernels etc.)"
     )
+
+    slv = sub.add_parser(
+        "solve",
+        help="derive a configuration (buffer sizes, grain, mapping) "
+        "from an SRAM budget instead of checking one",
+    )
+    slv.add_argument(
+        "--workload",
+        metavar="NAME",
+        default="conformance-pipeline",
+        help="solve model to configure (see repro.verify.SOLVE_MODELS; "
+        "default: conformance-pipeline)",
+    )
+    slv.add_argument(
+        "--sram",
+        type=int,
+        metavar="BYTES",
+        help="SRAM budget in bytes (default: the instance's own SRAM)",
+    )
+    slv.add_argument(
+        "--elasticity",
+        type=int,
+        default=1,
+        metavar="K",
+        help="grow buffers toward K x their minimum while the budget "
+        "allows (default: 1 = strictly minimal)",
+    )
+    slv.add_argument(
+        "--grain",
+        type=int,
+        metavar="BYTES",
+        help="pin the sync grain instead of searching the candidates",
+    )
+    slv.add_argument(
+        "--no-refine",
+        action="store_true",
+        help="skip the simulation-guided refinement layer (static "
+        "bounds only; may under-size reconvergent workloads)",
+    )
+    slv.add_argument(
+        "--max-refine",
+        type=int,
+        default=64,
+        metavar="N",
+        help="refinement-round bound before giving up with S405",
+    )
+    slv.add_argument(
+        "--check",
+        action="store_true",
+        help="round-trip the solution through `repro verify` and both "
+        "engines before printing it",
+    )
+    slv.add_argument(
+        "--format", choices=["text", "json"], default="text", help="output format"
+    )
+    slv.add_argument(
+        "--out",
+        metavar="PATH",
+        help="also write the solution JSON to PATH",
+    )
     return parser
 
 
@@ -436,6 +505,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "solve": _cmd_solve,
     }[args.command](args)
 
 
@@ -1020,7 +1090,23 @@ def _cmd_submit(args) -> int:
             print(f"error: {e}", file=sys.stderr)
             return 1
 
-    if args.factory:
+    kwargs = _parse_submit_args(args.arg)
+    if args.budget is not None and args.factory:
+        print("error: --budget solves a named workload; it cannot be "
+              "combined with --factory", file=sys.stderr)
+        raise SystemExit(2)
+    if args.budget is not None:
+        # budget mode: the server derives the configuration itself
+        from repro.verify.solve_run import SOLVE_MODELS
+
+        name = args.workload or "conformance-pipeline"
+        if name not in SOLVE_MODELS:
+            print(f"error: unknown solve model {name!r} "
+                  f"(want one of {sorted(SOLVE_MODELS)})", file=sys.stderr)
+            raise SystemExit(2)
+        factory = "repro.workloads:solved_run"
+        kwargs = {"workload": name, "sram_size": args.budget, **kwargs}
+    elif args.factory:
         factory = args.factory
     else:
         from repro.workloads import RUN_FACTORIES
@@ -1035,8 +1121,7 @@ def _cmd_submit(args) -> int:
 
     from repro.runner import RunSpec
 
-    spec = RunSpec(factory=factory, kwargs=_parse_submit_args(args.arg),
-                   label=args.label)
+    spec = RunSpec(factory=factory, kwargs=kwargs, label=args.label)
     on_event = None
     if args.stream:
         def on_event(ev: dict) -> None:
@@ -1136,6 +1221,100 @@ def _cmd_verify(args) -> int:
     print(f"\nverify: {len(names)} workload(s) + kernel sources, "
           f"{total} diagnostic(s), exit {exit_code}")
     return exit_code
+
+
+def _cmd_solve(args) -> int:
+    """The inverse of ``verify``: derive a configuration from a budget.
+
+    Exits 0 with the solution, 1 with the structured S-rule diagnosis
+    when no configuration exists, 2 on usage errors.  Never a
+    traceback: an infeasible budget is an *answer* ("no solution
+    because <binding constraint>"), not a crash.
+    """
+    import json
+
+    from repro.verify.solve import SolveError
+    from repro.verify.solve_run import SOLVE_MODELS, check_solution, solve_workload
+
+    if args.workload not in SOLVE_MODELS:
+        print(f"error: unknown workload {args.workload!r} "
+              f"(want one of {sorted(SOLVE_MODELS)})", file=sys.stderr)
+        return 2
+    if args.sram is not None and args.sram < 1:
+        print(f"error: --sram must be >= 1, got {args.sram}", file=sys.stderr)
+        return 2
+    if args.elasticity < 1:
+        print(f"error: --elasticity must be >= 1, got {args.elasticity}",
+              file=sys.stderr)
+        return 2
+    if args.max_refine < 1:
+        print(f"error: --max-refine must be >= 1, got {args.max_refine}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        solution = solve_workload(
+            args.workload,
+            sram_size=args.sram,
+            elasticity=args.elasticity,
+            refine=not args.no_refine,
+            max_refine=args.max_refine,
+            grain=args.grain,
+        )
+    except SolveError as e:
+        if args.format == "json":
+            print(json.dumps({"solved": False,
+                              "report": e.report.to_dict()},
+                             indent=2, sort_keys=True))
+        else:
+            print(f"no solution for {args.workload!r}:")
+            for d in e.report:
+                print(f"   {d.render()}")
+        return 1
+
+    checked = None
+    if args.check:
+        from repro.verify.solve_run import simulate_solution
+
+        report = check_solution(args.workload, solution)
+        if report.diagnostics:
+            print(f"error: solver/linter disagreement — the derived "
+                  f"configuration produced findings:", file=sys.stderr)
+            for d in report:
+                print(f"   {d.render()}", file=sys.stderr)
+            return 1
+        ref = simulate_solution(args.workload, solution, "reference")
+        fast = simulate_solution(args.workload, solution, "fast")
+        if ref != fast:
+            print("error: derived configuration is not byte-identical "
+                  "across engines", file=sys.stderr)
+            return 1
+        checked = {"verify": "clean", "engines": "byte-identical",
+                   "cycles": ref["cycles"]}
+
+    if args.format == "json":
+        payload = solution.to_dict()
+        payload["solved"] = True
+        if checked:
+            payload["checked"] = checked
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"== {args.workload}: solved")
+        print(solution.render())
+        if checked:
+            print(f"check: verify clean, engines byte-identical "
+                  f"({checked['cycles']} cycles)")
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(solution.to_json() + "\n")
+        except OSError as e:
+            print(f"error: cannot write --out {args.out!r}: {e}",
+                  file=sys.stderr)
+            return 1
+        if args.format != "json":
+            print(f"wrote {args.out}")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,7 +12,12 @@ The configuration-time correctness layer in front of simulation:
 * :mod:`repro.verify.corpus` — the seeded known-bad regression corpus;
 * :mod:`repro.verify.run` — workload-level entry points;
 * :mod:`repro.verify.trace_lint` — structural lints over exported
-  Chrome-trace JSON (unclosed spans, schema violations).
+  Chrome-trace JSON (unclosed spans, schema violations);
+* :mod:`repro.verify.constraints` — the declarative constraint model
+  shared by the linter and the solver;
+* :mod:`repro.verify.solve` / :mod:`repro.verify.solve_run` — the
+  inverse direction: *derive* minimal buffer sizes, grains and
+  mappings from an SRAM budget (``repro solve``).
 
 See ``docs/static-analysis.md`` for the rule catalogue.
 """
@@ -29,6 +34,13 @@ from repro.verify.run import (
     verify_graph,
     verify_kernel_sources,
     verify_workload,
+)
+from repro.verify.solve import Solution, SolveError, solve_graph
+from repro.verify.solve_run import (
+    SOLVE_MODELS,
+    check_solution,
+    simulate_solution,
+    solve_workload,
 )
 
 __all__ = [
@@ -55,4 +67,11 @@ __all__ = [
     "WORKLOADS",
     "lint_chrome_trace",
     "lint_trace_file",
+    "Solution",
+    "SolveError",
+    "solve_graph",
+    "solve_workload",
+    "check_solution",
+    "simulate_solution",
+    "SOLVE_MODELS",
 ]

@@ -1,0 +1,458 @@
+"""The shared declarative constraint model behind lint *and* solve.
+
+PR 3's graph linter and PR 9's configuration solver answer two sides of
+the same question.  The linter asks "does this configuration satisfy
+the Eclipse feasibility constraints?"; the solver asks "what is the
+smallest configuration that does?".  Keeping two independent encodings
+of §2.2's buffer bounds would invite drift, so every per-stream G-rule
+predicate lives here exactly once, in a declarative form both clients
+consume:
+
+* :func:`stream_facts` distils an :class:`ApplicationGraph` into
+  per-stream :class:`StreamFacts` (endpoint grains, cycle membership,
+  alignment context) — the ground terms of the constraint system.
+* Each :class:`StreamRule` exposes the same constraint three ways:
+
+  - ``check(facts, size)`` — the *linter* view: diagnostics for a
+    concrete buffer size (byte-for-byte the messages ``repro verify``
+    has always emitted);
+  - ``lower(facts)`` — the *solver* view: the smallest size that can
+    satisfy the rule (a monotone lower bound on the interval domain);
+  - ``alignment(facts)`` — the divisibility lattice the size must live
+    on (sync grains, cache lines).
+
+  The model contract — proven by ``tests/verify/test_constraints.py``
+  over randomized sizes — is::
+
+      rule.check(f, s) == []   iff   s >= rule.lower(f)
+                                     and s % rule.alignment(f) == 0
+
+  so a size the solver derives by interval propagation is *by
+  construction* a size the linter accepts, and vice versa.
+
+* :class:`BudgetConstraint` is the one cross-stream (global) rule: the
+  padded allocation must fit the instance SRAM (G008).  It gives the
+  solver its upper bounds and the linter its overflow diagnostic from
+  the same arithmetic (:func:`repro.core.sizing.plan_buffers`).
+
+Interval domains here are integer ``[lo, hi]`` ranges restricted to an
+alignment step; propagation only ever *raises* lower bounds and
+*lowers* upper bounds (monotone), so it terminates and is order-
+independent — the classic fixpoint argument for interval CSPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import islice
+from math import gcd
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.kahn.graph import ApplicationGraph, PortRef, StreamEdge
+
+from repro.verify.diagnostics import Diagnostic
+
+__all__ = [
+    "Interval",
+    "StreamFacts",
+    "stream_facts",
+    "StreamRule",
+    "GrainCapacityRule",
+    "CycleBufferRule",
+    "GrainAlignmentRule",
+    "LineAlignmentRule",
+    "MulticastGrainRule",
+    "STREAM_RULES",
+    "BudgetConstraint",
+    "align_up",
+    "lcm_all",
+]
+
+
+def align_up(value: int, step: int) -> int:
+    """Smallest multiple of ``step`` that is >= ``value``."""
+    if step <= 1:
+        return value
+    return -(-value // step) * step
+
+
+def lcm_all(values) -> int:
+    """lcm of an iterable (1 for empty — the trivial alignment)."""
+    out = 1
+    for v in values:
+        v = int(v)
+        if v > 1:
+            out = out * v // gcd(out, v)
+    return out
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An integer domain ``{v : lo <= v <= hi, v % step == 0}``.
+
+    ``hi is None`` means unbounded above.  All propagation steps keep
+    ``lo`` a multiple of ``step`` (normal form), so ``lo`` is always a
+    member of a non-empty domain — the minimal solution falls out of
+    propagation for free.
+    """
+
+    lo: int
+    hi: Optional[int] = None
+    step: int = 1
+
+    @property
+    def empty(self) -> bool:
+        return self.hi is not None and self.lo > self.hi
+
+    def raise_lo(self, bound: int) -> "Interval":
+        """Monotone: lift the lower bound to ``bound`` (aligned up)."""
+        new_lo = align_up(max(self.lo, bound), self.step)
+        return Interval(new_lo, self.hi, self.step)
+
+    def lower_hi(self, bound: int) -> "Interval":
+        """Monotone: cap the upper bound at ``bound`` (aligned down)."""
+        capped = (bound // self.step) * self.step
+        new_hi = capped if self.hi is None else min(self.hi, capped)
+        return Interval(self.lo, new_hi, self.step)
+
+    def contains(self, v: int) -> bool:
+        return v >= self.lo and (self.hi is None or v <= self.hi) and v % self.step == 0
+
+
+# ---------------------------------------------------------------------------
+# ground facts
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CycleBound:
+    """One deadlock-freedom bound induced by a dependency cycle: the
+    stream must hold ``need`` bytes (producer grain + the grain of the
+    consumer that continues the cycle)."""
+
+    path: Tuple[str, ...]
+    consumer: PortRef
+    need: int
+
+    def render_path(self) -> str:
+        return " -> ".join(self.path + (self.path[0],))
+
+
+@dataclass(frozen=True)
+class StreamFacts:
+    """Everything the per-stream rules need to know about one stream."""
+
+    name: str
+    #: producer first, then consumers, each with its declared sync grain
+    endpoints: Tuple[Tuple[PortRef, int], ...]
+    cache_line: int
+    #: deadlock-freedom bounds, in cycle-enumeration order (G004)
+    cycle_bounds: Tuple[CycleBound, ...] = ()
+
+    @property
+    def producer(self) -> Tuple[PortRef, int]:
+        return self.endpoints[0]
+
+    @property
+    def consumers(self) -> Tuple[Tuple[PortRef, int], ...]:
+        return self.endpoints[1:]
+
+    @property
+    def max_grain_endpoint(self) -> Tuple[PortRef, int]:
+        return max(self.endpoints, key=lambda pair: pair[1])
+
+    @property
+    def is_multicast(self) -> bool:
+        return len(self.endpoints) > 2
+
+
+def _grain(graph: ApplicationGraph, ref: PortRef) -> int:
+    return graph.tasks[ref.task].port(ref.port).granularity
+
+
+def _cycle_bounds(
+    graph: ApplicationGraph, max_cycles: int = 64
+) -> Dict[str, List[CycleBound]]:
+    """G004's ground terms: for every stream on a dependency cycle, the
+    producer-plus-consumer grain bound, per enumerated cycle."""
+    import networkx as nx
+
+    out: Dict[str, List[CycleBound]] = {}
+    nxg = graph.to_networkx()
+    for cycle in islice(nx.simple_cycles(nxg), max_cycles):
+        n = len(cycle)
+        for i, u in enumerate(cycle):
+            v = cycle[(i + 1) % n]
+            for name, edge in graph.streams.items():
+                if edge.producer.task != u:
+                    continue
+                for cons in edge.consumers:
+                    if cons.task != v:
+                        continue
+                    out.setdefault(name, []).append(CycleBound(
+                        path=tuple(cycle),
+                        consumer=cons,
+                        need=_grain(graph, edge.producer) + _grain(graph, cons),
+                    ))
+    return out
+
+
+def stream_facts(
+    graph: ApplicationGraph, cache_line: int = 32, with_cycles: bool = True
+) -> Dict[str, StreamFacts]:
+    """Distil a *structurally valid* graph into per-stream facts.
+
+    ``with_cycles=False`` skips the (networkx) cycle enumeration for
+    callers that only need the local bounds.
+    """
+    cycles = _cycle_bounds(graph) if with_cycles else {}
+    facts: Dict[str, StreamFacts] = {}
+    for name, edge in graph.streams.items():
+        endpoints = [(edge.producer, _grain(graph, edge.producer))]
+        endpoints += [(c, _grain(graph, c)) for c in edge.consumers]
+        facts[name] = StreamFacts(
+            name=name,
+            endpoints=tuple(endpoints),
+            cache_line=cache_line,
+            cycle_bounds=tuple(cycles.get(name, ())),
+        )
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# per-stream rules (one object per G-rule; the registry order is the
+# order the linter reports in)
+# ---------------------------------------------------------------------------
+class StreamRule:
+    """One per-stream constraint, usable as a predicate (lint) or as a
+    bound/alignment contribution on an interval domain (solve)."""
+
+    rule_id: str = "?"
+
+    def lower(self, f: StreamFacts) -> int:
+        """Smallest buffer size that can satisfy this rule."""
+        return 1
+
+    def alignment(self, f: StreamFacts) -> int:
+        """Divisibility step the size must respect (1 = none)."""
+        return 1
+
+    def check(self, f: StreamFacts, size: int) -> List[Diagnostic]:
+        """Diagnostics for a concrete size (empty = satisfied)."""
+        raise NotImplementedError
+
+
+class GrainCapacityRule(StreamRule):
+    """G003: the buffer must hold the largest endpoint sync grain, or
+    that GetSpace can never be granted (paper §2.2)."""
+
+    rule_id = "G003"
+
+    def lower(self, f: StreamFacts) -> int:
+        return f.max_grain_endpoint[1]
+
+    def check(self, f: StreamFacts, size: int) -> List[Diagnostic]:
+        worst_ref, worst = f.max_grain_endpoint
+        if size >= worst:
+            return []
+        return [Diagnostic(
+            "G003",
+            f"buffer of {size} B cannot hold the "
+            f"{worst} B sync grain of {worst_ref} — GetSpace({worst}) "
+            f"can never be granted",
+            task=worst_ref.task, port=worst_ref.port, stream=f.name,
+        )]
+
+
+class CycleBufferRule(StreamRule):
+    """G004: a buffer on a dependency cycle must hold one producer
+    grain plus one consumer grain (the sufficient-buffer bound for
+    deadlock freedom of feedback loops under finite buffering)."""
+
+    rule_id = "G004"
+
+    def lower(self, f: StreamFacts) -> int:
+        return max((b.need for b in f.cycle_bounds), default=1)
+
+    def check(self, f: StreamFacts, size: int) -> List[Diagnostic]:
+        for bound in f.cycle_bounds:
+            if size < bound.need:
+                return [Diagnostic(
+                    "G004",
+                    f"buffer of {size} B on cycle "
+                    f"{bound.render_path()} is below the "
+                    f"deadlock-freedom bound of {bound.need} B "
+                    f"(producer grain + consumer grain)",
+                    task=bound.consumer.task, port=bound.consumer.port,
+                    stream=f.name,
+                )]
+        return []
+
+
+class GrainAlignmentRule(StreamRule):
+    """G005: the size must be a multiple of every endpoint's declared
+    sync grain, or sync units wrap mid-buffer."""
+
+    rule_id = "G005"
+
+    def alignment(self, f: StreamFacts) -> int:
+        return lcm_all(g for _, g in f.endpoints)
+
+    def check(self, f: StreamFacts, size: int) -> List[Diagnostic]:
+        out = []
+        for ref, grain in f.endpoints:
+            if grain > 1 and size % grain != 0:
+                out.append(Diagnostic(
+                    "G005",
+                    f"buffer of {size} B is not a multiple of "
+                    f"the {grain} B sync grain",
+                    task=ref.task, port=ref.port, stream=f.name,
+                ))
+        return out
+
+
+class LineAlignmentRule(StreamRule):
+    """G006: the size should be cache-line aligned, or ``configure()``
+    pads the allocation (advisory)."""
+
+    rule_id = "G006"
+
+    def alignment(self, f: StreamFacts) -> int:
+        return max(1, f.cache_line)
+
+    def check(self, f: StreamFacts, size: int) -> List[Diagnostic]:
+        line = f.cache_line
+        if line <= 1 or size % line == 0:
+            return []
+        prod, _ = f.producer
+        return [Diagnostic(
+            "G006",
+            f"buffer of {size} B is not cache-line aligned; "
+            f"configure() will pad it to {align_up(size, line)} B",
+            task=prod.task, port=prod.port, stream=f.name,
+        )]
+
+
+class MulticastGrainRule(StreamRule):
+    """G007: consumers of a multicast stream must agree on the sync
+    grain.  Size-independent — it constrains the *grain assignment*,
+    which is the discrete layer of the solver."""
+
+    rule_id = "G007"
+
+    @staticmethod
+    def consistent(f: StreamFacts) -> bool:
+        return len({g for _, g in f.consumers}) <= 1
+
+    def check(self, f: StreamFacts, size: int) -> List[Diagnostic]:
+        if not f.is_multicast or self.consistent(f):
+            return []
+        prod, _ = f.producer
+        cons_grains = {g for _, g in f.consumers}
+        return [Diagnostic(
+            "G007",
+            f"multicast consumers declare differing sync grains "
+            f"{sorted(cons_grains)}",
+            task=prod.task, port=prod.port, stream=f.name,
+        )]
+
+
+#: the per-stream constraint registry, in linter report order
+STREAM_RULES: Tuple[StreamRule, ...] = (
+    GrainCapacityRule(),
+    CycleBufferRule(),
+    GrainAlignmentRule(),
+    LineAlignmentRule(),
+    MulticastGrainRule(),
+)
+
+#: the rules whose check() is a pure function of (lower, alignment) —
+#: the shared-model equivalence theorem quantifies over these
+SIZE_RULES: Tuple[StreamRule, ...] = tuple(
+    r for r in STREAM_RULES if not isinstance(r, MulticastGrainRule)
+)
+
+
+def stream_lower_bound(f: StreamFacts, worst_request: int = 1) -> Tuple[int, str]:
+    """The solver's per-stream lower bound and its provenance: the
+    aligned max over every size rule's ``lower`` plus the workload's
+    declared worst-case request.  Returns ``(bound, binding)`` where
+    ``binding`` names the constraint that set it."""
+    best, binding = 1, "minimum"
+    for rule in SIZE_RULES:
+        lo = rule.lower(f)
+        if lo > best:
+            best, binding = lo, rule.rule_id
+    if worst_request > best:
+        best, binding = worst_request, "worst-request"
+    step = stream_alignment(f)
+    aligned = align_up(best, step)
+    return aligned, binding
+
+
+def stream_alignment(f: StreamFacts) -> int:
+    """The combined divisibility step of every size rule."""
+    return lcm_all(rule.alignment(f) for rule in SIZE_RULES)
+
+
+# ---------------------------------------------------------------------------
+# the global (cross-stream) constraint: the SRAM budget
+# ---------------------------------------------------------------------------
+@dataclass
+class BudgetConstraint:
+    """G008: the padded allocation must fit the instance SRAM.
+
+    The same arithmetic serves the linter (overflow diagnostic via
+    :func:`repro.core.sizing.plan_buffers`) and the solver (upper-bound
+    propagation: any one stream may use at most what the others' lower
+    bounds leave free).
+    """
+
+    sram_size: int
+    cache_line: int = 32
+
+    def padded(self, size: int) -> int:
+        """The bytes ``EclipseSystem.configure`` actually allocates."""
+        return align_up(size, max(1, self.cache_line))
+
+    def total(self, sizes: Mapping[str, int]) -> int:
+        return sum(self.padded(s) for s in sizes.values())
+
+    def fits(self, sizes: Mapping[str, int]) -> bool:
+        return self.total(sizes) <= self.sram_size
+
+    def check(self, graph: ApplicationGraph, sizes: Mapping[str, int]) -> List[Diagnostic]:
+        """The linter view (the exact G008 message)."""
+        from repro.core.sizing import plan_buffers
+
+        # clamp: a non-positive size is already a G003 finding, and
+        # plan_buffers rejects it outright — still account its padding
+        plan = plan_buffers(
+            graph,
+            {name: max(1, s) for name, s in sizes.items()},
+            elasticity=1,
+            line_pad=max(1, self.cache_line),
+            sram_size=self.sram_size,
+        )
+        if plan.fits:
+            return []
+        return [Diagnostic(
+            "G008",
+            f"buffers need {plan.total_bytes} B but the instance SRAM "
+            f"holds {plan.sram_size} B (over by {-plan.headroom()} B)",
+            source=graph.name,
+        )]
+
+    def propagate(
+        self, domains: Dict[str, Interval]
+    ) -> Tuple[Dict[str, Interval], int]:
+        """Upper-bound propagation over every stream's domain.
+
+        Returns the narrowed domains and the slack (budget left after
+        every stream takes its lower bound; negative = infeasible).
+        """
+        total_min = sum(self.padded(d.lo) for d in domains.values())
+        slack = self.sram_size - total_min
+        out = {}
+        for name, dom in domains.items():
+            # this stream may grow by at most the global slack
+            out[name] = dom.lower_hi(dom.lo + slack) if slack >= 0 else dom
+        return out, slack

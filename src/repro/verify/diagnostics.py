@@ -3,9 +3,11 @@
 Every check in :mod:`repro.verify` emits :class:`Diagnostic` records
 tagged with a rule from the central :data:`RULES` registry, so the CLI,
 CI and the tests all consume one uniform shape.  A rule has a stable ID
-(``G…`` graph lints, ``P…`` protocol checks, ``A…`` AST lints, ``V…``
-verifier-internal), a default severity, and a one-line contract; the
-full catalogue with examples lives in ``docs/static-analysis.md``.
+(``G…`` graph lints, ``P…`` protocol checks, ``A…`` AST lints, ``O…``
+trace lints, ``S…`` solver diagnoses, ``V…`` verifier-internal), a
+default severity, and a one-line contract; the catalogue in
+``docs/static-analysis.md`` is *generated* from this registry
+(``scripts/gen_rule_docs.py``) so docs and code cannot drift.
 
 Severity semantics follow the acceptance contract of the subsystem:
 ``ERROR`` means the configuration *will* misbehave (never-grantable
@@ -154,6 +156,29 @@ _register("O302", "trace-schema", Severity.ERROR,
 _register("O303", "span-negative-duration", Severity.ERROR,
           "a complete span has a negative duration or ends before it starts — "
           "recording bug or clock misuse; the timeline is unrenderable")
+
+# ---------------------------------------------------------------------------
+# solver diagnoses (constraint-based auto-configuration, `repro solve`)
+# ---------------------------------------------------------------------------
+_register("S401", "budget-infeasible", Severity.ERROR,
+          "the SRAM budget is below the minimal feasible allocation — no "
+          "buffer assignment can satisfy the grain/cycle bounds; the "
+          "diagnosis names the binding per-stream constraint")
+_register("S402", "empty-domain", Severity.ERROR,
+          "constraint propagation emptied a variable's interval domain — "
+          "two bounds contradict each other, so no configuration exists")
+_register("S403", "no-consistent-grain", Severity.ERROR,
+          "no candidate grain assignment satisfies rate consistency, "
+          "multicast agreement and the SRAM budget together (the bounded "
+          "branch-and-bound search was exhausted)")
+_register("S404", "unmappable-task", Severity.ERROR,
+          "a task cannot be placed on any coprocessor of the instance "
+          "(declared mapping names an unknown unit, or no unit has capacity)")
+_register("S405", "refinement-exhausted", Severity.ERROR,
+          "counterexample-guided refinement hit its round bound before the "
+          "derived configuration simulated to completion — the graph needs "
+          "buffering beyond the static bounds and the budget (or round "
+          "limit) will not admit it")
 
 # ---------------------------------------------------------------------------
 # verifier-internal

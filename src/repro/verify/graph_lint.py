@@ -6,6 +6,12 @@ problem, :func:`lint_graph` collects every finding as a
 :class:`~repro.verify.diagnostics.Diagnostic` so an application
 architect sees the whole picture before any simulation.
 
+Since PR 9 the per-stream predicates live in
+:mod:`repro.verify.constraints` as declarative constraint objects — the
+*same* objects the configuration solver (:mod:`repro.verify.solve`)
+propagates over interval domains, so "the linter accepts it" and "the
+solver derives it" are provably the same constraint system.
+
 Checks implemented (rule IDs in :mod:`repro.verify.diagnostics`):
 
 * **G001** — structural validity (delegates to ``graph.validate()``).
@@ -27,17 +33,27 @@ Checks implemented (rule IDs in :mod:`repro.verify.diagnostics`):
 
 from __future__ import annotations
 
-from itertools import islice
 from typing import Dict, Mapping, Optional, Tuple, Union
 
 from repro.kahn.analysis import RateInconsistencyError, repetition_vector
-from repro.kahn.graph import ApplicationGraph, GraphError, PortRef, StreamEdge
+from repro.kahn.graph import ApplicationGraph, GraphError
 
+from repro.verify.constraints import (
+    STREAM_RULES,
+    BudgetConstraint,
+    CycleBufferRule,
+    stream_facts,
+)
 from repro.verify.diagnostics import Diagnostic, Report
 
 __all__ = ["lint_graph", "declared_rates"]
 
 RatesArg = Union[str, None, Mapping[Tuple[str, str], int]]
+
+#: the per-stream rules in the order the linter has always reported:
+#: local checks first (G003/G005/G006/G007), cycle bounds afterwards
+_LOCAL_RULES = tuple(r for r in STREAM_RULES if not isinstance(r, CycleBufferRule))
+_CYCLE_RULE = next(r for r in STREAM_RULES if isinstance(r, CycleBufferRule))
 
 
 def declared_rates(graph: ApplicationGraph) -> Optional[Dict[Tuple[str, str], int]]:
@@ -55,16 +71,6 @@ def declared_rates(graph: ApplicationGraph) -> Optional[Dict[Tuple[str, str], in
     if not rates or any(r <= 1 for r in rates.values()):
         return None
     return rates
-
-
-def _grain(graph: ApplicationGraph, ref: PortRef) -> int:
-    return graph.tasks[ref.task].port(ref.port).granularity
-
-
-def _endpoint_grains(graph: ApplicationGraph, edge: StreamEdge):
-    yield edge.producer, _grain(graph, edge.producer)
-    for c in edge.consumers:
-        yield c, _grain(graph, c)
 
 
 def lint_graph(
@@ -102,65 +108,24 @@ def lint_graph(
     else:
         report.note(f"{graph.name}: rate check skipped (no rates declared)")
 
-    # ---- per-stream buffer/grain checks ------------------------------
+    # ---- per-stream constraint checks (shared with the solver) -------
+    facts = stream_facts(graph, cache_line=cache_line)
     for name, edge in graph.streams.items():
-        grains = list(_endpoint_grains(graph, edge))
-        worst_ref, worst = max(grains, key=lambda pair: pair[1])
-        if edge.buffer_size < worst:
-            report.add(Diagnostic(
-                "G003",
-                f"buffer of {edge.buffer_size} B cannot hold the "
-                f"{worst} B sync grain of {worst_ref} — GetSpace({worst}) "
-                f"can never be granted",
-                task=worst_ref.task, port=worst_ref.port, stream=name,
-            ))
-        for ref, grain in grains:
-            if grain > 1 and edge.buffer_size % grain != 0:
-                report.add(Diagnostic(
-                    "G005",
-                    f"buffer of {edge.buffer_size} B is not a multiple of "
-                    f"the {grain} B sync grain",
-                    task=ref.task, port=ref.port, stream=name,
-                ))
-        if cache_line > 1 and edge.buffer_size % cache_line != 0:
-            padded = -(-edge.buffer_size // cache_line) * cache_line
-            report.add(Diagnostic(
-                "G006",
-                f"buffer of {edge.buffer_size} B is not cache-line aligned; "
-                f"configure() will pad it to {padded} B",
-                task=edge.producer.task, port=edge.producer.port, stream=name,
-            ))
-        if edge.is_multicast:
-            cons_grains = {_grain(graph, c) for c in edge.consumers}
-            if len(cons_grains) > 1:
-                report.add(Diagnostic(
-                    "G007",
-                    f"multicast consumers declare differing sync grains "
-                    f"{sorted(cons_grains)}",
-                    task=edge.producer.task, port=edge.producer.port, stream=name,
-                ))
+        for rule in _LOCAL_RULES:
+            for diag in rule.check(facts[name], edge.buffer_size):
+                report.add(diag)
 
     # ---- G004: sufficient buffering on cycles ------------------------
-    _lint_cycles(graph, report)
+    for name, edge in graph.streams.items():
+        for diag in _CYCLE_RULE.check(facts[name], edge.buffer_size):
+            report.add(diag)
 
     # ---- G008: SRAM budget -------------------------------------------
     if sram_size is not None and graph.streams:
-        from repro.core.sizing import plan_buffers
-
-        plan = plan_buffers(
-            graph,
-            {name: e.buffer_size for name, e in graph.streams.items()},
-            elasticity=1,
-            line_pad=max(1, cache_line),
-            sram_size=sram_size,
-        )
-        if not plan.fits:
-            report.add(Diagnostic(
-                "G008",
-                f"buffers need {plan.total_bytes} B but the instance SRAM "
-                f"holds {plan.sram_size} B (over by {-plan.headroom()} B)",
-                source=graph.name,
-            ))
+        budget = BudgetConstraint(sram_size=sram_size, cache_line=cache_line)
+        sizes = {name: e.buffer_size for name, e in graph.streams.items()}
+        for diag in budget.check(graph, sizes):
+            report.add(diag)
 
     # ---- G009: connectivity ------------------------------------------
     import networkx as nx
@@ -175,32 +140,3 @@ def lint_graph(
                 source=graph.name,
             ))
     return report
-
-
-def _lint_cycles(graph: ApplicationGraph, report: Report, max_cycles: int = 64) -> None:
-    """G004: each cycle edge must buffer producer + consumer grains."""
-    import networkx as nx
-
-    nxg = graph.to_networkx()
-    flagged = set()
-    for cycle in islice(nx.simple_cycles(nxg), max_cycles):
-        n = len(cycle)
-        for i, u in enumerate(cycle):
-            v = cycle[(i + 1) % n]
-            for name, edge in graph.streams.items():
-                if name in flagged or edge.producer.task != u:
-                    continue
-                for cons in edge.consumers:
-                    if cons.task != v:
-                        continue
-                    need = _grain(graph, edge.producer) + _grain(graph, cons)
-                    if edge.buffer_size < need:
-                        flagged.add(name)
-                        report.add(Diagnostic(
-                            "G004",
-                            f"buffer of {edge.buffer_size} B on cycle "
-                            f"{' -> '.join(cycle + [cycle[0]])} is below the "
-                            f"deadlock-freedom bound of {need} B "
-                            f"(producer grain + consumer grain)",
-                            task=cons.task, port=cons.port, stream=name,
-                        ))

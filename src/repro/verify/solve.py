@@ -1,0 +1,555 @@
+"""From checking to solving: constraint-based auto-configuration.
+
+``repro verify`` (PR 3) *checks* a configuration against the Eclipse
+feasibility constraints; this module *inverts* them.  Given a KPN/SDF
+graph plus an SRAM budget, :func:`solve_graph` derives the minimal
+per-stream buffer sizes, a consistent sync-grain choice, and a feasible
+task-to-coprocessor mapping — replacing a grid sweep over the design
+space with one propagation pass (cf. Zaichenkov et al., arXiv
+1503.00622, who reconcile KPN interface constraints with CSP+SAT).
+
+Three layers, cheapest first:
+
+1. **Interval propagation** (continuous layer).  Every stream's buffer
+   size gets a domain ``{s : s >= lo, s % step == 0, s <= hi}`` whose
+   bounds come from the *same* :mod:`repro.verify.constraints` objects
+   the linter evaluates — G003 (largest grain), G004 (cycle bound),
+   G005/G006 (alignment lattice) raise ``lo``; G008 (SRAM budget)
+   lowers ``hi``.  Propagation is monotone, so it reaches a fixpoint
+   and the per-stream ``lo`` *is* the minimal solution — or a domain
+   empties and the binding constraint is named in a structured
+   diagnosis (S401/S402).
+
+2. **Bounded branch-and-bound** (discrete layer).  Sync grains (and
+   with them the declared rates) are chosen from a candidate set,
+   largest first — bigger grains mean fewer synchronisation round
+   trips (paper §2.2's grain/coupling trade-off) — pruning any partial
+   assignment whose propagated lower bound already overflows the
+   budget, and rejecting assignments that break rate consistency
+   (G002) or multicast agreement (G007).  The node budget is hard; an
+   exhausted search is a structured S403, never a hang.
+
+3. **Counterexample-guided refinement** (dynamic layer, optional).
+   Static per-edge bounds cannot see reconvergent fork/join buffering
+   needs (that is a known gap of local SDF bounds).  When the caller
+   provides a ``refine`` runner, the solver simulates the candidate
+   configuration; a deadlock's blocked-stream diagnosis names the
+   binding edge, whose size is bumped by one alignment step and the
+   budget re-propagated — the classic CEGAR loop, bounded by
+   ``max_refine`` (S405 on exhaustion).
+
+Every solution round-trips through the full linter with zero findings
+(*the* acceptance gate: ``tests/verify/test_solve.py``), because the
+solver and the linter consume one constraint model.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.kahn.analysis import RateInconsistencyError, repetition_vector
+from repro.kahn.graph import ApplicationGraph, GraphError
+
+from repro.verify.constraints import (
+    BudgetConstraint,
+    Interval,
+    align_up,
+    stream_alignment,
+    stream_facts,
+    stream_lower_bound,
+)
+from repro.verify.diagnostics import Diagnostic, Report
+
+__all__ = [
+    "Solution",
+    "SolveError",
+    "solve_graph",
+    "solve_mapping",
+    "choose_grain",
+    "blocked_streams",
+]
+
+#: branch-and-bound node budget for the discrete grain search
+DEFAULT_NODE_BUDGET = 4096
+#: CEGAR rounds before S405
+DEFAULT_MAX_REFINE = 64
+
+
+class SolveError(Exception):
+    """No configuration exists; ``report`` carries the structured
+    "no solution because <binding constraint>" diagnosis (S-rules)."""
+
+    def __init__(self, report: Report):
+        self.report = report
+        first = report.diagnostics[0] if report.diagnostics else None
+        super().__init__(first.render() if first else "no solution")
+
+
+@dataclass
+class Solution:
+    """One derived configuration plus its provenance.
+
+    ``binding`` names, per stream, the constraint that set the derived
+    size (a G-rule ID, ``worst-request``, or ``refined[n]`` when the
+    CEGAR loop grew it); ``headroom`` is the SRAM left over.
+    """
+
+    graph_name: str
+    buffer_sizes: Dict[str, int]
+    grain: Optional[int] = None
+    mapping: Dict[str, str] = field(default_factory=dict)
+    sram_size: int = 0
+    cache_line: int = 32
+    total_bytes: int = 0
+    binding: Dict[str, str] = field(default_factory=dict)
+    refinement_rounds: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def headroom(self) -> int:
+        return self.sram_size - self.total_bytes
+
+    def to_dict(self) -> dict:
+        return {
+            "graph": self.graph_name,
+            "buffer_sizes": dict(sorted(self.buffer_sizes.items())),
+            "grain": self.grain,
+            "mapping": dict(sorted(self.mapping.items())),
+            "sram_size": self.sram_size,
+            "cache_line": self.cache_line,
+            "total_bytes": self.total_bytes,
+            "headroom": self.headroom,
+            "binding": dict(sorted(self.binding.items())),
+            "refinement_rounds": self.refinement_rounds,
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        lines = [f"{'stream':>16} {'bytes':>8}  binding"]
+        for name in sorted(self.buffer_sizes):
+            lines.append(
+                f"{name:>16} {self.buffer_sizes[name]:>8}  {self.binding.get(name, '-')}"
+            )
+        lines.append(
+            f"total {self.total_bytes} B of {self.sram_size} B SRAM "
+            f"(headroom {self.headroom} B)"
+        )
+        if self.grain is not None:
+            lines.append(f"sync grain: {self.grain} B")
+        if self.mapping:
+            placed = ", ".join(f"{t}->{c}" for t, c in sorted(self.mapping.items()))
+            lines.append(f"mapping: {placed}")
+        if self.refinement_rounds:
+            lines.append(f"refinement: {self.refinement_rounds} round(s) of "
+                         "counterexample-guided buffer growth")
+        for n in self.notes:
+            lines.append(f"note: {n}")
+        return "\n".join(lines)
+
+    def apply(self, graph: ApplicationGraph) -> ApplicationGraph:
+        """Stamp the derived sizes onto ``graph`` (in place)."""
+        for name, size in self.buffer_sizes.items():
+            edge = graph.streams.get(name)
+            if edge is None:
+                raise KeyError(f"graph has no stream {name!r}")
+            edge.buffer_size = size
+        return graph
+
+
+# ---------------------------------------------------------------------------
+# layer 1: interval propagation over buffer sizes
+# ---------------------------------------------------------------------------
+def _propagate_sizes(
+    graph: ApplicationGraph,
+    budget: BudgetConstraint,
+    worst_requests: Mapping[str, int],
+) -> Tuple[Dict[str, Interval], Dict[str, str]]:
+    """Minimal domains for every stream, or SolveError (S401/S402).
+
+    Returns ``(domains, binding)``; each domain's ``lo`` is the minimal
+    feasible size for that stream given every *other* stream also at
+    its minimum.
+    """
+    facts = stream_facts(graph, cache_line=budget.cache_line)
+    domains: Dict[str, Interval] = {}
+    binding: Dict[str, str] = {}
+    for name, f in facts.items():
+        step = stream_alignment(f)
+        lo, why = stream_lower_bound(f, int(worst_requests.get(name, 1)))
+        dom = Interval(lo=lo, step=step).raise_lo(lo)
+        if dom.empty:  # cannot happen with hi=None, but keep the guard
+            raise SolveError(_report(Diagnostic(
+                "S402",
+                f"stream {name!r}: lower bound {lo} B exceeds its upper "
+                f"bound — conflicting constraints",
+                stream=name, source=graph.name,
+            )))
+        domains[name] = dom
+        binding[name] = why
+
+    domains, slack = budget.propagate(domains)
+    if slack < 0:
+        # name the largest contributor and its binding constraint — the
+        # actionable part of "no solution because ..."
+        worst = max(domains, key=lambda n: (budget.padded(domains[n].lo), n))
+        raise SolveError(_report(Diagnostic(
+            "S401",
+            f"minimal allocation needs {budget.sram_size - slack} B but the "
+            f"budget is {budget.sram_size} B (short by {-slack} B); largest "
+            f"contributor is stream {worst!r} at "
+            f"{budget.padded(domains[worst].lo)} B, pinned by its "
+            f"{binding[worst]} bound",
+            stream=worst, source=graph.name,
+        )))
+    for name, dom in domains.items():
+        if dom.empty:
+            raise SolveError(_report(Diagnostic(
+                "S402",
+                f"stream {name!r}: budget propagation emptied the domain "
+                f"(lo={dom.lo} B, hi={dom.hi} B)",
+                stream=name, source=graph.name,
+            )))
+    return domains, binding
+
+
+def _report(*diags: Diagnostic) -> Report:
+    rep = Report()
+    for d in diags:
+        rep.add(d)
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# layer 2: discrete choices — grains (branch and bound) and mapping
+# ---------------------------------------------------------------------------
+def _with_uniform_grain(graph: ApplicationGraph, grain: int) -> ApplicationGraph:
+    """A structural copy of ``graph`` whose every port declares
+    ``grain`` — the candidate the discrete layer evaluates."""
+    from repro.kahn.graph import PortSpec, StreamEdge, TaskNode
+
+    g = ApplicationGraph(graph.name)
+    for t in graph.tasks.values():
+        g.add_task(TaskNode(
+            name=t.name,
+            kernel_factory=t.kernel_factory,
+            ports=tuple(PortSpec(p.name, p.direction, grain) for p in t.ports),
+            task_info=t.task_info,
+            mapping=t.mapping,
+            budget=t.budget,
+        ))
+    for e in graph.streams.values():
+        g.streams[e.name] = StreamEdge(
+            e.name, e.producer, e.consumers, buffer_size=e.buffer_size
+        )
+    return g
+
+
+def choose_grain(
+    graph: ApplicationGraph,
+    budget: BudgetConstraint,
+    candidates: Sequence[int],
+    worst_request_of: Optional[Callable[[int], Mapping[str, int]]] = None,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> Tuple[int, Dict[str, Interval], Dict[str, str]]:
+    """Pick the best uniform sync grain from ``candidates``.
+
+    Candidates are explored largest-first (bigger grains mean fewer
+    sync round trips); each is a branch whose feasibility is decided by
+    rate consistency (G002), multicast agreement (G007) and the budget
+    propagation of layer 1 — an infeasible branch is pruned with its
+    cause recorded.  ``worst_request_of(grain)`` lets workloads scale
+    their worst-case request with the grain.  Exhausting every branch
+    (or the node budget) raises a structured S403.
+    """
+    causes: List[str] = []
+    nodes = 0
+    for grain in sorted(set(int(c) for c in candidates), reverse=True):
+        if grain < 1:
+            causes.append(f"grain {grain}: must be >= 1")
+            continue
+        nodes += 1
+        if nodes > node_budget:
+            causes.append(f"node budget {node_budget} exhausted")
+            break
+        candidate = _with_uniform_grain(graph, grain)
+        if grain > 1:
+            rates = {
+                (t.name, p.name): grain
+                for t in candidate.tasks.values() for p in t.ports
+            }
+            try:
+                repetition_vector(candidate, rates)
+            except (RateInconsistencyError, GraphError) as e:
+                causes.append(f"grain {grain}: rate inconsistency ({e})")
+                continue
+        worst = dict(worst_request_of(grain)) if worst_request_of else {}
+        try:
+            domains, binding = _propagate_sizes(candidate, budget, worst)
+        except SolveError as e:
+            causes.append(f"grain {grain}: {e.report.diagnostics[0].message}")
+            continue
+        return grain, domains, binding
+    raise SolveError(_report(Diagnostic(
+        "S403",
+        "no candidate grain fits: " + "; ".join(causes[-4:]),
+        source=graph.name,
+    )))
+
+
+def solve_mapping(
+    graph: ApplicationGraph,
+    coprocessors: Sequence[str],
+    max_tasks_per_unit: Optional[int] = None,
+) -> Dict[str, str]:
+    """A feasible, balanced task-to-coprocessor mapping.
+
+    Declared mappings are honoured (S404 if they name a unit the
+    instance lacks); unplaced tasks go to the least-loaded unit,
+    deterministically (ties by unit declaration order).  A unit
+    capacity (``max_tasks_per_unit``) turns placement into the
+    classic bounded bin assignment; infeasible capacity is S404.
+    """
+    if not coprocessors:
+        raise SolveError(_report(Diagnostic(
+            "S404", "instance has no coprocessors to map onto",
+            source=graph.name,
+        )))
+    units = list(coprocessors)
+    load = {u: 0 for u in units}
+    mapping: Dict[str, str] = {}
+    for tname, node in graph.tasks.items():
+        if node.mapping is not None:
+            if node.mapping not in load:
+                raise SolveError(_report(Diagnostic(
+                    "S404",
+                    f"task {tname!r} declares mapping {node.mapping!r} but "
+                    f"the instance only has {units}",
+                    task=tname, source=graph.name,
+                )))
+            mapping[tname] = node.mapping
+            load[node.mapping] += 1
+    for tname in graph.tasks:
+        if tname in mapping:
+            continue
+        unit = min(units, key=lambda u: (load[u], units.index(u)))
+        mapping[tname] = unit
+        load[unit] += 1
+    if max_tasks_per_unit is not None:
+        over = {u: n for u, n in load.items() if n > max_tasks_per_unit}
+        if over:
+            unit, n = sorted(over.items())[0]
+            raise SolveError(_report(Diagnostic(
+                "S404",
+                f"coprocessor {unit!r} would run {n} tasks but the capacity "
+                f"is {max_tasks_per_unit} — {len(graph.tasks)} task(s) do "
+                f"not fit on {len(units)} unit(s)",
+                source=graph.name,
+            )))
+    return mapping
+
+
+# ---------------------------------------------------------------------------
+# layer 3: counterexample-guided refinement against the simulator
+# ---------------------------------------------------------------------------
+_BLOCKED_RE = re.compile(
+    r"blocked on access point (?P<stream>[A-Za-z0-9_.\-]+)\.(?P<port>\w+) "
+    r"\((?P<kind>producer|consumer)"
+)
+_OVERSIZE_RE = re.compile(
+    r"GetSpace\('\w+', (?P<need>\d+)\) exceeds buffer size \d+ "
+    r"of stream '(?P<stream>[^']+)'"
+)
+
+
+def blocked_streams(diagnosis: str) -> List[Tuple[str, str, Optional[int]]]:
+    """Parse a deadlock/stall/oversize diagnosis into
+    ``(stream, kind, need)`` triples.
+
+    ``need`` is the exact byte count when the diagnosis states one (a
+    ``GetSpace`` larger than the whole buffer), else None.  Order:
+    oversize first (the request itself bounds the fix), then blocked
+    producers (a producer starved for space is the edge to grow), then
+    consumers."""
+    triples: List[Tuple[str, str, Optional[int]]] = [
+        (m.group("stream"), "oversize", int(m.group("need")))
+        for m in _OVERSIZE_RE.finditer(diagnosis)
+    ]
+    triples += [
+        (m.group("stream"), m.group("kind"), None)
+        for m in _BLOCKED_RE.finditer(diagnosis)
+    ]
+    rank = {"oversize": 0, "producer": 1, "consumer": 2}
+    return sorted(triples, key=lambda t: rank[t[1]])
+
+
+def _refine_loop(
+    sizes: Dict[str, int],
+    steps: Dict[str, int],
+    budget: BudgetConstraint,
+    binding: Dict[str, str],
+    refine: Callable[[Mapping[str, int]], Optional[str]],
+    max_refine: int,
+    graph_name: str,
+) -> int:
+    """Grow buffers until the runner reports completion.  Returns the
+    number of rounds; raises SolveError (S401/S405) when the budget or
+    the round bound stops the loop."""
+    for round_no in range(1, max_refine + 1):
+        diagnosis = refine(dict(sizes))
+        if diagnosis is None:
+            return round_no - 1
+        candidates = blocked_streams(diagnosis)
+        hit = next(((s, need) for s, _, need in candidates if s in sizes), None)
+        if hit is None:
+            raise SolveError(_report(Diagnostic(
+                "S405",
+                f"simulation did not complete but the diagnosis names no "
+                f"known stream to grow: {diagnosis.strip().splitlines()[0]}",
+                source=graph_name,
+            )))
+        target, need = hit
+        step = steps[target]
+        grown = dict(sizes)
+        # an oversize request states the exact requirement: jump there
+        grown[target] = max(
+            sizes[target] + step,
+            align_up(need, step) if need is not None else 0,
+        )
+        if not budget.fits(grown):
+            raise SolveError(_report(Diagnostic(
+                "S401",
+                f"refinement needs stream {target!r} at "
+                f"{grown[target]} B to break a simulated deadlock, but the "
+                f"allocation would reach {budget.total(grown)} B of the "
+                f"{budget.sram_size} B budget",
+                stream=target, source=graph_name,
+            )))
+        sizes[target] = grown[target]
+        binding[target] = f"refined[{round_no}]"
+    raise SolveError(_report(Diagnostic(
+        "S405",
+        f"{max_refine} refinement round(s) exhausted without reaching "
+        f"completion; last growth did not break the deadlock",
+        source=graph_name,
+    )))
+
+
+# ---------------------------------------------------------------------------
+# the solver entry point
+# ---------------------------------------------------------------------------
+def solve_graph(
+    graph: ApplicationGraph,
+    sram_size: int,
+    cache_line: int = 32,
+    worst_requests: Optional[Mapping[str, int]] = None,
+    grain_candidates: Optional[Sequence[int]] = None,
+    worst_request_of: Optional[Callable[[int], Mapping[str, int]]] = None,
+    coprocessors: Optional[Sequence[str]] = None,
+    max_tasks_per_unit: Optional[int] = None,
+    elasticity: int = 1,
+    refine: Optional[Callable[[Mapping[str, int]], Optional[str]]] = None,
+    max_refine: int = DEFAULT_MAX_REFINE,
+) -> Solution:
+    """Derive a complete configuration for ``graph`` under a budget.
+
+    ``worst_requests`` maps stream name -> the largest GetSpace either
+    endpoint will ever issue (defaults to the declared grains).  With
+    ``grain_candidates`` the sync grain itself becomes a decision
+    variable (the graph is re-declared per candidate;
+    ``worst_request_of(grain)`` then supplies the per-grain worst
+    requests).  ``refine`` is a runner ``sizes -> None | diagnosis``
+    that simulates the candidate and returns the blocked-task report on
+    deadlock — enabling the CEGAR layer.  ``elasticity`` > 1 grows the
+    minimal sizes toward ``elasticity x`` their bound, water-filling
+    the remaining budget fairly (still aligned, still within budget —
+    and still linter-clean, since growth preserves every constraint).
+
+    Raises :class:`SolveError` with a structured S-rule report when no
+    configuration exists; never an unstructured traceback.
+    """
+    if sram_size < 1:
+        raise SolveError(_report(Diagnostic(
+            "S401", f"SRAM budget must be >= 1 byte, got {sram_size}",
+            source=graph.name,
+        )))
+    if elasticity < 1:
+        raise ValueError(f"elasticity must be >= 1, got {elasticity}")
+    try:
+        graph.validate()
+    except GraphError as e:
+        raise SolveError(_report(Diagnostic(
+            "S402", f"graph is structurally invalid: {e}", source=graph.name,
+        )))
+    if not graph.streams:
+        return Solution(graph_name=graph.name, buffer_sizes={},
+                        sram_size=sram_size, cache_line=cache_line,
+                        notes=["graph has no streams; nothing to size"])
+
+    budget = BudgetConstraint(sram_size=sram_size, cache_line=cache_line)
+
+    grain: Optional[int] = None
+    if grain_candidates:
+        grain, domains, binding = choose_grain(
+            graph, budget, grain_candidates, worst_request_of=worst_request_of
+        )
+        working = _with_uniform_grain(graph, grain)
+    else:
+        working = graph
+        domains, binding = _propagate_sizes(
+            working, budget, dict(worst_requests or {})
+        )
+
+    sizes = {name: dom.lo for name, dom in domains.items()}
+    steps = {name: dom.step for name, dom in domains.items()}
+    solution_notes: List[str] = []
+
+    # ---- optional elasticity: water-fill the leftover budget ----------
+    if elasticity > 1:
+        targets = {
+            name: align_up(elasticity * sizes[name], steps[name])
+            for name in sizes
+        }
+        grew = True
+        while grew:
+            grew = False
+            for name in sorted(sizes):
+                if sizes[name] >= targets[name]:
+                    continue
+                trial = dict(sizes)
+                trial[name] = sizes[name] + steps[name]
+                if budget.fits(trial):
+                    sizes[name] = trial[name]
+                    grew = True
+        solution_notes.append(
+            f"elasticity {elasticity}x water-filled to {budget.total(sizes)} B"
+        )
+
+    # ---- CEGAR against the simulator ---------------------------------
+    rounds = 0
+    if refine is not None:
+        rounds = _refine_loop(
+            sizes, steps, budget, binding, refine, max_refine, graph.name
+        )
+
+    mapping = solve_mapping(
+        working, coprocessors, max_tasks_per_unit
+    ) if coprocessors is not None else {}
+
+    return Solution(
+        graph_name=graph.name,
+        buffer_sizes=sizes,
+        grain=grain,
+        mapping=mapping,
+        sram_size=sram_size,
+        cache_line=cache_line,
+        total_bytes=budget.total(sizes),
+        binding=binding,
+        refinement_rounds=rounds,
+        notes=solution_notes,
+    )

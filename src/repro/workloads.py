@@ -232,6 +232,32 @@ def explore_decode_run(
     return system, graph
 
 
+def solved_run(
+    workload: str = "conformance-pipeline",
+    sram_size: Optional[int] = None,
+    elasticity: int = 1,
+    engine: str = "reference",
+) -> Tuple[EclipseSystem, ApplicationGraph]:
+    """A workload whose configuration is *derived*, not spelled out.
+
+    ``repro submit --workload solved --arg sram_size=4096`` hands the
+    service an SRAM budget instead of a full spec: the constraint
+    solver (:func:`repro.verify.solve_workload`) derives minimal buffer
+    sizes (plus grain and mapping where the workload exposes them) for
+    the named solve model, and this factory rebuilds the workload with
+    those sizes stamped in.  The solver is deterministic, so the
+    run — and its content-addressed cache key — depends only on
+    ``(workload, sram_size, elasticity, engine)``.
+    """
+    from repro.verify.solve_run import SOLVE_MODELS, solve_workload
+
+    solution = solve_workload(workload, sram_size=sram_size, elasticity=elasticity)
+    system, graph = SOLVE_MODELS[workload].build(engine=engine, grain=solution.grain)
+    for name, size in solution.buffer_sizes.items():
+        graph.streams[name].buffer_size = size
+    return system, graph
+
+
 #: The factories a sweep-service client may name instead of spelling a
 #: ``module:function`` reference (``repro submit --workload NAME``).
 #: Only self-contained factories belong here — every kwarg must be
@@ -241,4 +267,5 @@ RUN_FACTORIES = {
     "quickstart": quickstart_run,
     "decode": decode_run,
     "conformance": conformance_run,
+    "solved": solved_run,
 }

@@ -203,3 +203,84 @@ def test_zero_rate_port_rejected_with_port_context():
     g.connect("src.out", "dst.in")
     with pytest.raises(GraphError, match=r"dst\.in"):
         repetition_vector(g, {("src", "out"): 32, ("dst", "in"): 0})
+
+
+def test_negative_rate_port_rejected():
+    g = ApplicationGraph("neg")
+    _stub_task(g, "src", "out")
+    _stub_task(g, "dst", "in")
+    g.connect("src.out", "dst.in")
+    with pytest.raises(GraphError, match=">= 1"):
+        repetition_vector(g, {("src", "out"): 32, ("dst", "in"): -4})
+
+
+# ---------------------------------------------------------------------------
+# degenerate graphs and infeasible budgets: clean answers, never crashes
+# ---------------------------------------------------------------------------
+def test_empty_graph_has_empty_vector():
+    """No tasks -> the trivial (empty) repetition vector, not a crash."""
+    g = ApplicationGraph("empty")
+    assert repetition_vector(g, {}) == {}
+    assert stream_rates_per_iteration(g, {}) == {}
+
+
+def test_streamless_tasks_fire_once():
+    """Tasks with no streams are unconstrained: everyone fires once."""
+    from repro.kahn.kernel import Kernel
+
+    g = ApplicationGraph("loose")
+    g.add_task(TaskNode("a", Kernel, ()))
+    g.add_task(TaskNode("b", Kernel, ()))
+    assert repetition_vector(g, {}) == {"a": 1, "b": 1}
+
+
+def test_plan_buffers_infeasible_budget_reports_not_raises():
+    """An SRAM budget too small for the allocation is an *answer*
+    (fits=False, negative headroom), not an exception — the linter
+    turns it into G008 and the solver into S401."""
+    from repro.core.sizing import plan_buffers
+
+    g = ApplicationGraph("tight")
+    _stub_task(g, "src", "out")
+    _stub_task(g, "dst", "in")
+    g.connect("src.out", "dst.in", buffer_size=64)
+    plan = plan_buffers(g, {"s_src_out": 64}, elasticity=1, sram_size=32)
+    assert not plan.fits
+    assert plan.headroom() < 0
+    assert plan.total_bytes > plan.sram_size
+
+
+def test_plan_buffers_nonpositive_worst_request_names_stream():
+    """A worst request < 1 is a spec bug; the diagnosis names the
+    stream instead of failing deep inside the allocator."""
+    from repro.core.sizing import plan_buffers
+
+    g = ApplicationGraph("bad-worst")
+    _stub_task(g, "src", "out")
+    _stub_task(g, "dst", "in")
+    g.connect("src.out", "dst.in")
+    with pytest.raises(ValueError, match="s_src_out"):
+        plan_buffers(g, {"s_src_out": 0})
+
+
+def test_multicast_grain_disagreement_is_flagged_not_fatal():
+    """Consumers of one multicast stream declaring different grains is
+    *rate-consistent* (the balance equations solve) but flagged by the
+    linter's G007 — the architect gets a diagnostic either way, and
+    nothing crashes."""
+    from repro.kahn import Direction, PortSpec
+    from repro.kahn.kernel import Kernel
+    from repro.verify.graph_lint import lint_graph
+
+    g = ApplicationGraph("mcast-grains")
+    g.add_task(TaskNode("src", Kernel, (PortSpec("out", Direction.OUT, 32),)))
+    g.add_task(TaskNode("a", Kernel, (PortSpec("in", Direction.IN, 16),)))
+    g.add_task(TaskNode("b", Kernel, (PortSpec("in", Direction.IN, 32),)))
+    g.connect("src.out", "a.in", "b.in", buffer_size=96)
+
+    q = repetition_vector(
+        g, {("src", "out"): 32, ("a", "in"): 16, ("b", "in"): 32}
+    )
+    assert q == {"src": 1, "a": 2, "b": 1}
+    report = lint_graph(g)
+    assert "G007" in report.rule_ids()

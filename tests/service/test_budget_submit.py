@@ -1,0 +1,95 @@
+"""Budget-driven submissions: ``repro submit --budget BYTES``.
+
+The server never sees a buffer plan — it receives the deterministic
+``repro.workloads:solved_run`` factory plus the budget, derives the
+configuration itself, and the content-addressed cache therefore keys
+on the *budget*, not on any client-side solve.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.runner import RunSpec
+from repro.service import ResultStore, SweepClient, SweepService, serve_unix
+
+BUDGET_SPEC = RunSpec(
+    factory="repro.workloads:solved_run",
+    kwargs={"workload": "conformance-pipeline", "sram_size": 4096},
+    label="budget-4096",
+)
+
+
+def _run_with_server(tmp_path, body):
+    sock = str(tmp_path / "svc.sock")
+
+    async def main():
+        store = ResultStore(str(tmp_path / "store"))
+        async with SweepService(store, jobs=2, use_process_pool=False) as svc:
+            server = await serve_unix(svc, sock)
+            try:
+                async with SweepClient(sock) as client:
+                    return await body(client, svc)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+    return asyncio.run(main())
+
+
+def test_budget_submission_runs_and_caches_on_the_budget(tmp_path):
+    async def body(client, svc):
+        cold = await client.submit(BUDGET_SPEC)
+        hit = await client.submit(BUDGET_SPEC)
+        return cold, hit
+
+    cold, hit = _run_with_server(tmp_path, body)
+    assert cold.ok and cold.cache == "miss"
+    assert hit.ok and hit.cache == "hit"
+    assert cold.key == hit.key
+    assert cold.result.cycles > 0
+
+
+def test_different_budgets_key_differently(tmp_path):
+    async def body(client, svc):
+        a = await client.submit(BUDGET_SPEC)
+        other = RunSpec(factory=BUDGET_SPEC.factory,
+                        kwargs={**BUDGET_SPEC.kwargs, "sram_size": 8192},
+                        label="budget-8192")
+        b = await client.submit(other)
+        return a, b
+
+    a, b = _run_with_server(tmp_path, body)
+    assert a.ok and b.ok
+    assert a.key != b.key  # the budget is part of the content address
+
+
+def test_infeasible_budget_fails_structured_not_crashed(tmp_path):
+    async def body(client, svc):
+        bad = RunSpec(factory=BUDGET_SPEC.factory,
+                      kwargs={**BUDGET_SPEC.kwargs, "sram_size": 10},
+                      label="budget-10")
+        return await client.submit(bad)
+
+    res = _run_with_server(tmp_path, body)
+    assert not res.ok
+    assert "S4" in (res.result.error or "")
+    assert "10" in res.result.error
+
+
+def test_cli_budget_and_factory_conflict_exits_two(capsys):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit) as exc:
+        main(["submit", "--budget", "4096", "--factory", "x:y"])
+    assert exc.value.code == 2
+    assert "--factory" in capsys.readouterr().err
+
+
+def test_cli_budget_unknown_model_exits_two(capsys):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit) as exc:
+        main(["submit", "--budget", "4096", "--workload", "nope"])
+    assert exc.value.code == 2
+    assert "solve model" in capsys.readouterr().err

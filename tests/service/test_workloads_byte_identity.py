@@ -24,6 +24,7 @@ SMALL_KWARGS = {
     "quickstart": {"payload_len": 512},
     "conformance": {"payload_len": 384},
     "decode": {"width": 32, "height": 32, "frames": 2, "gop_n": 2, "gop_m": 1},
+    "solved": {"workload": "conformance-pipeline", "sram_size": 4096},
 }
 
 

@@ -110,3 +110,112 @@ def build_or_fail(shell, sys_params):
 def test_parallel_failure_surfaces_point_label():
     with pytest.raises(RuntimeError, match="sweep points failed"):
         sweep(build_or_fail, axes=[shell_axis("prefetch_lines", [0, 7])], jobs=2)
+
+
+# ---------------------------------------------------------------------------
+# solver-backed pruning
+# ---------------------------------------------------------------------------
+def test_prune_drops_points_and_records_reasons():
+    dropped = []
+    points = sweep(
+        build,
+        axes=[system_axis("bus_width", [8, 16])],
+        prune=lambda combo, shell, sp: (
+            "too narrow" if combo["bus_width"] == 8 else None
+        ),
+        pruned=dropped,
+    )
+    assert [p.settings["bus_width"] for p in points] == [16]
+    assert dropped == [({"bus_width": 8}, "too narrow")]
+
+
+def test_feasibility_pruner_rejects_statically_infeasible_points():
+    from repro.explore import feasibility_pruner
+
+    dropped = []
+    points = sweep(
+        build,
+        axes=[system_axis("sram_size", [64, 32 * 1024])],
+        prune=feasibility_pruner(build),
+        pruned=dropped,
+    )
+    # the declared 128 B buffer cannot fit a 64 B SRAM: refuted without
+    # a single simulated cycle, with the G-rule named in the reason
+    assert [p.settings["sram_size"] for p in points] == [32 * 1024]
+    assert len(dropped) == 1
+    combo, reason = dropped[0]
+    assert combo == {"sram_size": 64}
+    assert reason.startswith("G008")
+
+
+def test_feasibility_pruner_keeps_feasible_points():
+    from repro.explore import feasibility_pruner
+
+    points = sweep(build, axes=AXES, prune=feasibility_pruner(build))
+    assert len(points) == 4  # nothing feasible was lost
+
+
+# ---------------------------------------------------------------------------
+# successive halving over the pruned frontier
+# ---------------------------------------------------------------------------
+def test_successive_halving_races_rungs_and_returns_survivors():
+    from repro.explore import successive_halving
+
+    calls = []
+
+    def counting_build(shell, sys_params):
+        calls.append(sys_params.bus_width)
+        return build(shell, sys_params)
+
+    survivors = successive_halving(
+        counting_build,
+        axes=[system_axis("bus_width", [2, 4, 8, 16])],
+        rung_axis=system_axis("msg_latency", [0, 8]),
+        keep=0.5,
+    )
+    # rung 1 runs all 4, rung 2 only the kept half: 6 builds, not 8
+    assert len(calls) == 6
+    # survivors come from the final rung, best (fewest cycles) first
+    assert len(survivors) == 2
+    assert [p.settings["bus_width"] for p in survivors] == [16, 8]
+    assert survivors[0].cycles <= survivors[1].cycles
+
+
+def test_successive_halving_is_deterministic():
+    from repro.explore import successive_halving
+
+    kwargs = dict(
+        axes=[system_axis("bus_width", [4, 8])],
+        rung_axis=system_axis("msg_latency", [0, 4]),
+        keep=0.5,
+    )
+    a = successive_halving(build, **kwargs)
+    b = successive_halving(build, **kwargs)
+    assert [(p.settings, p.cycles) for p in a] == [(p.settings, p.cycles) for p in b]
+
+
+def test_successive_halving_prunes_before_rung_zero():
+    from repro.explore import feasibility_pruner, successive_halving
+
+    dropped = []
+    survivors = successive_halving(
+        build,
+        axes=[system_axis("sram_size", [64, 32 * 1024])],
+        rung_axis=system_axis("msg_latency", [0]),
+        prune=feasibility_pruner(build),
+        pruned=dropped,
+    )
+    assert [p.settings["sram_size"] for p in survivors] == [32 * 1024]
+    assert dropped and dropped[0][1].startswith("G008")
+
+
+def test_successive_halving_validates_inputs():
+    from repro.explore import successive_halving
+
+    with pytest.raises(ValueError, match="rung_axis"):
+        successive_halving(build, axes=AXES, rung_axis=system_axis("msg_latency", []))
+    with pytest.raises(ValueError, match="keep"):
+        successive_halving(
+            build, axes=AXES,
+            rung_axis=system_axis("msg_latency", [0]), keep=0.0,
+        )

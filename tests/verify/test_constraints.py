@@ -1,0 +1,259 @@
+"""The shared constraint model and its equivalence theorem.
+
+The point of `repro.verify.constraints` is that the linter and the
+solver consume the *same* rule objects, so "the linter accepts size s"
+and "the solver derives a bound admitting s" are provably the same
+statement.  This module property-tests that theorem: for every size
+rule,
+
+    rule.check(f, s) == []  ⟺  s >= rule.lower(f)
+                                and s % rule.alignment(f) == 0
+
+over randomized stream facts, and checks the propagation lattice
+(Interval) and the budget constraint around it.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kahn.graph import PortRef
+from repro.verify.constraints import (
+    SIZE_RULES,
+    STREAM_RULES,
+    BudgetConstraint,
+    CycleBound,
+    Interval,
+    MulticastGrainRule,
+    StreamFacts,
+    align_up,
+    lcm_all,
+    stream_alignment,
+    stream_facts,
+    stream_lower_bound,
+)
+
+GRAINS = st.sampled_from([1, 2, 4, 8, 16, 24, 32, 64])
+
+
+@st.composite
+def facts(draw):
+    """Random single-stream facts: 1 producer + 1..3 consumers, an
+    optional cycle bound, a realistic cache line."""
+    n_cons = draw(st.integers(min_value=1, max_value=3))
+    endpoints = [(PortRef("p", "out"), draw(GRAINS))]
+    endpoints += [
+        (PortRef(f"c{i}", "in"), draw(GRAINS)) for i in range(n_cons)
+    ]
+    cycle_bounds = ()
+    if draw(st.booleans()):
+        need = endpoints[0][1] + endpoints[1][1]
+        cycle_bounds = (CycleBound(("p", "c0"), endpoints[1][0], need),)
+    return StreamFacts(
+        name="s",
+        endpoints=tuple(endpoints),
+        cache_line=draw(st.sampled_from([1, 16, 32, 64])),
+        cycle_bounds=cycle_bounds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the equivalence theorem
+# ---------------------------------------------------------------------------
+@settings(max_examples=300, deadline=None)
+@given(f=facts(), size=st.integers(min_value=1, max_value=512))
+def test_size_rule_equivalence_theorem(f, size):
+    """check() == [] iff the size respects lower() and alignment() —
+    for every size rule, on arbitrary facts and sizes."""
+    for rule in SIZE_RULES:
+        clean = rule.check(f, size) == []
+        admitted = size >= rule.lower(f) and size % rule.alignment(f) == 0
+        assert clean == admitted, (
+            f"{rule.rule_id}: check={'clean' if clean else 'finding'} but "
+            f"bounds {'admit' if admitted else 'reject'} size={size} "
+            f"(lower={rule.lower(f)}, alignment={rule.alignment(f)})"
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(f=facts())
+def test_lower_bound_is_minimal_and_clean(f):
+    """stream_lower_bound is the *smallest* admissible size: it passes
+    every size rule, and one alignment step down violates one."""
+    lb, binding = stream_lower_bound(f)
+    step = stream_alignment(f)
+    assert lb % step == 0
+    assert all(rule.check(f, lb) == [] for rule in SIZE_RULES)
+    smaller = lb - step
+    if smaller >= 1:
+        assert any(rule.check(f, smaller) for rule in SIZE_RULES), (
+            f"size {smaller} below the derived bound {lb} (binding "
+            f"{binding}) produced no finding — the bound is not minimal"
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(f=facts(), worst=st.integers(min_value=1, max_value=256))
+def test_worst_request_only_raises_the_bound(f, worst):
+    base, _ = stream_lower_bound(f)
+    with_worst, binding = stream_lower_bound(f, worst_request=worst)
+    assert with_worst >= base
+    assert with_worst >= worst
+    if with_worst > base:
+        assert binding == "worst-request"
+
+
+def test_binding_provenance_names_the_rule():
+    f = StreamFacts(
+        name="s",
+        endpoints=((PortRef("p", "out"), 48), (PortRef("c", "in"), 16)),
+        cache_line=32,
+    )
+    lb, binding = stream_lower_bound(f)
+    assert binding == "G003"
+    assert lb == align_up(48, stream_alignment(f))
+
+
+def test_cycle_bound_becomes_binding():
+    f = StreamFacts(
+        name="s",
+        endpoints=((PortRef("p", "out"), 16), (PortRef("c", "in"), 16)),
+        cache_line=1,
+        cycle_bounds=(CycleBound(("p", "c"), PortRef("c", "in"), 32),),
+    )
+    lb, binding = stream_lower_bound(f)
+    assert (lb, binding) == (32, "G004")
+
+
+# ---------------------------------------------------------------------------
+# the interval lattice
+# ---------------------------------------------------------------------------
+def test_interval_normal_form_and_membership():
+    dom = Interval(lo=0, step=32).raise_lo(33)
+    assert dom.lo == 64  # aligned up
+    assert dom.contains(64) and dom.contains(96)
+    assert not dom.contains(48)  # misaligned
+    assert not dom.contains(32)  # below lo
+
+
+def test_interval_monotone_ops_commute_into_emptiness():
+    dom = Interval(lo=32, step=32)
+    dom = dom.lower_hi(100)
+    assert dom.hi == 96  # aligned down
+    assert not dom.empty
+    dom = dom.raise_lo(128)
+    assert dom.empty
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    lo=st.integers(min_value=0, max_value=200),
+    hi=st.integers(min_value=0, max_value=400),
+    step=st.sampled_from([1, 8, 32]),
+    bound=st.integers(min_value=0, max_value=400),
+)
+def test_interval_ops_are_monotone(lo, hi, step, bound):
+    dom = Interval(lo=align_up(lo, step), hi=(hi // step) * step, step=step)
+    raised = dom.raise_lo(bound)
+    capped = dom.lower_hi(bound)
+    assert raised.lo >= dom.lo and raised.hi == dom.hi
+    assert capped.lo == dom.lo and (capped.hi is None or capped.hi <= dom.hi)
+    # membership only ever shrinks
+    for v in range(0, 401, step or 1):
+        if raised.contains(v):
+            assert dom.contains(v)
+        if capped.contains(v):
+            assert dom.contains(v)
+
+
+def test_align_up_and_lcm_all():
+    assert align_up(33, 32) == 64
+    assert align_up(32, 32) == 32
+    assert align_up(7, 1) == 7
+    assert lcm_all([]) == 1
+    assert lcm_all([1, 1]) == 1
+    assert lcm_all([8, 12]) == 24
+    assert lcm_all([16, 32, 24]) == 96
+
+
+# ---------------------------------------------------------------------------
+# the budget constraint
+# ---------------------------------------------------------------------------
+def test_budget_propagate_slack_and_caps():
+    budget = BudgetConstraint(sram_size=256, cache_line=32)
+    domains = {
+        "a": Interval(lo=64, step=32),
+        "b": Interval(lo=96, step=32),
+    }
+    narrowed, slack = budget.propagate(domains)
+    assert slack == 256 - (64 + 96)
+    # each stream may grow by at most the global slack
+    assert narrowed["a"].hi == ((64 + slack) // 32) * 32
+    assert narrowed["b"].hi == ((96 + slack) // 32) * 32
+    assert not any(d.empty for d in narrowed.values())
+
+
+def test_budget_propagate_negative_slack_signals_infeasible():
+    budget = BudgetConstraint(sram_size=100, cache_line=32)
+    _, slack = budget.propagate({"a": Interval(lo=96, step=32),
+                                 "b": Interval(lo=32, step=32)})
+    assert slack < 0
+
+
+def test_budget_padding_matches_configure_arithmetic():
+    budget = BudgetConstraint(sram_size=1024, cache_line=32)
+    assert budget.padded(1) == 32
+    assert budget.padded(32) == 32
+    assert budget.padded(33) == 64
+    assert budget.total({"a": 1, "b": 33}) == 96
+    assert budget.fits({"a": 1, "b": 33})
+
+
+def test_budget_check_renders_g008_and_survives_degenerate_sizes():
+    """The lint view must flag overflow — and not crash on a size of 0
+    (already a G003 finding, but G008 still accounts its padding)."""
+    from repro.workloads import pipeline_graph
+
+    g = pipeline_graph(b"x" * 64)
+    budget = BudgetConstraint(sram_size=32, cache_line=32)
+    diags = budget.check(g, {n: e.buffer_size for n, e in g.streams.items()})
+    assert [d.rule_id for d in diags] == ["G008"]
+    degenerate = {n: 0 for n in g.streams}
+    assert [d.rule_id for d in budget.check(g, degenerate)] == ["G008"]
+
+
+# ---------------------------------------------------------------------------
+# linter/solver agreement on real graphs
+# ---------------------------------------------------------------------------
+def test_stream_facts_mirror_graph_lint_inputs():
+    from repro.workloads import diamond_graph
+
+    g = diamond_graph(b"x" * 64)
+    fs = stream_facts(g, cache_line=32)
+    assert set(fs) == set(g.streams)
+    for name, f in fs.items():
+        edge = g.streams[name]
+        assert f.producer[0] == edge.producer
+        assert tuple(ref for ref, _ in f.consumers) == edge.consumers
+
+
+def test_multicast_rule_is_grain_only():
+    """G007 constrains the grain assignment, never the size — the
+    solver's discrete layer owns it, so it contributes no size bound."""
+    rule = next(r for r in STREAM_RULES if isinstance(r, MulticastGrainRule))
+    f = StreamFacts(
+        name="s",
+        endpoints=(
+            (PortRef("p", "out"), 32),
+            (PortRef("c0", "in"), 16),
+            (PortRef("c1", "in"), 32),
+        ),
+        cache_line=32,
+    )
+    assert rule.lower(f) == 1 and rule.alignment(f) == 1
+    assert not MulticastGrainRule.consistent(f)
+    diags = rule.check(f, 1024)  # any size: still a grain problem
+    assert [d.rule_id for d in diags] == ["G007"]
+    assert rule not in SIZE_RULES

@@ -1,0 +1,75 @@
+"""Docs/registry agreement: the rule catalogue in
+docs/static-analysis.md is generated from `repro.verify.diagnostics.RULES`
+by scripts/gen_rule_docs.py and must never drift from it."""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.verify.diagnostics import RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC_PATH = REPO_ROOT / "docs" / "static-analysis.md"
+SCRIPT_PATH = REPO_ROOT / "scripts" / "gen_rule_docs.py"
+
+
+def _load_script():
+    spec = importlib.util.spec_from_file_location("gen_rule_docs", SCRIPT_PATH)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return _load_script()
+
+
+def test_docs_catalogue_is_current(gen):
+    """The generated block in the docs matches a fresh render — the
+    `--check` mode CI runs, as a test."""
+    doc = DOC_PATH.read_text(encoding="utf-8")
+    assert gen.BEGIN in doc and gen.END in doc
+    assert gen.splice(doc, gen.render_catalogue()) == doc, (
+        "docs/static-analysis.md rule catalogue is stale — run "
+        "`python scripts/gen_rule_docs.py`"
+    )
+
+
+def test_every_rule_appears_exactly_once_in_docs():
+    doc = DOC_PATH.read_text(encoding="utf-8")
+    begin = doc.index("BEGIN RULE CATALOGUE")
+    end = doc.index("END RULE CATALOGUE")
+    block = doc[begin:end]
+    for rid, r in RULES.items():
+        rows = re.findall(rf"^\| {rid} \| ", block, flags=re.M)
+        assert len(rows) == 1, f"rule {rid} appears {len(rows)} times in docs"
+        assert f"| {rid} | {r.title} | {r.severity} |" in block
+
+
+def test_every_family_has_a_section(gen):
+    """A new rule ID prefix must be added to the generator's FAMILIES
+    table — render_catalogue refuses to silently drop rules."""
+    prefixes = {rid[0] for rid in RULES}
+    assert prefixes <= {p for p, _ in gen.FAMILIES}
+
+
+def test_generator_rejects_orphan_rules(gen, monkeypatch):
+    families = [f for f in gen.FAMILIES if f[0] != "V"]
+    monkeypatch.setattr(gen, "FAMILIES", families)
+    with pytest.raises(SystemExit, match="V001"):
+        gen.render_catalogue()
+
+
+def test_list_rules_cli_matches_registry(capsys):
+    """`repro verify --list-rules` prints every registered rule."""
+    from repro.cli import main
+
+    assert main(["verify", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rid in RULES:
+        assert rid in out
