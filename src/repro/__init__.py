@@ -52,6 +52,7 @@ from repro.core import (
     DeadlockError,
     EclipseSystem,
     FaultPlan,
+    LossPlan,
     ShellParams,
     StalledError,
     StallSpec,
@@ -113,6 +114,7 @@ __all__ = [
     "Kernel",
     "DeadlockError",
     "FaultPlan",
+    "LossPlan",
     "MetricsRegistry",
     "MonitorSuite",
     "ObservabilityLevel",

@@ -100,6 +100,20 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_loss_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--loss-plan",
+        metavar="SPEC",
+        help="feed the stream through the lossy network ingest first: a "
+        "preset (none, mild, moderate, heavy, jitter) or a key=value "
+        "list, e.g. 'drop=0.1,fec_group=4,max_rtx=3,seed=7'",
+    )
+    p.add_argument(
+        "--loss-seed", type=int, default=None,
+        help="override the loss plan's seed",
+    )
+
+
 def _add_engine_arg(p: argparse.ArgumentParser) -> None:
     from repro.sim.fastengine import ENGINES
 
@@ -202,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument("--half-pel", action="store_true")
     dec.add_argument("--json", metavar="PATH", help="write the machine-readable result to PATH")
     _add_fault_args(dec)
+    _add_loss_args(dec)
     _add_engine_arg(dec)
     _add_obs_args(dec)
 
@@ -225,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     conf.add_argument("--payload", type=int, default=2048, help="payload bytes per graph")
     _add_fault_args(conf)
+    _add_loss_args(conf)
     _add_runner_args(conf)
     _add_engine_arg(conf)
     _add_obs_args(conf)
@@ -631,6 +647,42 @@ def _run_or_diagnose(system, **run_kw):
         return None
 
 
+def _print_degradation(result) -> None:
+    deg = getattr(result, "degradation", None)
+    if not deg:
+        return
+    for tname, stats in deg["tasks"].items():
+        kind = stats.get("kind")
+        if kind == "video":
+            print(
+                f"degradation[{tname}]: "
+                f"{stats['frames_decoded']}/{stats['frames_total']} frames decoded, "
+                f"{stats['frames_concealed']} concealed "
+                f"({stats['mbs_concealed']} MBs)"
+                + (", header reconstructed" if stats.get("header_concealed") else "")
+            )
+        elif kind == "audio":
+            print(
+                f"degradation[{tname}]: "
+                f"{stats['blocks_decoded']}/{stats['blocks_total']} audio blocks "
+                f"decoded, {stats['blocks_silenced']} silenced"
+            )
+        elif kind == "transport":
+            net = stats.get("net", {})
+            print(
+                f"degradation[{tname}]: {stats['packets_erased']} slots erased "
+                f"(link dropped {net.get('packets_dropped', 0)}, "
+                f"FEC recovered {net.get('fec_recovered', 0)}, "
+                f"RTX recovered {net.get('rtx_recovered', 0)}, "
+                f"{net.get('nacks_sent', 0)} NACKs)"
+            )
+    for d in deg.get("diagnoses", []):
+        from repro.verify.diagnostics import rule
+
+        r = rule(d["rule"])
+        print(f"  {d['rule']} {r.severity} [{d['task']}]: {d['message']}")
+
+
 def _print_robustness(result) -> None:
     rob = result.robustness
     if not rob:
@@ -704,7 +756,72 @@ def _cmd_quickstart(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_decode_lossy(args) -> int:
+    """``decode --loss-plan``: the full A/V decode behind the seeded
+    lossy network ingest, with per-frame degradation accounting."""
+    from repro import CodecParams, build_mpeg_instance, synthetic_sequence
+    from repro.media import encode_sequence
+    from repro.media.audio import BLOCK_SAMPLES, adpcm_encode, synthetic_pcm
+    from repro.media.av_pipeline import AV_DECODE_MAPPING, lossy_av_decode_graph
+    from repro.media.transport import AUDIO_PID, VIDEO_PID, ts_mux
+    from repro.net import ingest
+    from repro.sim.faults import LossPlan
+    from repro.trace.viewer import render_application_view, render_architecture_view
+
+    try:
+        plan = LossPlan.parse(args.loss_plan, seed=args.loss_seed)
+    except ValueError as e:
+        print(f"error: invalid --loss-plan: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    params = CodecParams(
+        width=args.width, height=args.height, gop_n=args.gop_n,
+        gop_m=args.gop_m, half_pel=args.half_pel,
+    )
+    frames = synthetic_sequence(params.width, params.height, args.frames, noise=1.0)
+    video_es, _golden, _stats = encode_sequence(frames, params)
+    audio_es = adpcm_encode(synthetic_pcm(BLOCK_SAMPLES * max(2, args.frames)))
+    ts = ts_mux({VIDEO_PID: video_es, AUDIO_PID: audio_es})
+    print(f"encoded {args.frames} frames + audio -> {len(ts)} TS bytes")
+    print(f"loss plan: {plan.describe()}")
+    res = ingest(ts, plan)
+    s = res.stats
+    print(
+        f"ingest: {s.data_packets} data + {s.parity_packets} parity + "
+        f"{s.rtx_packets} rtx packets; dropped={s.packets_dropped} "
+        f"fec_recovered={s.fec_recovered} rtx_recovered={s.rtx_recovered} "
+        f"lost={s.slots_lost} ({s.ticks} ticks)"
+    )
+    from repro import SystemParams
+
+    level, interval = _obs_setup(args)
+    system = build_mpeg_instance(
+        SystemParams(dram_latency=60, engine=args.engine, obs_level=level,
+                     sample_interval=interval)
+    )
+    system.configure(
+        lossy_av_decode_graph(res, params, args.frames, mapping=AV_DECODE_MAPPING)
+    )
+    result = _run_or_diagnose(system)
+    if result is None:
+        return 1
+    print(f"decoded in {result.cycles} cycles")
+    _print_degradation(result)
+    print()
+    print(render_architecture_view(result))
+    print()
+    print(render_application_view(result))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_decode(args) -> int:
+    if getattr(args, "loss_plan", None):
+        return _cmd_decode_lossy(args)
     from repro import (
         CodecParams,
         DECODE_MAPPING,
@@ -847,10 +964,99 @@ def _cmd_explore(args) -> int:
     return 0
 
 
+def _cmd_conformance_loss(args) -> int:
+    """``conformance --loss-plan``: the lossy-ingest differential.  For
+    every seed the conferencing workload is rebuilt (the ingest is a
+    pure function of the seed), the functional Kahn executor produces
+    the golden stream histories for *that* degraded graph, and the
+    cycle-level engine run must reproduce them byte-for-byte."""
+    from repro import FunctionalExecutor
+    from repro.obs.level import ObservabilityLevel
+    from repro.runner import RunSpec, _histories_digest
+    from repro.sim.faults import LossPlan
+    from repro.workloads import conferencing_run
+
+    jobs = _runner_jobs(args)
+    try:
+        base = LossPlan.parse(args.loss_plan, seed=args.loss_seed)
+    except ValueError as e:
+        print(f"error: invalid --loss-plan: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    seed_base = base.seed
+    level, interval = _obs_setup(args)
+    compare_histories = ObservabilityLevel.parse(level).histories
+    if not compare_histories:
+        print(f"note: obs_level={level} records no histories — checking "
+              "completion only, not byte-identity against the Kahn oracle")
+
+    def kwargs_for(seed):
+        return {
+            "loss_spec": args.loss_plan,
+            "loss_seed": seed,
+            "engine": args.engine,
+            "obs_level": level,
+            "sample_interval": interval,
+        }
+
+    golden = {}
+    if compare_histories:
+        for i in range(args.seeds):
+            seed = seed_base + i
+            _system, graph = conferencing_run(**kwargs_for(seed))
+            golden[seed] = _histories_digest(
+                FunctionalExecutor(graph).run().histories
+            )
+    specs = [
+        RunSpec(
+            factory=conferencing_run,
+            kwargs=kwargs_for(seed_base + i),
+            label=f"conferencing:seed={seed_base + i}",
+        )
+        for i in range(args.seeds)
+    ]
+    report = _run_sweep(specs, args, jobs)
+
+    failures = 0
+    for res in report.results:
+        seed = seed_base + res.index
+        ok = res.ok and res.completed and (
+            not compare_histories or res.histories_sha256 == golden[seed]
+        )
+        failures += 0 if ok else 1
+        if not res.ok:
+            print(f"conferencing seed={seed:<4} FAIL  ({res.error})")
+            continue
+        deg = res.metrics.get("degradation") or {}
+        vld = deg.get("tasks", {}).get("vld", {})
+        net = deg.get("tasks", {}).get("demux", {}).get("net", {})
+        print(
+            f"conferencing seed={seed:<4} "
+            f"{'PASS' if ok else 'FAIL'}  "
+            f"cycles={res.cycles:<7} "
+            f"dropped={net.get('packets_dropped', 0):<3} "
+            f"fec={net.get('fec_recovered', 0):<3} "
+            f"rtx={net.get('rtx_recovered', 0):<3} "
+            f"concealed={vld.get('frames_concealed', 0)}/"
+            f"{vld.get('frames_total', 0)}"
+        )
+    total = len(specs)
+    verdict = ("byte-identical to the Kahn oracle" if compare_histories
+               else "completed (histories not recorded)")
+    print(f"\nloss conformance: {total - failures}/{total} runs {verdict}")
+    print(
+        f"{total} runs on {report.jobs} jobs: {report.wall_time:.2f}s wall, "
+        f"~{report.serial_time_estimate:.2f}s serial, {report.speedup:.2f}x"
+    )
+    _write_report(report, args)
+    return 0 if failures == 0 else 1
+
+
 def _cmd_conformance(args) -> int:
     """Differential conformance: faulted cycle-level runs must reproduce
     the functional executor's stream histories byte-for-byte.  The seed
     sweep fans out over the repro.runner process pool (--jobs)."""
+    if getattr(args, "loss_plan", None):
+        return _cmd_conformance_loss(args)
     from repro import FaultPlan, FunctionalExecutor
     from repro.runner import RunSpec, _histories_digest
     from repro.workloads import GRAPH_BUILDERS, conformance_run, payload_of

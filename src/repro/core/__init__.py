@@ -22,7 +22,7 @@ from repro.core.shell import Shell
 from repro.core.stream_table import StreamRow, StreamTable
 from repro.core.system import DeadlockError, EclipseSystem, StalledError, SystemResult
 from repro.core.task_table import TaskRow, TaskTable
-from repro.sim import FaultInjector, FaultPlan, FaultStats, StallSpec
+from repro.sim import FaultInjector, FaultPlan, FaultStats, LossPlan, StallSpec
 
 __all__ = [
     "CacheStats",
@@ -36,6 +36,7 @@ __all__ = [
     "EosMsg",
     "FaultInjector",
     "FaultPlan",
+    "LossPlan",
     "FaultStats",
     "MessageFabric",
     "StallSpec",

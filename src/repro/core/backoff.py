@@ -1,0 +1,57 @@
+"""Shared exponential-backoff policy.
+
+Two recovery mechanisms re-poll a peer that may have missed a message:
+the shell watchdog (re-sending cumulative space credits over the lossy
+on-chip fabric, :meth:`repro.core.shell.Shell.watchdog_run`) and the
+network retransmission manager (NACKing lost ingest packets,
+:class:`repro.net.receiver.RtxManager`).  Both want the same discipline
+— start at a base interval, multiply it after every fruitless attempt,
+cap the growth — and the cap keeps the policy *live*: retries never
+stop entirely, so an eventually-delivered message always gets through.
+
+The policy is pure integer arithmetic on caller-supplied numbers; it
+never reads a clock, so it is deterministic wherever its caller is.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ExponentialBackoff"]
+
+
+class ExponentialBackoff:
+    """Capped exponential backoff over integer intervals.
+
+    ``current`` starts at ``base``; :meth:`escalate` multiplies it by
+    ``factor`` (capped at ``cap``) and returns the new value;
+    :meth:`reset` returns to ``base`` after observed progress.
+    """
+
+    def __init__(self, base: int, factor: int, cap: int):
+        if base < 1:
+            raise ValueError(f"base must be >= 1, got {base}")
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if cap < base:
+            raise ValueError(f"cap must be >= base, got {cap} < {base}")
+        self.base = base
+        self.factor = factor
+        self.cap = cap
+        self.current = base
+        self.escalations = 0
+
+    def escalate(self) -> int:
+        """One fruitless attempt: grow the interval and return it."""
+        self.current = min(self.current * self.factor, self.cap)
+        self.escalations += 1
+        return self.current
+
+    def reset(self) -> int:
+        """Progress observed: back to the base interval."""
+        self.current = self.base
+        return self.current
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExponentialBackoff(base={self.base}, factor={self.factor}, "
+            f"cap={self.cap}, current={self.current})"
+        )

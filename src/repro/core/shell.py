@@ -431,20 +431,22 @@ class Shell:
         progress, re-send space credits with exponential backoff
         (capped at ``timeout * max_backoff``).  Exits once the whole
         system completed."""
-        interval = timeout
+        from repro.core.backoff import ExponentialBackoff
+
+        policy = ExponentialBackoff(timeout, backoff, timeout * max_backoff)
         last = self._progress_snapshot()
         while not self.system.all_finished():
-            yield self.sim.timeout(interval)
+            yield self.sim.timeout(policy.current)
             if self.system.all_finished():
                 return
             cur = self._progress_snapshot()
             if cur != last:
                 last = cur
-                interval = timeout
+                policy.reset()
                 continue
             self.watchdog_fires += 1
             self._resend_credits()
-            interval = min(interval * backoff, timeout * max_backoff)
+            policy.escalate()
 
     # ------------------------------------------------------------------
     # state export (snapshots, invariant monitors)

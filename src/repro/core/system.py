@@ -98,6 +98,10 @@ class SystemResult:
     #: fault-injection & recovery counters; None when no faults and no
     #: watchdog were active
     robustness: Optional[Dict[str, object]] = None
+    #: lossy-ingest degradation accounting (concealed frames, silenced
+    #: audio, erased packets); None unless a kernel reported any — so
+    #: loss-free runs serialize exactly as before
+    degradation: Optional[Dict[str, object]] = None
 
     def history(self, stream: str) -> bytes:
         return self.histories[stream]
@@ -142,6 +146,8 @@ class SystemResult:
         }
         if self.robustness is not None:
             out["robustness"] = dict(self.robustness)
+        if self.degradation is not None:
+            out["degradation"] = dict(self.degradation)
         if include_histories:
             out["histories"] = {k: v.hex() for k, v in self.histories.items()}
         return out
@@ -707,6 +713,28 @@ class EclipseSystem:
                     s.corruptions_detected for s in self.shells.values()
                 ),
             }
+        # graceful-degradation accounting: any kernel may report via the
+        # degradation_stats() duck-type (repro.media.conceal); None keeps
+        # loss-free results byte-identical to the pre-network format
+        degradation = None
+        deg_tasks: Dict[str, Dict[str, object]] = {}
+        for shell in self.shells.values():
+            for t in shell.task_table:
+                stats_fn = getattr(t.kernel, "degradation_stats", None)
+                if stats_fn is None:
+                    continue
+                stats = stats_fn()
+                if stats is not None:
+                    deg_tasks[t.name] = dict(stats)
+        if deg_tasks:
+            diagnoses = []
+            for tname in sorted(deg_tasks):
+                for d in deg_tasks[tname].pop("diagnoses", []):
+                    diagnoses.append({"task": tname, **d})
+            degradation = {
+                "tasks": {k: deg_tasks[k] for k in sorted(deg_tasks)},
+                "diagnoses": diagnoses,
+            }
         return SystemResult(
             cycles=elapsed,
             completed=completed,
@@ -724,6 +752,7 @@ class EclipseSystem:
             cpu_sync_ops=self.cpu_sync_ops,
             cpu_busy_cycles=self.cpu_busy_cycles,
             robustness=robustness,
+            degradation=degradation,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -146,6 +146,11 @@ class ApplicationGraph:
         self.name = name
         self.tasks: Dict[str, TaskNode] = {}
         self.streams: Dict[str, StreamEdge] = {}
+        #: declared number of weakly-connected components; the graph
+        #: linter (G009) flags any graph with more islands than this,
+        #: so deliberate ∥ composition raises it instead of ignoring
+        #: the rule wholesale
+        self.expected_components: int = 1
 
     # ------------------------------------------------------------------
     # construction

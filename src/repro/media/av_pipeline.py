@@ -20,7 +20,7 @@ from repro.media.pipelines import default_buffer_sizes
 from repro.media.tasks import CostModel, DispKernel, IdctKernel, McKernel, RlsqInvKernel
 from repro.media.transport import DemuxKernel, VldStreamKernel
 
-__all__ = ["av_decode_graph", "AV_DECODE_MAPPING"]
+__all__ = ["av_decode_graph", "lossy_av_decode_graph", "AV_DECODE_MAPPING"]
 
 #: task -> coprocessor for the Figure 8 instance: software tasks on the
 #: DSP, video pipeline on the hardwired units
@@ -57,6 +57,116 @@ def av_decode_graph(
     node("demux", lambda: DemuxKernel(ts), DemuxKernel.PORTS)
     node("vld", lambda: VldStreamKernel(params, num_frames, cost), VldStreamKernel.PORTS)
     node("audio_dec", lambda: AdpcmDecoderKernel(), AdpcmDecoderKernel.PORTS)
+    node("pcm_sink", lambda: PcmSinkKernel(), PcmSinkKernel.PORTS)
+    node("rlsq", lambda: RlsqInvKernel(cost), RlsqInvKernel.PORTS)
+    node("idct", lambda: IdctKernel(cost), IdctKernel.PORTS)
+    node("mc", lambda: McKernel(params, num_frames, cost), McKernel.PORTS)
+    node("disp", lambda: DispKernel(params, num_frames, cost), DispKernel.PORTS)
+
+    g.connect("demux.video_out", "vld.es_in", name="video_es", buffer_size=2048)
+    g.connect(
+        "demux.audio_out",
+        "audio_dec.in",
+        name="audio_es",
+        buffer_size=4 * BLOCK_BYTES,
+    )
+    g.connect(
+        "audio_dec.out",
+        "pcm_sink.in",
+        name="pcm",
+        buffer_size=4 * BLOCK_SAMPLES * 2,
+    )
+    g.connect("vld.coef_out", "rlsq.in", name="coef", buffer_size=sizes["coef"])
+    g.connect("vld.mv_out", "mc.mv_in", name="mv", buffer_size=sizes["mv"] * 8)
+    g.connect("rlsq.out", "idct.in", name="dequant", buffer_size=sizes["coef_i16"])
+    g.connect("idct.out", "mc.resid_in", name="resid", buffer_size=sizes["residual"])
+    g.connect("mc.out", "disp.in", name="recon", buffer_size=sizes["pixels"])
+    return g
+
+
+def lossy_av_decode_graph(
+    ingest_result,
+    params: CodecParams,
+    num_frames: int,
+    mapping: Optional[Dict[str, str]] = None,
+    buffer_packets: int = 3,
+    cost: Optional[CostModel] = None,
+    conceal_budget: float = 0.5,
+    name: str = "lossy_av_decode",
+) -> ApplicationGraph:
+    """The A/V decode network behind a lossy network ingest.
+
+    Takes a :class:`repro.net.IngestResult` and builds the same graph
+    as :func:`av_decode_graph` with three substitutions: the demux runs
+    on the *recovered* stream and reports the ingest statistics, the
+    VLD conceals frames overlapping unrecovered erasures, and the audio
+    decoder silences damaged ADPCM blocks.  When the plan is inert
+    (``loss_active`` false) every kernel delegates to its parent class,
+    so the run is byte-identical to the packet-free pipeline.
+    """
+    from repro.media.conceal import (
+        ConcealingAdpcmKernel,
+        ConcealingVldKernel,
+        damaged_audio_blocks,
+        overlapping_frames,
+        video_frame_spans,
+    )
+    from repro.media.transport import AUDIO_PID, VIDEO_PID, LossyDemuxKernel, ts_demux
+
+    cost = cost or CostModel()
+    sizes = default_buffer_sizes(buffer_packets)
+    mapping = mapping or {}
+    report = ingest_result.loss_active
+
+    if ingest_result.lost_slots:
+        erased = ingest_result.erased_ranges()
+        v_erased = erased.get(VIDEO_PID, ())
+        a_erased = erased.get(AUDIO_PID, ())
+        video_es = ts_demux(ingest_result.original_ts)[VIDEO_PID]
+        header_end, spans = video_frame_spans(video_es, params, num_frames)
+        damaged = overlapping_frames(spans, v_erased)
+        header_damaged = bool(overlapping_frames([(0, header_end)], v_erased))
+        audio_damaged = damaged_audio_blocks(a_erased)
+    else:
+        # nothing erased: skip the clean-parse damage mapping entirely,
+        # so a 0%-loss ingest costs (nearly) nothing end-to-end
+        header_end, spans = 0, ()
+        damaged, audio_damaged = set(), set()
+        header_damaged = False
+
+    g = ApplicationGraph(name)
+
+    def node(tname, factory, ports):
+        g.add_task(TaskNode(tname, factory, ports, mapping=mapping.get(tname)))
+
+    recovered = ingest_result.recovered_ts
+    lost = ingest_result.lost_slots
+    net_stats = ingest_result.stats.to_dict()
+    node(
+        "demux",
+        lambda: LossyDemuxKernel(recovered, lost, net_stats, report),
+        LossyDemuxKernel.PORTS,
+    )
+    node(
+        "vld",
+        lambda: ConcealingVldKernel(
+            params,
+            num_frames,
+            damaged_frames=damaged,
+            frame_spans=spans,
+            header_end_bit=header_end,
+            header_damaged=header_damaged,
+            conceal_budget=conceal_budget,
+            report_always=report,
+            cost=cost,
+        ),
+        ConcealingVldKernel.PORTS,
+    )
+    node(
+        "audio_dec",
+        lambda: ConcealingAdpcmKernel(audio_damaged, report_always=report),
+        ConcealingAdpcmKernel.PORTS,
+    )
     node("pcm_sink", lambda: PcmSinkKernel(), PcmSinkKernel.PORTS)
     node("rlsq", lambda: RlsqInvKernel(cost), RlsqInvKernel.PORTS)
     node("idct", lambda: IdctKernel(cost), IdctKernel.PORTS)

@@ -139,6 +139,45 @@ class DemuxKernel(Kernel):
         return StepOutcome.COMPLETED
 
 
+class LossyDemuxKernel(DemuxKernel):
+    """Demultiplexer for a network-recovered transport stream.
+
+    Behaves exactly like :class:`DemuxKernel` — the ingest already
+    reconstructed erased slots as header + zero payload, so parsing
+    never fails — but counts the erased slots it routes and reports the
+    ingest statistics through ``degradation_stats()`` so the run result
+    carries the full network story (see :mod:`repro.net`)."""
+
+    def __init__(
+        self,
+        ts: bytes,
+        lost_slots: Tuple[int, ...] = (),
+        net_stats: Optional[Dict[str, int]] = None,
+        report_always: bool = False,
+        cycles_per_packet: int = 60,
+    ):
+        super().__init__(ts, cycles_per_packet)
+        self._lost = frozenset(lost_slots)
+        self._net_stats = dict(net_stats or {})
+        self._report_always = report_always
+        self.packets_erased = 0
+
+    def step(self, ctx: KernelContext):
+        slot = self._offset // TS_PACKET
+        outcome = yield from super().step(ctx)
+        if outcome is StepOutcome.COMPLETED and slot in self._lost:
+            self.packets_erased += 1
+        return outcome
+
+    def degradation_stats(self) -> Optional[Dict]:
+        if not self._report_always and not self._lost:
+            return None
+        out: Dict = {"kind": "transport", "packets_erased": self.packets_erased}
+        if self._net_stats:
+            out["net"] = {k: self._net_stats[k] for k in sorted(self._net_stats)}
+        return out
+
+
 class VldStreamKernel(Kernel):
     """VLD receiving its elementary stream over an on-chip stream.
 

@@ -1,0 +1,61 @@
+"""Seeded lossy-link model: the adversary between sender and receiver.
+
+The link mirrors the discipline of :class:`repro.sim.faults.
+FaultInjector`: one private ``random.Random`` makes every per-packet
+decision in the order packets are offered, so a ``LossPlan`` replays a
+byte-identical delivery schedule.  Decisions per packet: drop (vanish),
+duplicate (a second, independently jittered copy), and jitter/reorder
+(extra delay that lets later packets overtake).  Sender-side rate
+variation (pacing gaps) draws from the same stream via
+:meth:`pacing_gap`, so the whole transport consumes a single RNG
+cursor.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.sim.faults import LossPlan
+
+__all__ = ["LossyLink"]
+
+#: fixed one-way propagation latency, in ticks
+BASE_LATENCY = 4
+
+
+class LossyLink:
+    """Per-packet delivery decisions for one ingest session."""
+
+    def __init__(self, plan: LossPlan):
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.dropped = 0
+        self.duplicated = 0
+        self.jittered = 0
+
+    def pacing_gap(self) -> int:
+        """Ticks between consecutive sends (rate variation: occasional
+        congestion episodes stretch the gap)."""
+        p = self.plan
+        if p.rate_var and self.rng.random() < p.rate_var:
+            return 1 + self.rng.randrange(1, p.max_jitter + 1)
+        return 1
+
+    def deliveries(self, send_tick: int) -> List[int]:
+        """Arrival ticks for one packet offered at ``send_tick``:
+        ``[]`` is a drop, one entry a (possibly jittered) delivery, two
+        entries a duplication."""
+        p = self.plan
+        if p.drop_prob and self.rng.random() < p.drop_prob:
+            self.dropped += 1
+            return []
+        t = send_tick + BASE_LATENCY
+        if p.reorder_prob and self.rng.random() < p.reorder_prob:
+            t += self.rng.randrange(1, p.max_jitter + 1)
+            self.jittered += 1
+        out = [t]
+        if p.dup_prob and self.rng.random() < p.dup_prob:
+            out.append(t + self.rng.randrange(0, p.max_jitter + 1))
+            self.duplicated += 1
+        return out

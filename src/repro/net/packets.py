@@ -1,0 +1,131 @@
+"""Network packetization of a transport stream, with XOR-parity FEC.
+
+One network packet carries one whole 188-byte TS slot (header
+included), stamped with a global send sequence number.  Every
+``fec_group`` consecutive data packets share one XOR parity packet:
+losing any *single* data packet of a group is recoverable from the
+surviving ``fec_group - 1`` payloads plus the parity — the classic
+RTP-style erasure code, byte-exact by construction (XOR is its own
+inverse).  The tail group may be shorter; it still gets a parity
+packet as long as it has at least one data packet.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.media.transport import TS_HEADER, TS_PACKET
+
+__all__ = [
+    "PACKET_DATA",
+    "PACKET_PARITY",
+    "NetPacket",
+    "xor_parity",
+    "packetize",
+    "slot_table",
+]
+
+PACKET_DATA = 0
+PACKET_PARITY = 1
+
+
+@dataclass(frozen=True)
+class NetPacket:
+    """One packet on the wire.
+
+    ``seq`` is the global send sequence; ``slot`` is the TS slot index
+    for data packets (the first slot of the group for parity packets);
+    ``group`` is the FEC group id (-1 when FEC is off).
+    """
+
+    seq: int
+    kind: int
+    slot: int
+    group: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if self.kind not in (PACKET_DATA, PACKET_PARITY):
+            raise ValueError(f"bad packet kind {self.kind}")
+        if len(self.payload) != TS_PACKET:
+            raise ValueError(
+                f"payload must be one TS slot ({TS_PACKET} B), got {len(self.payload)}"
+            )
+
+
+def xor_parity(payloads: Sequence[bytes]) -> bytes:
+    """XOR of equal-length byte strings (the FEC parity payload)."""
+    if not payloads:
+        raise ValueError("need at least one payload")
+    n = len(payloads[0])
+    acc = bytearray(n)
+    for p in payloads:
+        if len(p) != n:
+            raise ValueError("FEC payloads must share one length")
+        for i, b in enumerate(p):
+            acc[i] ^= b
+    return bytes(acc)
+
+
+def packetize(ts: bytes, fec_group: int) -> List[NetPacket]:
+    """Slice a TS into send-ordered packets, parity interleaved.
+
+    Parity follows its group immediately, so a receiver can attempt
+    recovery as soon as the group's tail passes — no full-stream
+    buffering."""
+    if len(ts) % TS_PACKET:
+        raise ValueError(f"TS length {len(ts)} is not a whole number of slots")
+    if fec_group < 0:
+        raise ValueError(f"fec_group must be >= 0, got {fec_group}")
+    n_slots = len(ts) // TS_PACKET
+    out: List[NetPacket] = []
+    seq = 0
+    group_payloads: List[bytes] = []
+    group_id = 0
+    group_first_slot = 0
+
+    def flush_group() -> None:
+        nonlocal seq, group_id, group_payloads
+        if fec_group and group_payloads:
+            out.append(
+                NetPacket(seq, PACKET_PARITY, group_first_slot, group_id,
+                          xor_parity(group_payloads))
+            )
+            seq += 1
+        group_id += 1
+        group_payloads = []
+
+    for slot in range(n_slots):
+        payload = ts[slot * TS_PACKET : (slot + 1) * TS_PACKET]
+        if fec_group and not group_payloads:
+            group_first_slot = slot
+        out.append(
+            NetPacket(seq, PACKET_DATA, slot, group_id if fec_group else -1, payload)
+        )
+        seq += 1
+        if fec_group:
+            group_payloads.append(payload)
+            if len(group_payloads) == fec_group:
+                flush_group()
+    flush_group()
+    return out
+
+
+def slot_table(ts: bytes) -> List[Tuple[int, int, int]]:
+    """Per-slot ``(pid, es_offset, payload_len)`` from the TS headers.
+
+    ``es_offset`` is the slot payload's cumulative byte offset within
+    its PID's elementary stream — the map that turns lost slots into
+    per-stream erasure ranges."""
+    if len(ts) % TS_PACKET:
+        raise ValueError(f"TS length {len(ts)} is not a whole number of slots")
+    positions: Dict[int, int] = {}
+    out: List[Tuple[int, int, int]] = []
+    for off in range(0, len(ts), TS_PACKET):
+        _sync, pid, length = struct.unpack_from("<BHB", ts, off)
+        pos = positions.get(pid, 0)
+        out.append((pid, pos, length))
+        positions[pid] = pos + length
+    return out

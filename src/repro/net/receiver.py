@@ -1,0 +1,141 @@
+"""Receiver stack: jitter buffer, NACK/RTX manager, FEC recovery.
+
+Three cooperating pieces, driven by the :mod:`repro.net.ingest` event
+loop:
+
+* :class:`JitterBuffer` absorbs reordering — it tracks how far out of
+  order packets arrive (the depth a real playout buffer would need)
+  and flags duplicates.
+* :class:`RtxManager` turns missing sequence numbers into NACKs with
+  timeout and exponential backoff — the same capped policy the shell
+  watchdog uses (:class:`repro.core.backoff.ExponentialBackoff`), and
+  a bounded number of attempts so an unrecoverable packet becomes a
+  *declared loss*, not an infinite wait.
+* :class:`FecGroups` holds partially received FEC groups and recovers
+  any single missing data packet from the group's XOR parity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.backoff import ExponentialBackoff
+from repro.net.packets import NetPacket, xor_parity
+from repro.sim.faults import LossPlan
+
+__all__ = ["JitterBuffer", "RtxManager", "FecGroups"]
+
+
+class JitterBuffer:
+    """Reorder absorber: measures disorder, filters duplicates."""
+
+    def __init__(self) -> None:
+        self._seen: Set[int] = set()
+        self._highest = -1
+        self.max_depth = 0
+        self.duplicates = 0
+
+    def push(self, seq: int) -> bool:
+        """Record one arrival; returns False for a duplicate."""
+        if seq in self._seen:
+            self.duplicates += 1
+            return False
+        self._seen.add(seq)
+        if seq > self._highest:
+            self._highest = seq
+        else:
+            # arrived behind the high-water mark: needs this much buffer
+            self.max_depth = max(self.max_depth, self._highest - seq)
+        return True
+
+
+class _NackState:
+    __slots__ = ("attempts", "backoff", "done")
+
+    def __init__(self, plan: LossPlan):
+        self.attempts = 0
+        self.backoff = ExponentialBackoff(
+            plan.rtx_timeout,
+            plan.rtx_backoff,
+            plan.rtx_timeout * plan.rtx_backoff ** max(plan.max_rtx, 1),
+        )
+        self.done = False
+
+
+class RtxManager:
+    """Bounded NACK retransmission with exponential backoff.
+
+    The ingest loop schedules a timeout check per data sequence; on
+    expiry :meth:`on_timeout` either asks for a retransmission (and
+    the next, backed-off check time) or gives up after ``max_rtx``
+    attempts."""
+
+    def __init__(self, plan: LossPlan):
+        self.plan = plan
+        self._states: Dict[int, _NackState] = {}
+        self.nacks_sent = 0
+        self.gave_up = 0
+
+    def on_recovered(self, seq: int) -> None:
+        """The packet (or its slot, via FEC) made it — stop NACKing."""
+        state = self._states.get(seq)
+        if state is not None:
+            state.done = True
+
+    def on_timeout(self, seq: int, recovered: bool) -> Tuple[str, int]:
+        """Timeout check for ``seq``; returns ``(action, next_delay)``
+        with action one of ``"done"``, ``"nack"`` (retransmit request
+        sent; check again after ``next_delay``), ``"give_up"``."""
+        state = self._states.get(seq)
+        if state is None:
+            state = self._states[seq] = _NackState(self.plan)
+        if recovered or state.done:
+            state.done = True
+            return ("done", 0)
+        if state.attempts >= self.plan.max_rtx:
+            state.done = True
+            self.gave_up += 1
+            return ("give_up", 0)
+        state.attempts += 1
+        self.nacks_sent += 1
+        return ("nack", state.backoff.escalate())
+
+    def attempts(self, seq: int) -> int:
+        state = self._states.get(seq)
+        return state.attempts if state is not None else 0
+
+
+class FecGroups:
+    """Partial FEC groups awaiting recovery.
+
+    ``add_data``/``add_parity`` feed arrivals in; :meth:`try_recover`
+    returns the one missing ``(slot, payload)`` of a group when exactly
+    one data packet is absent and the parity survived."""
+
+    def __init__(self, group_slots: Dict[int, List[int]]):
+        #: group id -> ordered slot indices belonging to it
+        self._group_slots = group_slots
+        self._data: Dict[int, Dict[int, bytes]] = {}
+        self._parity: Dict[int, bytes] = {}
+        self.recovered = 0
+
+    def add_data(self, group: int, slot: int, payload: bytes) -> None:
+        if group >= 0:
+            self._data.setdefault(group, {})[slot] = payload
+
+    def add_parity(self, group: int, payload: bytes) -> None:
+        if group >= 0:
+            self._parity[group] = payload
+
+    def try_recover(self, group: int) -> Optional[Tuple[int, bytes]]:
+        if group < 0 or group not in self._parity:
+            return None
+        slots = self._group_slots.get(group, [])
+        have = self._data.get(group, {})
+        missing = [s for s in slots if s not in have]
+        if len(missing) != 1:
+            return None
+        payload = xor_parity([self._parity[group]] + [have[s] for s in slots if s in have])
+        self.recovered += 1
+        have[missing[0]] = payload
+        return (missing[0], payload)

@@ -27,7 +27,7 @@ floating-point time drift.
 """
 
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
-from repro.sim.faults import FaultInjector, FaultPlan, FaultStats, StallSpec
+from repro.sim.faults import FaultInjector, FaultPlan, FaultStats, LossPlan, StallSpec
 from repro.sim.kernel import SimulationError, Simulator
 from repro.sim.process import Process
 from repro.sim.probe import Series, TimeWeightedStat, UtilizationProbe
@@ -39,6 +39,7 @@ __all__ = [
     "Event",
     "FaultInjector",
     "FaultPlan",
+    "LossPlan",
     "FaultStats",
     "Interrupt",
     "Process",

@@ -34,9 +34,155 @@ __all__ = [
     "FaultInjector",
     "FaultStats",
     "StallSpec",
+    "LossPlan",
     "CORRUPTION_MODES",
     "corrupt_state",
 ]
+
+
+@dataclass(frozen=True)
+class LossPlan:
+    """Seed-driven description of a lossy network ingest link.
+
+    This is the *network* fault axis: it shapes the packet transport in
+    front of the demux (:mod:`repro.net`), while the sibling knobs on
+    :class:`FaultPlan` shape the on-chip fabric inside the simulated
+    system.  The split matters for determinism — the link has its own
+    ``random.Random(seed)``, so adding network loss never perturbs the
+    in-simulation fault schedule of the same seed.
+
+    Probabilities are per transmitted packet.  ``fec_group`` data
+    packets share one XOR parity packet (0 disables FEC); NACK-driven
+    retransmission starts ``rtx_timeout`` ticks after a gap is
+    detected and backs off by ``rtx_backoff`` per attempt (the
+    watchdog's :class:`repro.core.backoff.ExponentialBackoff`
+    discipline), giving up after ``max_rtx`` attempts.  ``deadline``
+    ticks after the last send, still-missing packets are declared lost
+    and the decode degrades gracefully instead of waiting forever.
+    """
+
+    seed: int = 0
+    #: probability a packet is dropped on the link
+    drop_prob: float = 0.0
+    #: probability a packet is delivered twice
+    dup_prob: float = 0.0
+    #: probability a packet gets extra jitter (letting later packets
+    #: overtake it in arrival order)
+    reorder_prob: float = 0.0
+    #: maximum extra delay (ticks) per jitter/reorder decision
+    max_jitter: int = 8
+    #: +/- fractional variation of the send pacing (rate variation)
+    rate_var: float = 0.0
+    #: data packets per XOR parity group (0 = FEC off)
+    fec_group: int = 4
+    #: ticks without a missing seq before the first NACK
+    rtx_timeout: int = 16
+    #: multiplicative backoff per NACK attempt
+    rtx_backoff: int = 2
+    #: NACK attempts per missing packet before giving up
+    max_rtx: int = 3
+    #: ticks past the last send before missing packets are declared lost
+    deadline: int = 400
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "dup_prob", "reorder_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if not 0.0 <= self.rate_var <= 1.0:
+            raise ValueError(f"rate_var must be in [0, 1], got {self.rate_var}")
+        if self.max_jitter < 1:
+            raise ValueError(f"max_jitter must be >= 1, got {self.max_jitter}")
+        if self.fec_group < 0:
+            raise ValueError(f"fec_group must be >= 0, got {self.fec_group}")
+        if self.rtx_timeout < 1:
+            raise ValueError(f"rtx_timeout must be >= 1, got {self.rtx_timeout}")
+        if self.rtx_backoff < 1:
+            raise ValueError(f"rtx_backoff must be >= 1, got {self.rtx_backoff}")
+        if self.max_rtx < 0:
+            raise ValueError(f"max_rtx must be >= 0, got {self.max_rtx}")
+        if self.deadline < 1:
+            raise ValueError(f"deadline must be >= 1, got {self.deadline}")
+
+    # ------------------------------------------------------------------
+    def any_loss(self) -> bool:
+        """True if this link can disturb the packet flow at all."""
+        return bool(self.drop_prob or self.dup_prob or self.reorder_prob
+                    or self.rate_var)
+
+    def with_(self, **kw) -> "LossPlan":
+        """Copy with overrides (seed-sweep helper)."""
+        return replace(self, **kw)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            name: getattr(self, name)
+            for name in (
+                "seed", "drop_prob", "dup_prob", "reorder_prob", "max_jitter",
+                "rate_var", "fec_group", "rtx_timeout", "rtx_backoff",
+                "max_rtx", "deadline",
+            )
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LossPlan":
+        return cls(**data)
+
+    _PRESETS = {
+        "none": {},
+        "mild": {"drop_prob": 0.02, "reorder_prob": 0.05},
+        "moderate": {"drop_prob": 0.05, "dup_prob": 0.02,
+                     "reorder_prob": 0.10, "rate_var": 0.2},
+        "heavy": {"drop_prob": 0.20, "dup_prob": 0.05,
+                  "reorder_prob": 0.20, "rate_var": 0.4},
+        "jitter": {"reorder_prob": 0.5, "max_jitter": 24, "rate_var": 0.3},
+    }
+
+    @classmethod
+    def parse(cls, spec: str, seed: Optional[int] = None) -> "LossPlan":
+        """Build a plan from a CLI spec string: a preset name
+        (``none``, ``mild``, ``moderate``, ``heavy``, ``jitter``) or a
+        comma list of ``key=value`` pairs, e.g. ``drop=0.1,seed=3``.
+        Keys: drop, dup, reorder, rate_var (floats); max_jitter,
+        fec_group, rtx_timeout, rtx_backoff, max_rtx, deadline, seed
+        (integers)."""
+        spec = spec.strip()
+        if spec in cls._PRESETS:
+            plan = cls(**cls._PRESETS[spec])
+            return plan.with_(seed=seed) if seed is not None else plan
+        alias = {"drop": "drop_prob", "dup": "dup_prob",
+                 "reorder": "reorder_prob", "loss": "drop_prob"}
+        kw: Dict[str, object] = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(f"bad loss-plan item {item!r} (want key=value)")
+            key, value = (s.strip() for s in item.split("=", 1))
+            key = alias.get(key, key)
+            if key in ("seed", "max_jitter", "fec_group", "rtx_timeout",
+                       "rtx_backoff", "max_rtx", "deadline"):
+                kw[key] = int(value)
+            elif key.endswith("_prob") or key == "rate_var":
+                kw[key] = float(value)
+            else:
+                raise ValueError(f"unknown loss-plan key {key!r}")
+        if seed is not None:
+            kw["seed"] = seed
+        return cls(**kw)
+
+    def describe(self) -> str:
+        """Compact human-readable summary of the non-default knobs."""
+        parts = [f"seed={self.seed}"]
+        for name, label in (("drop_prob", "drop"), ("dup_prob", "dup"),
+                            ("reorder_prob", "reorder"), ("rate_var", "rate_var")):
+            v = getattr(self, name)
+            if v:
+                parts.append(f"{label}={v:g}")
+        parts.append(f"fec={self.fec_group}" if self.fec_group else "fec=off")
+        parts.append(f"rtx={self.max_rtx}")
+        return ",".join(parts)
 
 
 @dataclass(frozen=True)
@@ -97,6 +243,9 @@ class FaultPlan:
     drop_limit: Optional[int] = None
     #: explicit scheduled stalls, on top of the probabilistic ones
     stalls: Tuple[StallSpec, ...] = ()
+    #: network-ingest loss axis (consumed at workload-build time by
+    #: :mod:`repro.net`, not by the in-simulation injector)
+    loss: Optional[LossPlan] = None
 
     def __post_init__(self) -> None:
         for name in ("drop_prob", "dup_prob", "delay_prob", "reorder_prob",
@@ -136,13 +285,20 @@ class FaultPlan:
             )
         }
         out["stalls"] = [s.to_dict() for s in self.stalls]
+        # the loss axis is omitted when unset so pre-network plans (and
+        # their snapshot digests) serialize exactly as before
+        if self.loss is not None:
+            out["loss"] = self.loss.to_dict()
         return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
         data = dict(data)
         stalls = tuple(StallSpec.from_dict(s) for s in data.pop("stalls", ()))
-        return cls(stalls=stalls, **data)
+        loss = data.pop("loss", None)
+        if loss is not None and not isinstance(loss, LossPlan):
+            loss = LossPlan.from_dict(loss)
+        return cls(stalls=stalls, loss=loss, **data)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -205,7 +361,9 @@ class FaultPlan:
                 raise ValueError(f"bad fault-plan item {item!r} (want key=value)")
             key, value = (s.strip() for s in item.split("=", 1))
             key = alias.get(key, key)
-            if key in ("seed", "max_delay", "max_stall", "drop_limit"):
+            if key == "loss":
+                kw["loss"] = LossPlan.parse(value)
+            elif key in ("seed", "max_delay", "max_stall", "drop_limit"):
                 kw[key] = int(value)
             elif key.endswith("_prob"):
                 kw[key] = float(value)
@@ -230,6 +388,8 @@ class FaultPlan:
             parts.append(f"drop_limit={self.drop_limit}")
         if self.stalls:
             parts.append(f"stalls={len(self.stalls)}")
+        if self.loss is not None:
+            parts.append(f"loss=[{self.loss.describe()}]")
         return ",".join(parts)
 
 

@@ -102,9 +102,10 @@ _register("G007", "multicast-grain-mismatch", Severity.WARNING,
 _register("G008", "sram-overflow", Severity.ERROR,
           "the buffer allocation plan does not fit the instance SRAM")
 _register("G009", "disconnected-graph", Severity.WARNING,
-          "the graph has more than one weakly-connected component — likely a "
-          "forgotten stream (legal for deliberate ∥ composition; suppress "
-          "with --ignore G009)")
+          "the graph has more weakly-connected components than it declares "
+          "— likely a forgotten stream (deliberate ∥ composition should "
+          "raise graph.expected_components; blanket-suppress with "
+          "--ignore G009)")
 
 # ---------------------------------------------------------------------------
 # kernel shell-protocol checks (abstract interpretation, paper §3.2/§4.2)
@@ -179,6 +180,19 @@ _register("S405", "refinement-exhausted", Severity.ERROR,
           "derived configuration simulated to completion — the graph needs "
           "buffering beyond the static bounds and the budget (or round "
           "limit) will not admit it")
+
+# ---------------------------------------------------------------------------
+# network ingest / graceful degradation (repro.net; docs/networking.md)
+# ---------------------------------------------------------------------------
+_register("N501", "conceal-over-budget", Severity.WARNING,
+          "unrecoverable network loss forced more frame concealment than the "
+          "task's budget allows — playback continues but quality is degraded "
+          "beyond the acceptable envelope (raise the FEC group rate, RTX "
+          "attempts or the loss deadline)")
+_register("N502", "header-concealed", Severity.WARNING,
+          "a stream's sequence header was lost on the network and "
+          "reconstructed from the configured codec parameters — decode "
+          "correctness rests entirely on the out-of-band configuration")
 
 # ---------------------------------------------------------------------------
 # verifier-internal

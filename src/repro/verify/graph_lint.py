@@ -28,7 +28,8 @@ Checks implemented (rule IDs in :mod:`repro.verify.diagnostics`):
 * **G007** — multicast consumers should agree on the sync grain.
 * **G008** — the whole allocation must fit the instance SRAM
   (delegates to :func:`repro.core.sizing.plan_buffers`).
-* **G009** — more than one weakly-connected component.
+* **G009** — more weakly-connected components than the graph declares
+  (``expected_components``, default 1).
 """
 
 from __future__ import annotations
@@ -132,11 +133,13 @@ def lint_graph(
 
     nxg = graph.to_networkx()
     if len(nxg) > 1:
+        expected = max(1, getattr(graph, "expected_components", 1))
         n_components = nx.number_weakly_connected_components(nxg)
-        if n_components > 1:
+        if n_components > expected:
             report.add(Diagnostic(
                 "G009",
-                f"graph splits into {n_components} disconnected components",
+                f"graph splits into {n_components} disconnected components"
+                f" ({expected} declared via expected_components)",
                 source=graph.name,
             ))
     return report

@@ -85,6 +85,27 @@ def _explore_decode():
     return explore_decode_run(bitstream)
 
 
+def _conferencing():
+    from repro.workloads import conferencing_run
+
+    return conferencing_run(frames=3, gop_n=3, gop_m=1, audio_blocks=3,
+                            loss_spec="moderate", loss_seed=1)
+
+
+def _timeshift_loss():
+    from repro.workloads import timeshift_loss_run
+
+    return timeshift_loss_run(frames=2, gop_n=2, gop_m=2, audio_blocks=2,
+                              loss_spec="mild", loss_seed=1)
+
+
+def _multistream():
+    from repro.workloads import multistream_contention_run
+
+    return multistream_contention_run(frames=2, gop_n=2, gop_m=2,
+                                      audio_blocks=2)
+
+
 #: name -> zero-arg factory returning (EclipseSystem, ApplicationGraph);
 #: small parameterizations of every factory in :mod:`repro.workloads`
 WORKLOADS: Dict[str, Callable[[], tuple]] = {
@@ -93,6 +114,9 @@ WORKLOADS: Dict[str, Callable[[], tuple]] = {
     "conformance-diamond": _conformance_diamond,
     "decode": _decode,
     "explore-decode": _explore_decode,
+    "conferencing": _conferencing,
+    "timeshift-loss": _timeshift_loss,
+    "multistream": _multistream,
 }
 
 

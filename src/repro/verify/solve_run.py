@@ -109,6 +109,27 @@ def _build_explore_decode(engine: str = "fast", grain: Optional[int] = None):
     return explore_decode_run(bitstream, engine=engine)
 
 
+def _build_conferencing(engine: str = "fast", grain: Optional[int] = None):
+    from repro.workloads import conferencing_run
+
+    return conferencing_run(frames=3, gop_n=3, gop_m=1, audio_blocks=3,
+                            loss_spec="moderate", loss_seed=1, engine=engine)
+
+
+def _build_timeshift_loss(engine: str = "fast", grain: Optional[int] = None):
+    from repro.workloads import timeshift_loss_run
+
+    return timeshift_loss_run(frames=2, gop_n=2, gop_m=2, audio_blocks=2,
+                              loss_spec="mild", loss_seed=1, engine=engine)
+
+
+def _build_multistream(engine: str = "fast", grain: Optional[int] = None):
+    from repro.workloads import multistream_contention_run
+
+    return multistream_contention_run(frames=2, gop_n=2, gop_m=2,
+                                      audio_blocks=2, engine=engine)
+
+
 def _decode_worst(graph: ApplicationGraph) -> Dict[str, int]:
     """The media kernels declare grain 1 (they move whole variable-size
     packets); the honest static bound is one worst-case packet per
@@ -124,6 +145,50 @@ def _decode_worst(graph: ApplicationGraph) -> Dict[str, int]:
         "recon": one["pixels"],
     }
     return {name: hints[name] for name in hints if name in graph.streams}
+
+
+def _av_worst(graph: ApplicationGraph) -> Dict[str, int]:
+    """Worst-case request hints for the demux+audio+video networks,
+    including their ∥-composed forms (``b_``/``play_`` prefixes from
+    the multistream and time-shift workloads) and the encoder half of
+    the time-shift record side."""
+    from repro.media.audio import BLOCK_BYTES, BLOCK_SAMPLES
+    from repro.media.pipelines import default_buffer_sizes
+    from repro.media.transport import TS_HEADER, TS_PACKET
+
+    one = default_buffer_sizes(1)
+    payload = TS_PACKET - TS_HEADER  # the demux writes whole TS payloads
+    base = {
+        # demux + decode half
+        "video_es": 2048,
+        "audio_es": max(payload, BLOCK_BYTES),
+        "pcm": BLOCK_SAMPLES * 2,
+        "coef": one["coef"],
+        "mv": one["mv"],
+        "dequant": one["coef_i16"],
+        "resid": one["residual"],
+        "recon": one["pixels"],
+        # encoder half (time-shift record side); the me↔recon feedback
+        # loop runs a frame ahead, so each cycle edge must hold the
+        # in-flight macroblock window of both endpoints (2 + 2 grains)
+        "resid_f": one["residual"],
+        "pred": one["pixels"] * 4,
+        "coef_f": one["coef_f64"],
+        "symbols": one["coef"],
+        "levels": one["levels"],
+        "dequant_r": one["coef_i16"],
+        "resid_r": one["residual"],
+        "refs": one["pixels"] * 4,
+    }
+    hints: Dict[str, int] = {}
+    for name in graph.streams:
+        stem = name
+        for prefix in ("b_", "play_"):
+            if stem.startswith(prefix):
+                stem = stem[len(prefix):]
+        if stem in base:
+            hints[name] = base[stem]
+    return hints
 
 
 #: workload name -> solve model; keys match repro.verify.run.WORKLOADS
@@ -142,6 +207,15 @@ SOLVE_MODELS: Dict[str, SolveModel] = {
     "decode": SolveModel("decode", _build_decode, worst_requests=_decode_worst),
     "explore-decode": SolveModel(
         "explore-decode", _build_explore_decode, worst_requests=_decode_worst
+    ),
+    "conferencing": SolveModel(
+        "conferencing", _build_conferencing, worst_requests=_av_worst
+    ),
+    "timeshift-loss": SolveModel(
+        "timeshift-loss", _build_timeshift_loss, worst_requests=_av_worst
+    ),
+    "multistream": SolveModel(
+        "multistream", _build_multistream, worst_requests=_av_worst
     ),
 }
 

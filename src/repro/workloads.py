@@ -41,6 +41,9 @@ __all__ = [
     "quickstart_run",
     "decode_run",
     "explore_decode_run",
+    "conferencing_run",
+    "timeshift_loss_run",
+    "multistream_contention_run",
     "RUN_FACTORIES",
 ]
 
@@ -258,6 +261,171 @@ def solved_run(
     return system, graph
 
 
+# ---------------------------------------------------------------------------
+# lossy-ingest workloads (repro.net; docs/networking.md)
+# ---------------------------------------------------------------------------
+def _av_transport_stream(width, height, frames, gop_n, gop_m, audio_blocks,
+                         noise=1.0):
+    """Deterministic A/V content muxed into one transport stream."""
+    from repro.media import CodecParams, encode_sequence, synthetic_sequence
+    from repro.media.audio import BLOCK_SAMPLES, adpcm_encode, synthetic_pcm
+    from repro.media.transport import AUDIO_PID, VIDEO_PID, ts_mux
+
+    codec = CodecParams(width=width, height=height, gop_n=gop_n, gop_m=gop_m)
+    seq = synthetic_sequence(codec.width, codec.height, frames, noise=noise)
+    video_es, _, _ = encode_sequence(seq, codec)
+    audio_es = adpcm_encode(synthetic_pcm(BLOCK_SAMPLES * audio_blocks))
+    return codec, ts_mux({VIDEO_PID: video_es, AUDIO_PID: audio_es})
+
+
+def conferencing_run(
+    width: int = 48,
+    height: int = 32,
+    frames: int = 5,
+    gop_n: int = 6,
+    gop_m: int = 3,
+    audio_blocks: int = 6,
+    loss_spec: str = "moderate",
+    loss_seed: Optional[int] = None,
+    conceal_budget: float = 0.5,
+    dram_latency: int = 60,
+    buffer_packets: int = 3,
+    engine: str = "reference",
+    obs_level: str = "full",
+    sample_interval: Optional[int] = None,
+) -> Tuple[EclipseSystem, ApplicationGraph]:
+    """Conferencing: the full §6 A/V decode behind a lossy network.
+
+    The transport stream passes the seeded :mod:`repro.net` ingest
+    (``loss_spec`` is a :class:`~repro.sim.faults.LossPlan` preset or
+    key=value list) before it reaches the demux; unrecovered erasures
+    degrade into concealed frames and silenced audio blocks, reported
+    under ``SystemResult.degradation``."""
+    from repro.instance.eclipse_mpeg import build_mpeg_instance
+    from repro.media.av_pipeline import AV_DECODE_MAPPING, lossy_av_decode_graph
+    from repro.net import ingest
+    from repro.sim.faults import LossPlan
+
+    codec, ts = _av_transport_stream(width, height, frames, gop_n, gop_m, audio_blocks)
+    result = ingest(ts, LossPlan.parse(loss_spec, seed=loss_seed))
+    system = build_mpeg_instance(
+        SystemParams(dram_latency=dram_latency, engine=engine,
+                     obs_level=obs_level, sample_interval=sample_interval)
+    )
+    graph = lossy_av_decode_graph(
+        result, codec, frames, mapping=AV_DECODE_MAPPING,
+        buffer_packets=buffer_packets, conceal_budget=conceal_budget,
+    )
+    return system, graph
+
+
+def timeshift_loss_run(
+    width: int = 48,
+    height: int = 32,
+    frames: int = 4,
+    gop_n: int = 4,
+    gop_m: int = 2,
+    audio_blocks: int = 4,
+    loss_spec: str = "mild",
+    loss_seed: Optional[int] = None,
+    conceal_budget: float = 0.5,
+    sram_size: int = 192 * 1024,
+    buffer_packets: int = 3,
+    engine: str = "reference",
+    obs_level: str = "full",
+    sample_interval: Optional[int] = None,
+) -> Tuple[EclipseSystem, ApplicationGraph]:
+    """Time-shift under loss: record a clean programme while playing
+    back one that arrives over the lossy network — the §6 simultaneous
+    encode+decode scenario with a degraded playback leg."""
+    from repro.instance.eclipse_mpeg import ENCODE_MAPPING, build_mpeg_instance
+    from repro.media import CodecParams, synthetic_sequence
+    from repro.media.av_pipeline import AV_DECODE_MAPPING, lossy_av_decode_graph
+    from repro.media.pipelines import encode_graph
+    from repro.net import ingest
+    from repro.sim.faults import LossPlan
+
+    codec, ts = _av_transport_stream(width, height, frames, gop_n, gop_m, audio_blocks)
+    result = ingest(ts, LossPlan.parse(loss_spec, seed=loss_seed))
+    play = lossy_av_decode_graph(
+        result, codec, frames, mapping=AV_DECODE_MAPPING,
+        buffer_packets=buffer_packets, conceal_budget=conceal_budget,
+    )
+    rec_params = CodecParams(width=width, height=height, gop_n=gop_n, gop_m=gop_m)
+    raw = synthetic_sequence(width, height, frames, noise=1.0)
+    graph = encode_graph(raw, rec_params, ENCODE_MAPPING,
+                         buffer_packets, name="timeshift_loss")
+    graph.merge(play, prefix="play_")
+    # record ∥ playback are deliberately independent islands; declare
+    # them so G009 still catches an accidental third component
+    graph.expected_components = 2
+    play_mapping = {f"play_{k}": v for k, v in AV_DECODE_MAPPING.items()}
+    for tname, node in graph.tasks.items():
+        if tname.startswith("play_"):
+            node.mapping = play_mapping[tname]
+    graph.validate()
+    system = build_mpeg_instance(
+        SystemParams(sram_size=sram_size, engine=engine,
+                     obs_level=obs_level, sample_interval=sample_interval)
+    )
+    return system, graph
+
+
+def multistream_contention_run(
+    width: int = 48,
+    height: int = 32,
+    frames: int = 4,
+    gop_n: int = 4,
+    gop_m: int = 2,
+    audio_blocks: int = 4,
+    loss_spec: str = "moderate",
+    loss_seed_a: int = 1,
+    loss_seed_b: int = 2,
+    conceal_budget: float = 0.5,
+    sram_size: int = 192 * 1024,
+    buffer_packets: int = 3,
+    engine: str = "reference",
+    obs_level: str = "full",
+    sample_interval: Optional[int] = None,
+) -> Tuple[EclipseSystem, ApplicationGraph]:
+    """Two lossy conferencing streams decoded on one instance — every
+    coprocessor multi-tasks, so the erasure/concealment schedules of
+    both streams interleave under real resource contention."""
+    from repro.instance.eclipse_mpeg import build_mpeg_instance
+    from repro.media.av_pipeline import AV_DECODE_MAPPING, lossy_av_decode_graph
+    from repro.net import ingest
+    from repro.sim.faults import LossPlan
+
+    codec, ts = _av_transport_stream(width, height, frames, gop_n, gop_m, audio_blocks)
+    plan = LossPlan.parse(loss_spec)
+    res_a = ingest(ts, plan.with_(seed=loss_seed_a))
+    res_b = ingest(ts, plan.with_(seed=loss_seed_b))
+    graph = lossy_av_decode_graph(
+        res_a, codec, frames, mapping=AV_DECODE_MAPPING,
+        buffer_packets=buffer_packets, conceal_budget=conceal_budget,
+        name="multistream",
+    )
+    other = lossy_av_decode_graph(
+        res_b, codec, frames, mapping=AV_DECODE_MAPPING,
+        buffer_packets=buffer_packets, conceal_budget=conceal_budget,
+        name="stream_b",
+    )
+    graph.merge(other, prefix="b_")
+    # two deliberately independent streams: declare the islands so the
+    # graph linter (G009) still catches a third, accidental one
+    graph.expected_components = 2
+    b_mapping = {f"b_{k}": v for k, v in AV_DECODE_MAPPING.items()}
+    for tname, node in graph.tasks.items():
+        if tname.startswith("b_"):
+            node.mapping = b_mapping[tname]
+    graph.validate()
+    system = build_mpeg_instance(
+        SystemParams(sram_size=sram_size, engine=engine,
+                     obs_level=obs_level, sample_interval=sample_interval)
+    )
+    return system, graph
+
+
 #: The factories a sweep-service client may name instead of spelling a
 #: ``module:function`` reference (``repro submit --workload NAME``).
 #: Only self-contained factories belong here — every kwarg must be
@@ -268,4 +436,7 @@ RUN_FACTORIES = {
     "decode": decode_run,
     "conformance": conformance_run,
     "solved": solved_run,
+    "conferencing": conferencing_run,
+    "timeshift-loss": timeshift_loss_run,
+    "multistream": multistream_contention_run,
 }

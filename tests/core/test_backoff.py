@@ -1,0 +1,67 @@
+"""Tests for the shared exponential-backoff policy.
+
+One discipline, two users: the shell watchdog re-sending space credits
+(:meth:`repro.core.shell.Shell.watchdog_run`) and the network NACK
+retransmission manager (:class:`repro.net.receiver.RtxManager`).  The
+policy tests live here; the equivalence of the two users' schedules is
+pinned at the end.
+"""
+
+import pytest
+
+from repro.core.backoff import ExponentialBackoff
+
+
+def test_escalation_grows_geometrically_and_caps():
+    b = ExponentialBackoff(base=100, factor=2, cap=500)
+    assert b.current == 100
+    assert [b.escalate() for _ in range(5)] == [200, 400, 500, 500, 500]
+    assert b.escalations == 5
+
+
+def test_reset_returns_to_base():
+    b = ExponentialBackoff(base=10, factor=3, cap=1000)
+    b.escalate()
+    b.escalate()
+    assert b.current == 90
+    assert b.reset() == 10
+    assert b.current == 10
+    # escalation count is cumulative across resets (total fruitless polls)
+    assert b.escalations == 2
+
+
+def test_factor_one_is_a_constant_interval():
+    b = ExponentialBackoff(base=50, factor=1, cap=50)
+    assert [b.escalate() for _ in range(3)] == [50, 50, 50]
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="base"):
+        ExponentialBackoff(0, 2, 10)
+    with pytest.raises(ValueError, match="factor"):
+        ExponentialBackoff(1, 0, 10)
+    with pytest.raises(ValueError, match="cap"):
+        ExponentialBackoff(10, 2, 5)
+
+
+def test_watchdog_and_rtx_share_the_same_schedule():
+    """The watchdog polls at `timeout * backoff^k` (capped at
+    `timeout * max_backoff`); the RTX manager NACKs at
+    `rtx_timeout * rtx_backoff^k` (capped at
+    `rtx_timeout * rtx_backoff^max_rtx`).  Same numbers in, same
+    intervals out — the discipline genuinely is shared."""
+    from repro.net.receiver import RtxManager
+    from repro.sim.faults import LossPlan
+
+    timeout, factor, attempts = 8, 2, 4
+    watchdog = ExponentialBackoff(timeout, factor, timeout * factor ** attempts)
+    watchdog_intervals = [watchdog.escalate() for _ in range(attempts)]
+
+    rtx = RtxManager(LossPlan(rtx_timeout=timeout, rtx_backoff=factor,
+                              max_rtx=attempts))
+    rtx_intervals = []
+    for _ in range(attempts):
+        action, delay = rtx.on_timeout(0, recovered=False)
+        assert action == "nack"
+        rtx_intervals.append(delay)
+    assert rtx_intervals == watchdog_intervals

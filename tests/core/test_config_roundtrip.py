@@ -16,7 +16,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.config import CoprocessorSpec, ShellParams, SystemParams
-from repro.sim.faults import FaultPlan, StallSpec
+from repro.sim.faults import FaultPlan, LossPlan, StallSpec
 
 # ---------------------------------------------------------------------------
 # strategies generating *valid* instances (they must pass __post_init__)
@@ -73,6 +73,21 @@ stall_specs = st.builds(
     cycles=st.integers(min_value=1, max_value=1 << 20),
 )
 
+loss_plans = st.builds(
+    LossPlan,
+    seed=st.integers(min_value=0, max_value=2**31),
+    drop_prob=probs,
+    dup_prob=probs,
+    reorder_prob=probs,
+    max_jitter=st.integers(min_value=1, max_value=64),
+    rate_var=probs,
+    fec_group=st.integers(min_value=0, max_value=16),
+    rtx_timeout=st.integers(min_value=1, max_value=256),
+    rtx_backoff=st.integers(min_value=1, max_value=8),
+    max_rtx=st.integers(min_value=0, max_value=8),
+    deadline=st.integers(min_value=1, max_value=4096),
+)
+
 fault_plans = st.builds(
     FaultPlan,
     seed=st.integers(min_value=0, max_value=2**31),
@@ -86,6 +101,7 @@ fault_plans = st.builds(
     corrupt_prob=probs,
     drop_limit=st.none() | st.integers(min_value=0, max_value=1024),
     stalls=st.lists(stall_specs, max_size=4).map(tuple),
+    loss=st.none() | loss_plans,
 )
 
 
@@ -122,6 +138,18 @@ def test_fault_plan_roundtrip(plan):
     _roundtrip(plan, FaultPlan)
 
 
+@given(loss_plans)
+def test_loss_plan_roundtrip(plan):
+    _roundtrip(plan, LossPlan)
+
+
+def test_fault_plan_without_loss_serializes_as_before():
+    """The wire format of a loss-free plan must not change — snapshot
+    state digests from pre-network checkpoints depend on it."""
+    assert "loss" not in FaultPlan().to_dict()
+    assert "loss" in FaultPlan(loss=LossPlan()).to_dict()
+
+
 def test_to_dict_emits_every_field():
     """Reflection guard: adding a dataclass field without teaching
     to_dict about it is a silent checkpoint-divergence bug."""
@@ -130,7 +158,10 @@ def test_to_dict_emits_every_field():
         SystemParams(),
         CoprocessorSpec("cp0"),
         StallSpec("cp0", at_cycle=0, cycles=1),
-        FaultPlan(),
+        # loss is serialized only when set (so pre-network snapshots keep
+        # their digests) — set it here so the guard covers the field
+        FaultPlan(loss=LossPlan()),
+        LossPlan(),
     ]
     for inst in instances:
         declared = {f.name for f in fields(type(inst))}

@@ -1,0 +1,61 @@
+"""Tests for the seeded lossy-link model."""
+
+from repro.net.link import BASE_LATENCY, LossyLink
+from repro.sim.faults import LossPlan
+
+
+def drive(plan: LossPlan, n: int = 200):
+    link = LossyLink(plan)
+    schedule = [link.deliveries(t) for t in range(n)]
+    gaps = [link.pacing_gap() for _ in range(n)]
+    return link, schedule, gaps
+
+
+def test_link_is_deterministic_per_seed():
+    plan = LossPlan(seed=5, drop_prob=0.2, dup_prob=0.1,
+                    reorder_prob=0.3, rate_var=0.2)
+    _, sched_a, gaps_a = drive(plan)
+    _, sched_b, gaps_b = drive(plan)
+    assert sched_a == sched_b and gaps_a == gaps_b
+    _, sched_c, _ = drive(plan.with_(seed=6))
+    assert sched_a != sched_c
+
+
+def test_clean_link_delivers_everything_at_base_latency():
+    link, schedule, gaps = drive(LossPlan())
+    assert schedule == [[t + BASE_LATENCY] for t in range(200)]
+    assert gaps == [1] * 200
+    assert link.dropped == link.duplicated == link.jittered == 0
+
+
+def test_certain_drop_loses_everything():
+    link, schedule, _ = drive(LossPlan(drop_prob=1.0))
+    assert all(s == [] for s in schedule)
+    assert link.dropped == 200
+
+
+def test_certain_duplication_doubles_everything():
+    link, schedule, _ = drive(LossPlan(dup_prob=1.0))
+    assert all(len(s) == 2 for s in schedule)
+    assert link.duplicated == 200
+    # the copy never arrives before the original
+    assert all(s[1] >= s[0] for s in schedule)
+
+
+def test_reorder_jitter_is_bounded():
+    plan = LossPlan(reorder_prob=1.0, max_jitter=6)
+    link, schedule, _ = drive(plan)
+    assert link.jittered == 200
+    for t, s in enumerate(schedule):
+        assert len(s) == 1
+        extra = s[0] - t - BASE_LATENCY
+        assert 1 <= extra <= plan.max_jitter
+
+
+def test_rate_variation_stretches_pacing_gaps():
+    plan = LossPlan(rate_var=1.0, max_jitter=4)
+    _, _, gaps = drive(plan)
+    assert all(2 <= g <= 1 + plan.max_jitter for g in gaps)
+    # and without it the sender paces evenly
+    _, _, steady = drive(LossPlan(rate_var=0.0))
+    assert set(steady) == {1}

@@ -1,0 +1,148 @@
+"""Tests for TS packetization, XOR-parity FEC and the slot table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.media.transport import AUDIO_PID, TS_HEADER, TS_PACKET, VIDEO_PID, ts_mux
+from repro.net.packets import (
+    PACKET_DATA,
+    PACKET_PARITY,
+    NetPacket,
+    packetize,
+    slot_table,
+    xor_parity,
+)
+
+
+def make_ts(n_slots: int, seed: int = 1) -> bytes:
+    """A valid TS of exactly n_slots slots (video-only payload)."""
+    payload_bytes = n_slots * (TS_PACKET - TS_HEADER)
+    es = bytes((i * 31 + seed) % 256 for i in range(payload_bytes))
+    ts = ts_mux({VIDEO_PID: es})
+    assert len(ts) == n_slots * TS_PACKET
+    return ts
+
+
+# ---------------------------------------------------------------------------
+# packetize structure
+# ---------------------------------------------------------------------------
+def test_packetize_interleaves_parity_after_each_group():
+    ts = make_ts(7)
+    pkts = packetize(ts, fec_group=3)
+    kinds = [p.kind for p in pkts]
+    # 3 data + parity, 3 data + parity, 1 tail data + parity
+    assert kinds == [0, 0, 0, 1, 0, 0, 0, 1, 0, 1]
+    assert [p.seq for p in pkts] == list(range(len(pkts)))
+    data = [p for p in pkts if p.kind == PACKET_DATA]
+    assert [p.slot for p in data] == list(range(7))
+    # data payloads are the TS slots, in order
+    for p in data:
+        assert p.payload == ts[p.slot * TS_PACKET : (p.slot + 1) * TS_PACKET]
+
+
+def test_packetize_groups_share_ids_and_parity_covers_group():
+    ts = make_ts(6)
+    pkts = packetize(ts, fec_group=2)
+    for gid in (0, 1, 2):
+        members = [p for p in pkts if p.group == gid]
+        data = [p for p in members if p.kind == PACKET_DATA]
+        parity = [p for p in members if p.kind == PACKET_PARITY]
+        assert len(data) == 2 and len(parity) == 1
+        assert parity[0].payload == xor_parity([p.payload for p in data])
+        # parity's slot field points at the group's first slot
+        assert parity[0].slot == data[0].slot
+
+
+def test_packetize_without_fec():
+    ts = make_ts(4)
+    pkts = packetize(ts, fec_group=0)
+    assert all(p.kind == PACKET_DATA for p in pkts)
+    assert all(p.group == -1 for p in pkts)
+    assert len(pkts) == 4
+
+
+def test_packetize_validates_input():
+    with pytest.raises(ValueError, match="whole number"):
+        packetize(b"\x47" * (TS_PACKET + 1), fec_group=4)
+    with pytest.raises(ValueError, match="fec_group"):
+        packetize(make_ts(2), fec_group=-1)
+
+
+def test_netpacket_validates():
+    with pytest.raises(ValueError, match="kind"):
+        NetPacket(0, 7, 0, 0, b"\x00" * TS_PACKET)
+    with pytest.raises(ValueError, match="payload"):
+        NetPacket(0, PACKET_DATA, 0, 0, b"short")
+
+
+# ---------------------------------------------------------------------------
+# XOR parity: the erasure-code property itself
+# ---------------------------------------------------------------------------
+def test_xor_parity_validates():
+    with pytest.raises(ValueError, match="at least one"):
+        xor_parity([])
+    with pytest.raises(ValueError, match="length"):
+        xor_parity([b"ab", b"abc"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_slots=st.integers(min_value=1, max_value=12),
+    fec_group=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+    data=st.data(),
+)
+def test_any_single_loss_per_group_recovers_byte_identically(
+    n_slots, fec_group, seed, data
+):
+    """The acceptance property: losing any ONE data packet of any FEC
+    group is recoverable byte-exactly from the survivors + parity."""
+    ts = make_ts(n_slots, seed=seed)
+    pkts = packetize(ts, fec_group=fec_group)
+    groups = {}
+    for p in pkts:
+        groups.setdefault(p.group, []).append(p)
+    for gid, members in groups.items():
+        datap = [p for p in members if p.kind == PACKET_DATA]
+        parity = next(p for p in members if p.kind == PACKET_PARITY)
+        lost = data.draw(
+            st.integers(min_value=0, max_value=len(datap) - 1),
+            label=f"lost index in group {gid}",
+        )
+        survivors = [p.payload for i, p in enumerate(datap) if i != lost]
+        recovered = xor_parity([parity.payload] + survivors)
+        assert recovered == datap[lost].payload
+
+
+# ---------------------------------------------------------------------------
+# slot table
+# ---------------------------------------------------------------------------
+def test_slot_table_maps_slots_to_es_ranges():
+    video = bytes(range(200))
+    audio = bytes(reversed(range(150)))
+    ts = ts_mux({VIDEO_PID: video, AUDIO_PID: audio})
+    table = slot_table(ts)
+    assert len(table) == len(ts) // TS_PACKET
+    # reassembling per-PID payloads via the table reproduces the streams
+    rebuilt = {}
+    for slot, (pid, es_off, length) in enumerate(table):
+        payload = ts[slot * TS_PACKET + TS_HEADER :][:length]
+        rebuilt.setdefault(pid, {})[es_off] = payload
+        assert length <= TS_PACKET - TS_HEADER
+    for pid, chunks in rebuilt.items():
+        joined = b"".join(chunks[k] for k in sorted(chunks))
+        assert joined == {VIDEO_PID: video, AUDIO_PID: audio}[pid]
+
+
+def test_slot_table_offsets_are_cumulative_per_pid():
+    ts = ts_mux({VIDEO_PID: b"v" * 500, AUDIO_PID: b"a" * 300})
+    positions = {}
+    for pid, es_off, length in slot_table(ts):
+        assert es_off == positions.get(pid, 0)
+        positions[pid] = es_off + length
+
+
+def test_slot_table_validates():
+    with pytest.raises(ValueError, match="whole number"):
+        slot_table(b"x" * 10)

@@ -1,0 +1,119 @@
+"""Tests for the receiver stack: jitter buffer, NACK/RTX, FEC groups."""
+
+from repro.core.backoff import ExponentialBackoff
+from repro.media.transport import TS_PACKET
+from repro.net.packets import xor_parity
+from repro.net.receiver import FecGroups, JitterBuffer, RtxManager
+from repro.sim.faults import LossPlan
+
+
+# ---------------------------------------------------------------------------
+# jitter buffer
+# ---------------------------------------------------------------------------
+def test_jitter_buffer_filters_duplicates():
+    jb = JitterBuffer()
+    assert jb.push(0) and jb.push(1)
+    assert not jb.push(1)
+    assert not jb.push(0)
+    assert jb.duplicates == 2
+
+
+def test_jitter_buffer_measures_reorder_depth():
+    jb = JitterBuffer()
+    for seq in (0, 3, 1, 4, 2):
+        jb.push(seq)
+    # seq 2 arrived after the high-water mark reached 4: depth 2
+    assert jb.max_depth == 2
+    in_order = JitterBuffer()
+    for seq in range(10):
+        in_order.push(seq)
+    assert in_order.max_depth == 0
+
+
+# ---------------------------------------------------------------------------
+# RTX manager
+# ---------------------------------------------------------------------------
+def test_rtx_nack_delays_follow_the_shared_backoff_discipline():
+    """The per-sequence NACK schedule is exactly the watchdog's capped
+    exponential backoff (repro.core.backoff) applied to rtx_timeout."""
+    plan = LossPlan(rtx_timeout=10, rtx_backoff=3, max_rtx=3)
+    rtx = RtxManager(plan)
+    ref = ExponentialBackoff(10, 3, 10 * 3 ** 3)
+    delays = []
+    for _ in range(plan.max_rtx):
+        action, delay = rtx.on_timeout(7, recovered=False)
+        assert action == "nack"
+        delays.append(delay)
+    assert delays == [ref.escalate() for _ in range(plan.max_rtx)]
+    assert rtx.nacks_sent == plan.max_rtx
+
+
+def test_rtx_gives_up_after_max_attempts():
+    rtx = RtxManager(LossPlan(max_rtx=2))
+    assert rtx.on_timeout(0, recovered=False)[0] == "nack"
+    assert rtx.on_timeout(0, recovered=False)[0] == "nack"
+    assert rtx.on_timeout(0, recovered=False)[0] == "give_up"
+    assert rtx.gave_up == 1
+    # once given up, the sequence stays done — no NACK storm
+    assert rtx.on_timeout(0, recovered=False)[0] == "done"
+    assert rtx.nacks_sent == 2
+
+
+def test_rtx_stops_when_recovered():
+    rtx = RtxManager(LossPlan(max_rtx=3))
+    assert rtx.on_timeout(4, recovered=False)[0] == "nack"
+    rtx.on_recovered(4)
+    assert rtx.on_timeout(4, recovered=False)[0] == "done"
+    assert rtx.on_timeout(9, recovered=True)[0] == "done"
+    assert rtx.attempts(4) == 1 and rtx.attempts(9) == 0
+
+
+def test_rtx_zero_attempts_declares_loss_immediately():
+    rtx = RtxManager(LossPlan(max_rtx=0))
+    assert rtx.on_timeout(0, recovered=False)[0] == "give_up"
+    assert rtx.nacks_sent == 0 and rtx.gave_up == 1
+
+
+# ---------------------------------------------------------------------------
+# FEC groups
+# ---------------------------------------------------------------------------
+def payloads(*seeds):
+    return [bytes((i * 7 + s) % 256 for i in range(TS_PACKET)) for s in seeds]
+
+
+def test_fec_recovers_single_missing_member():
+    a, b, c = payloads(1, 2, 3)
+    fec = FecGroups({0: [10, 11, 12]})
+    fec.add_data(0, 10, a)
+    fec.add_data(0, 12, c)
+    fec.add_parity(0, xor_parity([a, b, c]))
+    assert fec.try_recover(0) == (11, b)
+    assert fec.recovered == 1
+
+
+def test_fec_cannot_recover_two_missing_or_without_parity():
+    a, b, c = payloads(1, 2, 3)
+    fec = FecGroups({0: [0, 1, 2]})
+    fec.add_data(0, 0, a)
+    assert fec.try_recover(0) is None  # no parity yet
+    fec.add_parity(0, xor_parity([a, b, c]))
+    assert fec.try_recover(0) is None  # two members missing
+    fec.add_data(0, 1, b)
+    assert fec.try_recover(0) == (2, c)
+
+
+def test_fec_complete_group_needs_no_recovery():
+    a, b = payloads(4, 5)
+    fec = FecGroups({0: [0, 1]})
+    fec.add_data(0, 0, a)
+    fec.add_data(0, 1, b)
+    fec.add_parity(0, xor_parity([a, b]))
+    assert fec.try_recover(0) is None
+    assert fec.recovered == 0
+
+
+def test_fec_ignores_ungrouped_packets():
+    fec = FecGroups({})
+    fec.add_data(-1, 0, payloads(1)[0])
+    fec.add_parity(-1, payloads(2)[0])
+    assert fec.try_recover(-1) is None

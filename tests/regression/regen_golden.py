@@ -47,6 +47,19 @@ WORKLOADS = {
             "watchdog_timeout": 2000,
         },
     ),
+    # lossy network ingest: drops survive FEC/RTX, frames are concealed
+    # — pins the transport recovery schedule and the degradation
+    # accounting alongside the decode timing (docs/networking.md)
+    "conferencing_lossy": (
+        "repro.workloads:conferencing_run",
+        {
+            "frames": 4,
+            "gop_n": 4,
+            "gop_m": 2,
+            "audio_blocks": 4,
+            "loss_spec": "drop=0.25,fec_group=4,max_rtx=1,seed=7",
+        },
+    ),
 }
 
 #: checkpoint variant name -> (base workload, boundary cycle).  The
@@ -115,6 +128,8 @@ def build_trace(name: str, engine: str = None) -> dict:
             "retries_sent": rob["retries_sent"],
             "recoveries": rob["recoveries"],
         }
+    if result.degradation is not None:
+        trace["degradation"] = result.degradation
     return trace
 
 

@@ -25,6 +25,13 @@ SMALL_KWARGS = {
     "conformance": {"payload_len": 384},
     "decode": {"width": 32, "height": 32, "frames": 2, "gop_n": 2, "gop_m": 1},
     "solved": {"workload": "conformance-pipeline", "sram_size": 4096},
+    # lossy-ingest workloads: the loss spec/seed are ordinary kwargs,
+    # so they are part of the content-addressed cache key like any other
+    "conferencing": {"frames": 2, "gop_n": 2, "gop_m": 1, "audio_blocks": 2,
+                     "loss_spec": "moderate", "loss_seed": 3},
+    "timeshift-loss": {"frames": 2, "gop_n": 2, "gop_m": 2, "audio_blocks": 2,
+                       "loss_spec": "mild", "loss_seed": 1},
+    "multistream": {"frames": 2, "gop_n": 2, "gop_m": 2, "audio_blocks": 2},
 }
 
 

@@ -196,3 +196,83 @@ def test_plan_round_trips_through_dict():
 def test_plan_from_dict_validates():
     with pytest.raises(ValueError, match="drop_prob"):
         FaultPlan.from_dict({"drop_prob": 2.0})
+
+
+# ---------------------------------------------------------------------------
+# LossPlan (the network fault axis, repro.net)
+# ---------------------------------------------------------------------------
+def test_loss_plan_defaults_disturb_nothing():
+    from repro.sim import LossPlan
+
+    plan = LossPlan()
+    assert not plan.any_loss()
+    # FEC/RTX knobs alone are not "loss": they only matter under loss
+    assert not LossPlan(fec_group=8, max_rtx=5).any_loss()
+    for active in (LossPlan(drop_prob=0.1), LossPlan(dup_prob=0.1),
+                   LossPlan(reorder_prob=0.1), LossPlan(rate_var=0.1)):
+        assert active.any_loss()
+
+
+@pytest.mark.parametrize("field,value", [
+    ("drop_prob", 1.5), ("dup_prob", -0.1), ("reorder_prob", 2.0),
+    ("rate_var", -1.0), ("max_jitter", 0), ("fec_group", -1),
+    ("rtx_timeout", 0), ("rtx_backoff", 0), ("max_rtx", -1),
+    ("deadline", 0),
+])
+def test_loss_plan_validates_fields(field, value):
+    from repro.sim import LossPlan
+
+    with pytest.raises(ValueError, match=field):
+        LossPlan(**{field: value})
+
+
+def test_loss_plan_presets_parse():
+    from repro.sim import LossPlan
+
+    assert not LossPlan.parse("none").any_loss()
+    for name in ("mild", "moderate", "heavy", "jitter"):
+        assert LossPlan.parse(name).any_loss()
+    heavy = LossPlan.parse("heavy")
+    mild = LossPlan.parse("mild")
+    assert heavy.drop_prob > mild.drop_prob
+
+
+def test_loss_plan_parses_key_value_spec():
+    from repro.sim import LossPlan
+
+    plan = LossPlan.parse("drop=0.1,dup=0.05,reorder=0.2,rate_var=0.3,"
+                          "fec_group=8,rtx_timeout=20,max_rtx=2,seed=5")
+    assert plan.drop_prob == 0.1 and plan.dup_prob == 0.05
+    assert plan.reorder_prob == 0.2 and plan.rate_var == 0.3
+    assert plan.fec_group == 8 and plan.rtx_timeout == 20
+    assert plan.max_rtx == 2 and plan.seed == 5
+    # "loss" is an alias for drop
+    assert LossPlan.parse("loss=0.4").drop_prob == 0.4
+
+
+def test_loss_plan_seed_override_semantics():
+    """The explicit seed parameter (a sweep override) beats the spec's
+    inline seed; None leaves the inline seed alone."""
+    from repro.sim import LossPlan
+
+    assert LossPlan.parse("drop=0.1,seed=7").seed == 7
+    assert LossPlan.parse("drop=0.1,seed=7", seed=None).seed == 7
+    assert LossPlan.parse("drop=0.1,seed=7", seed=9).seed == 9
+    assert LossPlan.parse("moderate", seed=9).seed == 9
+
+
+def test_loss_plan_parse_rejects_garbage():
+    from repro.sim import LossPlan
+
+    with pytest.raises(ValueError, match="key=value"):
+        LossPlan.parse("drop")
+    with pytest.raises(ValueError, match="unknown"):
+        LossPlan.parse("warp=0.5")
+
+
+def test_loss_plan_describe_mentions_active_knobs():
+    from repro.sim import LossPlan
+
+    text = LossPlan.parse("heavy", seed=3).describe()
+    assert "seed=3" in text and "drop=" in text
+    assert "fec=" in text and "rtx=" in text

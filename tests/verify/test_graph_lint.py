@@ -105,6 +105,23 @@ def test_g009_disconnected_components_warn_only():
     assert len(rep.ignoring(["G009"])) == 0
 
 
+def test_g009_declared_parallel_composition_is_clean():
+    g = ApplicationGraph("islands")
+    for i in range(3):
+        stub(g, f"p{i}", PortSpec("out", Direction.OUT))
+        stub(g, f"c{i}", PortSpec("in", Direction.IN))
+        g.connect(f"p{i}.out", f"c{i}.in", buffer_size=64)
+    # declaring the intended island count silences the rule ...
+    g.expected_components = 3
+    assert "G009" not in lint_graph(g).rule_ids()
+    # ... but an extra, undeclared island still trips it
+    g.expected_components = 2
+    rep = lint_graph(g)
+    assert rep.rule_ids() == {"G009"}
+    (diag,) = [d for d in rep.diagnostics if d.rule_id == "G009"]
+    assert "2 declared" in diag.message
+
+
 def test_explicit_rates_mapping_overrides_auto():
     g = pipe(grain=1, buffer_size=64)  # undeclared by default
     rep = lint_graph(g, rates={("src", "out"): 32, ("dst", "in"): 16})

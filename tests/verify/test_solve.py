@@ -50,6 +50,9 @@ BUDGET_POINTS = [
     ("decode", 4096),
     ("decode", 8192),
     ("decode", 32 * 1024),
+    ("conferencing", 8192),
+    ("conferencing", 32 * 1024),
+    ("multistream", 32 * 1024),
 ]
 
 
